@@ -1,0 +1,52 @@
+//! Shared traits for interval stabbing indexes.
+//!
+//! §2 and §4.1 of the paper compare the IBS-tree against a family of
+//! alternatives (sequential lists, segment trees, interval trees,
+//! priority search trees, 1-D R-trees). Every structure in this
+//! workspace implements [`StabIndex`], so a single differential test
+//! harness and a single benchmark sweep cover them all.
+
+use interval::{Interval, IntervalId};
+
+/// Read side: report all intervals containing a point.
+pub trait StabIndex<K: Ord + Clone> {
+    /// Appends the id of every interval containing `x` to `out`, each
+    /// exactly once, in unspecified order.
+    fn stab_into(&self, x: &K, out: &mut Vec<IntervalId>);
+
+    /// Number of intervals indexed.
+    fn len(&self) -> usize;
+
+    /// Is the index empty?
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Convenience wrapper allocating a fresh result vector.
+    fn stab(&self, x: &K) -> Vec<IntervalId> {
+        let mut out = Vec::new();
+        self.stab_into(x, &mut out);
+        out
+    }
+}
+
+/// Write side for structures that support on-line updates (the paper's
+/// requirement 3: "the ability to rapidly insert and delete predicates
+/// on-line").
+pub trait DynamicStabIndex<K: Ord + Clone>: StabIndex<K> {
+    /// Indexes `iv` under `id`. `id` must not already be present.
+    fn insert(&mut self, id: IntervalId, iv: Interval<K>);
+
+    /// Removes and returns the interval stored under `id`.
+    fn remove(&mut self, id: IntervalId) -> Option<Interval<K>>;
+}
+
+/// Construction for static structures (segment tree, centered interval
+/// tree) that must know all intervals up front — exactly the limitation
+/// that motivated the IBS-tree ("segment trees and interval trees are
+/// not adequate because they do not allow dynamic insertion and
+/// deletion of predicates").
+pub trait BulkBuild<K: Ord + Clone>: Sized {
+    /// Builds the index over the given intervals. Ids must be distinct.
+    fn build(items: Vec<(IntervalId, Interval<K>)>) -> Self;
+}

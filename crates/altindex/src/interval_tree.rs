@@ -1,0 +1,285 @@
+//! A static centered interval tree (cited in §4.1 via [Sam88, Sam90]).
+//!
+//! Classic Edelsbrunner/McCreight construction: each node holds a center
+//! key; intervals containing the center live at the node in two sorted
+//! lists (ascending lower bounds, descending upper bounds), the rest are
+//! pushed to the left or right child. Stabbing `x < center` scans the
+//! ascending-lower list only as far as bounds that still admit `x` — an
+//! output-sensitive prefix — then recurses left; `x > center` is the
+//! mirror image.
+//!
+//! Open bounds need care: the textbook construction picks the median
+//! *endpoint* as the center and relies on that endpoint being contained
+//! in the interval it came from — false for an exclusive bound (no point
+//! of `(5, 10)` equals 5 or 10), which can loop the build forever. We
+//! recover the guarantee by working with **effective endpoints** in the
+//! order-completion of the key space: each key `v` splits into the three
+//! positions `v⁻ < v < v⁺`, an exclusive lower bound at `v` becomes the
+//! effective endpoint `v⁺`, an exclusive upper bound becomes `v⁻`. Every
+//! interval contains its own effective endpoints, so the median effective
+//! endpoint always lands in `here` and the recursion strictly shrinks.
+//! Only `Ord` is required of the key type — no arithmetic midpoints.
+//!
+//! Like the segment tree, this structure is static by design (the
+//! paper's stated reason for inventing the IBS-tree).
+
+use crate::common::{BulkBuild, StabIndex};
+use interval::{Interval, IntervalId, Lower, Upper};
+use std::cmp::Ordering;
+
+/// Position of an effective key relative to a concrete key value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Place {
+    /// Infinitesimally below the value (`v⁻`).
+    Below,
+    /// Exactly the value.
+    At,
+    /// Infinitesimally above the value (`v⁺`).
+    Above,
+}
+
+/// A point in the order-completion of `K`: `(v, Place)` with
+/// lexicographic order, so `v⁻ < v < v⁺ < w⁻` for `v < w`.
+type EffKey<K> = (K, Place);
+
+/// Effective lower endpoint (`None` = −∞).
+fn eff_lo<K: Ord + Clone>(iv: &Interval<K>) -> Option<EffKey<K>> {
+    match iv.lo() {
+        Lower::Unbounded => None,
+        Lower::Inclusive(v) => Some((v.clone(), Place::At)),
+        Lower::Exclusive(v) => Some((v.clone(), Place::Above)),
+    }
+}
+
+/// Effective upper endpoint (`None` = +∞).
+fn eff_hi<K: Ord + Clone>(iv: &Interval<K>) -> Option<EffKey<K>> {
+    match iv.hi() {
+        Upper::Unbounded => None,
+        Upper::Inclusive(v) => Some((v.clone(), Place::At)),
+        Upper::Exclusive(v) => Some((v.clone(), Place::Below)),
+    }
+}
+
+struct Node<K> {
+    center: EffKey<K>,
+    /// Intervals containing `center`, sorted by ascending lower bound.
+    by_lo: Vec<(Lower<K>, IntervalId)>,
+    /// The same intervals, sorted by descending upper bound.
+    by_hi: Vec<(Upper<K>, IntervalId)>,
+    left: Option<Box<Node<K>>>,
+    right: Option<Box<Node<K>>>,
+}
+
+/// Static centered interval tree.
+pub struct CenteredIntervalTree<K> {
+    root: Option<Box<Node<K>>>,
+    /// Intervals with no finite endpoint (they contain every query point).
+    universal: Vec<IntervalId>,
+    len: usize,
+}
+
+impl<K: Ord + Clone> CenteredIntervalTree<K> {
+    fn build_node(mut items: Vec<(IntervalId, Interval<K>)>) -> Option<Box<Node<K>>> {
+        if items.is_empty() {
+            return None;
+        }
+        // Median *effective* endpoint as the center.
+        let mut endpoints: Vec<EffKey<K>> = Vec::with_capacity(items.len() * 2);
+        for (_, iv) in &items {
+            endpoints.extend(eff_lo(iv));
+            endpoints.extend(eff_hi(iv));
+        }
+        endpoints.sort();
+        let center = endpoints[endpoints.len() / 2].clone();
+
+        let mut here: Vec<(IntervalId, Interval<K>)> = Vec::new();
+        let mut left: Vec<(IntervalId, Interval<K>)> = Vec::new();
+        let mut right: Vec<(IntervalId, Interval<K>)> = Vec::new();
+        for (id, iv) in items.drain(..) {
+            let lo = eff_lo(&iv);
+            let hi = eff_hi(&iv);
+            let above_center = matches!(&lo, Some(l) if *l > center);
+            let below_center = matches!(&hi, Some(h) if *h < center);
+            if above_center {
+                right.push((id, iv));
+            } else if below_center {
+                left.push((id, iv));
+            } else {
+                // effective lo ≤ center ≤ effective hi: contains center.
+                here.push((id, iv));
+            }
+        }
+        debug_assert!(
+            !here.is_empty(),
+            "median effective endpoint is contained in its own interval"
+        );
+
+        let mut by_lo: Vec<(Lower<K>, IntervalId)> = here
+            .iter()
+            .map(|(id, iv)| (iv.lo().clone(), *id))
+            .collect();
+        by_lo.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut by_hi: Vec<(Upper<K>, IntervalId)> = here
+            .iter()
+            .map(|(id, iv)| (iv.hi().clone(), *id))
+            .collect();
+        by_hi.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        Some(Box::new(Node {
+            center,
+            by_lo,
+            by_hi,
+            left: Self::build_node(left),
+            right: Self::build_node(right),
+        }))
+    }
+
+    /// Where does the concrete query `x` sit relative to a center in the
+    /// order-completion? Equality is only possible against `At` centers.
+    fn cmp_query(x: &K, center: &EffKey<K>) -> Ordering {
+        match x.cmp(&center.0) {
+            Ordering::Less => Ordering::Less,
+            Ordering::Greater => Ordering::Greater,
+            Ordering::Equal => match center.1 {
+                Place::Below => Ordering::Greater, // x = v > v⁻
+                Place::At => Ordering::Equal,
+                Place::Above => Ordering::Less, // x = v < v⁺
+            },
+        }
+    }
+}
+
+impl<K: Ord + Clone> BulkBuild<K> for CenteredIntervalTree<K> {
+    fn build(items: Vec<(IntervalId, Interval<K>)>) -> Self {
+        let len = items.len();
+        let (universal, bounded): (Vec<_>, Vec<_>) = items
+            .into_iter()
+            .partition(|(_, iv)| iv.lo().value().is_none() && iv.hi().value().is_none());
+        CenteredIntervalTree {
+            root: Self::build_node(bounded),
+            universal: universal.into_iter().map(|(id, _)| id).collect(),
+            len,
+        }
+    }
+}
+
+impl<K: Ord + Clone> StabIndex<K> for CenteredIntervalTree<K> {
+    fn stab_into(&self, x: &K, out: &mut Vec<IntervalId>) {
+        out.extend_from_slice(&self.universal);
+        let mut cur = self.root.as_deref();
+        while let Some(node) = cur {
+            match Self::cmp_query(x, &node.center) {
+                Ordering::Equal => {
+                    // Every interval at this node contains the center
+                    // value itself.
+                    out.extend(node.by_lo.iter().map(|(_, id)| *id));
+                    return;
+                }
+                Ordering::Less => {
+                    // Ascending lower bounds: the admitting ones form a
+                    // prefix (admission is downward-closed in bound
+                    // order). The upper sides all reach the center, which
+                    // is above x, so they admit x automatically.
+                    for (lo, id) in &node.by_lo {
+                        if lo.admits(x) {
+                            out.push(*id);
+                        } else {
+                            break;
+                        }
+                    }
+                    cur = node.left.as_deref();
+                }
+                Ordering::Greater => {
+                    for (hi, id) in &node.by_hi {
+                        if hi.admits(x) {
+                            out.push(*id);
+                        } else {
+                            break;
+                        }
+                    }
+                    cur = node.right.as_deref();
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> IntervalId {
+        IntervalId(n)
+    }
+
+    #[test]
+    fn stabbing_matches_definition() {
+        let ivs = vec![
+            (id(0), Interval::closed(9, 19)),
+            (id(1), Interval::closed(2, 7)),
+            (id(2), Interval::closed_open(1, 3)),
+            (id(3), Interval::closed(17, 20)),
+            (id(4), Interval::closed(7, 12)),
+            (id(5), Interval::point(18)),
+            (id(6), Interval::at_most(17)),
+        ];
+        let t = CenteredIntervalTree::build(ivs.clone());
+        for x in -2..25 {
+            let mut got = t.stab(&x);
+            got.sort();
+            let mut want: Vec<IntervalId> = ivs
+                .iter()
+                .filter(|(_, iv)| iv.contains(&x))
+                .map(|(i, _)| *i)
+                .collect();
+            want.sort();
+            assert_eq!(got, want, "at {x}");
+        }
+    }
+
+    #[test]
+    fn all_open_intervals_terminate() {
+        // The textbook construction loops on this input; the effective-
+        // endpoint construction must not.
+        let ivs = vec![
+            (id(0), Interval::open(5, 10)),
+            (id(1), Interval::open(5, 10)),
+            (id(2), Interval::open(9, 20)),
+        ];
+        let t = CenteredIntervalTree::build(ivs.clone());
+        for x in 0..25 {
+            let mut got = t.stab(&x);
+            got.sort();
+            let mut want: Vec<IntervalId> = ivs
+                .iter()
+                .filter(|(_, iv)| iv.contains(&x))
+                .map(|(i, _)| *i)
+                .collect();
+            want.sort();
+            assert_eq!(got, want, "at {x}");
+        }
+    }
+
+    #[test]
+    fn empty() {
+        let t: CenteredIntervalTree<i32> = CenteredIntervalTree::build(vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.stab(&0), vec![]);
+    }
+
+    #[test]
+    fn universal_and_open_ended() {
+        let t = CenteredIntervalTree::build(vec![
+            (id(0), Interval::<i32>::unbounded()),
+            (id(1), Interval::at_least(100)),
+        ]);
+        assert_eq!(t.stab(&-5), vec![id(0)]);
+        let mut v = t.stab(&500);
+        v.sort();
+        assert_eq!(v, vec![id(0), id(1)]);
+    }
+}

@@ -1,0 +1,186 @@
+//! A static segment tree (cited in §4.1 via [Sam88, Sam90]).
+//!
+//! The key space is split into *elementary pieces* — one point piece per
+//! distinct finite endpoint value and one open gap piece between (and
+//! outside) them — and a complete binary tree is built over the pieces.
+//! Each interval decomposes into `O(log n)` canonical tree nodes.
+//!
+//! The structure is deliberately **static**: it must see every interval
+//! at build time. This is exactly the deficiency the paper cites when
+//! motivating the IBS-tree ("segment trees and interval trees are not
+//! adequate because they do not allow dynamic insertion and deletion of
+//! predicates"), and it is kept that way so the ablation benchmarks can
+//! show what the restriction buys and costs.
+
+use crate::common::{BulkBuild, StabIndex};
+use interval::{Interval, IntervalId, Lower, Upper};
+
+/// Static segment tree over interval endpoints.
+#[derive(Debug, Clone)]
+pub struct SegmentTree<K> {
+    /// Sorted distinct finite endpoint values.
+    values: Vec<K>,
+    /// Per-node mark lists; implicit recursive layout over piece ranges.
+    marks: Vec<Vec<IntervalId>>,
+    /// Number of elementary pieces = `2 * values.len() + 1`.
+    pieces: usize,
+    len: usize,
+}
+
+impl<K: Ord + Clone> SegmentTree<K> {
+    /// Piece index for the query point `x`:
+    /// `2i+1` for the point piece of `values[i]`, `2p` for the gap piece
+    /// below insertion position `p`.
+    fn piece_of(&self, x: &K) -> usize {
+        match self.values.binary_search(x) {
+            Ok(i) => 2 * i + 1,
+            Err(p) => 2 * p,
+        }
+    }
+
+    /// The contiguous piece range `[lo, hi]` an interval occupies.
+    fn piece_range(&self, iv: &Interval<K>) -> (usize, usize) {
+        let lo = match iv.lo() {
+            Lower::Unbounded => 0,
+            Lower::Inclusive(v) => {
+                let i = self.values.binary_search(v).expect("endpoint registered");
+                2 * i + 1
+            }
+            Lower::Exclusive(v) => {
+                let i = self.values.binary_search(v).expect("endpoint registered");
+                2 * i + 2
+            }
+        };
+        let hi = match iv.hi() {
+            Upper::Unbounded => self.pieces - 1,
+            Upper::Inclusive(v) => {
+                let i = self.values.binary_search(v).expect("endpoint registered");
+                2 * i + 1
+            }
+            Upper::Exclusive(v) => {
+                let i = self.values.binary_search(v).expect("endpoint registered");
+                2 * i
+            }
+        };
+        (lo, hi)
+    }
+
+    /// Canonical range insertion (recursive on the implicit tree).
+    fn insert_range(&mut self, node: usize, n_lo: usize, n_hi: usize, lo: usize, hi: usize, id: IntervalId) {
+        if hi < n_lo || n_hi < lo {
+            return;
+        }
+        if lo <= n_lo && n_hi <= hi {
+            self.marks[node].push(id);
+            return;
+        }
+        let mid = (n_lo + n_hi) / 2;
+        self.insert_range(2 * node + 1, n_lo, mid, lo, hi, id);
+        self.insert_range(2 * node + 2, mid + 1, n_hi, lo, hi, id);
+    }
+}
+
+impl<K: Ord + Clone> BulkBuild<K> for SegmentTree<K> {
+    fn build(items: Vec<(IntervalId, Interval<K>)>) -> Self {
+        let mut values: Vec<K> = Vec::with_capacity(items.len() * 2);
+        for (_, iv) in &items {
+            if let Some(v) = iv.lo().value() {
+                values.push(v.clone());
+            }
+            if let Some(v) = iv.hi().value() {
+                values.push(v.clone());
+            }
+        }
+        values.sort();
+        values.dedup();
+        let pieces = 2 * values.len() + 1;
+        let mut tree = SegmentTree {
+            values,
+            marks: vec![Vec::new(); 4 * pieces],
+            pieces,
+            len: items.len(),
+        };
+        let last = tree.pieces - 1;
+        for (id, iv) in items {
+            let (lo, hi) = tree.piece_range(&iv);
+            debug_assert!(lo <= hi, "non-empty interval must occupy pieces");
+            tree.insert_range(0, 0, last, lo, hi, id);
+        }
+        tree
+    }
+}
+
+impl<K: Ord + Clone> StabIndex<K> for SegmentTree<K> {
+    fn stab_into(&self, x: &K, out: &mut Vec<IntervalId>) {
+        if self.len == 0 {
+            return;
+        }
+        let target = self.piece_of(x);
+        let (mut node, mut n_lo, mut n_hi) = (0usize, 0usize, self.pieces - 1);
+        loop {
+            out.extend_from_slice(&self.marks[node]);
+            if n_lo == n_hi {
+                break;
+            }
+            let mid = (n_lo + n_hi) / 2;
+            if target <= mid {
+                node = 2 * node + 1;
+                n_hi = mid;
+            } else {
+                node = 2 * node + 2;
+                n_lo = mid + 1;
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> IntervalId {
+        IntervalId(n)
+    }
+
+    #[test]
+    fn mixed_bounds() {
+        let t = SegmentTree::build(vec![
+            (id(0), Interval::closed(2, 7)),
+            (id(1), Interval::open(2, 7)),
+            (id(2), Interval::point(7)),
+            (id(3), Interval::at_least(5)),
+            (id(4), Interval::less_than(3)),
+            (id(5), Interval::unbounded()),
+        ]);
+        let sorted = |x: i32| {
+            let mut v = t.stab(&x);
+            v.sort();
+            v.into_iter().map(|i| i.0).collect::<Vec<_>>()
+        };
+        assert_eq!(sorted(1), vec![4, 5]);
+        assert_eq!(sorted(2), vec![0, 4, 5]);
+        assert_eq!(sorted(3), vec![0, 1, 5]);
+        assert_eq!(sorted(5), vec![0, 1, 3, 5]);
+        assert_eq!(sorted(7), vec![0, 2, 3, 5]);
+        assert_eq!(sorted(8), vec![3, 5]);
+        assert_eq!(sorted(-100), vec![4, 5]);
+    }
+
+    #[test]
+    fn empty_build() {
+        let t: SegmentTree<i32> = SegmentTree::build(vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.stab(&3), vec![]);
+    }
+
+    #[test]
+    fn only_universal() {
+        let t = SegmentTree::build(vec![(id(9), Interval::<i32>::unbounded())]);
+        assert_eq!(t.stab(&42), vec![id(9)]);
+        assert_eq!(t.stab(&i32::MIN), vec![id(9)]);
+    }
+}

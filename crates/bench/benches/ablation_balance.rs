@@ -1,0 +1,90 @@
+//! Ablation A: what the §4.3 balancing machinery buys.
+//!
+//! The paper implemented rotations on paper but benchmarked the
+//! unbalanced tree, noting "as with ordinary binary search trees, the
+//! tree is normally balanced if data is inserted in random order" and
+//! that balanced insertion "will be higher than shown in Figure 7".
+//! This bench quantifies both halves: random order (where AVL mostly
+//! costs) and sorted order (where the unbalanced tree degenerates to a
+//! chain and AVL rescues search).
+
+use bench::workload::FigureWorkload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibs::{BalanceMode, IbsTree};
+use interval::Interval;
+use std::hint::black_box;
+
+fn sorted_points(n: usize) -> Vec<(interval::IntervalId, Interval<i64>)> {
+    (0..n as u32)
+        .map(|i| {
+            let k = i as i64 * 11;
+            (interval::IntervalId(i), Interval::closed(k, k + 6))
+        })
+        .collect()
+}
+
+fn ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_balance");
+    let n = 1_000usize;
+    let random = FigureWorkload { n, a: 0.5, seed: 4 }.intervals();
+    let sorted = sorted_points(n);
+    let queries = FigureWorkload { n, a: 0.5, seed: 4 }.queries(1024);
+
+    for (order, items) in [("random", &random), ("sorted", &sorted)] {
+        for (mode_name, mode) in [("unbalanced", BalanceMode::None), ("avl", BalanceMode::Avl)]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(format!("insert/{order}"), mode_name),
+                items,
+                |b, items| {
+                    b.iter(|| {
+                        let mut t = IbsTree::with_mode(mode);
+                        for (id, iv) in items {
+                            t.insert(*id, iv.clone()).unwrap();
+                        }
+                        black_box(t.height())
+                    })
+                },
+            );
+            let mut tree = IbsTree::with_mode(mode);
+            for (id, iv) in items {
+                tree.insert(*id, iv.clone()).unwrap();
+            }
+            group.bench_with_input(
+                BenchmarkId::new(format!("search/{order}"), mode_name),
+                &(tree, &queries),
+                |b, (tree, queries)| {
+                    let mut out = Vec::with_capacity(64);
+                    b.iter(|| {
+                        let mut total = 0usize;
+                        for q in queries.iter() {
+                            out.clear();
+                            tree.stab_into(q, &mut out);
+                            total += out.len();
+                        }
+                        black_box(total)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+
+/// Short statistical config: the full sweep has ~110 points; default
+/// Criterion settings (100 samples x 5 s) would take hours for no extra
+/// decision value at these effect sizes.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Ablation C: the full Figure 1 scheme against every §2 baseline on
+//! the §5.2 scenario shape, sweeping the predicate count.
+
+use bench::scheme::SchemeWorkload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use predindex::{
+    HashSequentialMatcher, Matcher, PhysicalLockingMatcher, PredicateIndex, RTreeMatcher,
+    SequentialMatcher,
+};
+use std::hint::black_box;
+
+fn build(m: &mut dyn Matcher, w: &SchemeWorkload) {
+    let db = w.database();
+    for p in w.predicates() {
+        m.insert(p, db.catalog()).expect("valid scenario predicate");
+    }
+}
+
+fn bench_matchers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_matchers");
+    for &n in &[50usize, 200, 1000, 5000] {
+        let w = SchemeWorkload {
+            predicates: n,
+            ..SchemeWorkload::default()
+        };
+        let db = w.database();
+        let tuples = w.tuples(256);
+        group.throughput(Throughput::Elements(tuples.len() as u64));
+
+        let mut matchers: Vec<Box<dyn Matcher>> = vec![
+            Box::new(PredicateIndex::new()),
+            Box::new(SequentialMatcher::new()),
+            Box::new(HashSequentialMatcher::new()),
+            Box::new(PhysicalLockingMatcher::with_indexed_attrs(
+                db.catalog(),
+                // Half the predicated attributes carry database indexes.
+                [("r", "a0"), ("r", "a1"), ("r", "a2")],
+            )),
+            Box::new(PhysicalLockingMatcher::new()), // no indexes at all
+            Box::new(RTreeMatcher::new()),
+        ];
+        let labels = [
+            "ibs-index",
+            "sequential",
+            "hash+sequential",
+            "locking(indexes)",
+            "locking(none)",
+            "rtree",
+        ];
+        for (m, label) in matchers.iter_mut().zip(labels) {
+            build(m.as_mut(), &w);
+            group.bench_with_input(BenchmarkId::new(label, n), &tuples, |b, tuples| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for t in tuples {
+                        total += m.match_tuple(SchemeWorkload::RELATION, t).len();
+                    }
+                    black_box(total)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+
+/// Short statistical config: the full sweep has ~110 points; default
+/// Criterion settings (100 samples x 5 s) would take hours for no extra
+/// decision value at these effect sizes.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_matchers
+}
+criterion_main!(benches);

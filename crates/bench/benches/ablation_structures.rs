@@ -1,0 +1,108 @@
+//! Ablation B: the comparison the paper proposes as future work in §6 —
+//! "implement several different techniques for dynamically indexing
+//! intervals, including 1-dimensional R-trees, IBS-trees, and priority
+//! search trees, and then compare their ... time and space
+//! requirements". Search cost across every structure in the workspace on
+//! the paper's Figure 8 workload.
+
+use altindex::{
+    BulkBuild, CenteredIntervalTree, IntervalSkipList, IntervalTreap, NaiveIntervalList,
+    SegmentTree, StabIndex,
+};
+use bench::workload::FigureWorkload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ibs::IbsTree;
+use interval::{Interval, IntervalId, Lower, Upper};
+use rtree::{RTree, Rect, WORLD};
+use std::hint::black_box;
+
+/// 1-D R-tree adapter for the same workload.
+fn rtree_1d(items: &[(IntervalId, Interval<i64>)]) -> RTree {
+    let mut t = RTree::new(1);
+    for (id, iv) in items {
+        let lo = match iv.lo() {
+            Lower::Unbounded => -WORLD,
+            Lower::Inclusive(v) | Lower::Exclusive(v) => *v as f64,
+        };
+        let hi = match iv.hi() {
+            Upper::Unbounded => WORLD,
+            Upper::Inclusive(v) | Upper::Exclusive(v) => *v as f64,
+        };
+        t.insert(*id, Rect::new(vec![lo], vec![hi]));
+    }
+    t
+}
+
+fn bench_structures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_structures");
+    for &n in &[100usize, 1000, 10_000] {
+        let w = FigureWorkload { n, a: 0.5, seed: 11 };
+        let items = w.intervals();
+        let queries = w.queries(1024);
+        group.throughput(Throughput::Elements(queries.len() as u64));
+
+        let ibs: IbsTree<i64> = BulkBuild::build(items.clone());
+        let seg = SegmentTree::build(items.clone());
+        let cit = CenteredIntervalTree::build(items.clone());
+        let treap = IntervalTreap::build(items.clone());
+        let skip = IntervalSkipList::build(items.clone());
+        let naive = NaiveIntervalList::build(items.clone());
+        let r1d = rtree_1d(&items);
+
+        macro_rules! bench_stab {
+            ($name:literal, $index:expr) => {
+                group.bench_with_input(BenchmarkId::new($name, n), &queries, |b, queries| {
+                    let mut out = Vec::with_capacity(128);
+                    b.iter(|| {
+                        let mut total = 0usize;
+                        for q in queries {
+                            out.clear();
+                            $index.stab_into(q, &mut out);
+                            total += out.len();
+                        }
+                        black_box(total)
+                    })
+                });
+            };
+        }
+        bench_stab!("ibs", ibs);
+        bench_stab!("segment-tree", seg);
+        bench_stab!("interval-tree", cit);
+        bench_stab!("treap", treap);
+        bench_stab!("skip-list", skip);
+        if n <= 1000 {
+            bench_stab!("naive", naive);
+        }
+        group.bench_with_input(BenchmarkId::new("rtree-1d", n), &queries, |b, queries| {
+            let mut out = Vec::with_capacity(128);
+            b.iter(|| {
+                let mut total = 0usize;
+                for q in queries {
+                    out.clear();
+                    r1d.stab_into(&[*q as f64], &mut out);
+                    total += out.len();
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+
+/// Short statistical config: the full sweep has ~110 points; default
+/// Criterion settings (100 samples x 5 s) would take hours for no extra
+/// decision value at these effect sizes.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_structures
+}
+criterion_main!(benches);

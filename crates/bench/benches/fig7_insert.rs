@@ -1,0 +1,67 @@
+//! Figure 7: average IBS-tree insertion time for a = 0, 0.5, 1 and
+//! increasing N. "The average insertion cost was measured as the time to
+//! insert N predicates in an initially empty index, divided by N."
+//!
+//! The paper's measurement used an unbalanced tree with random insertion
+//! order; both modes are swept here.
+
+use bench::workload::FigureWorkload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ibs::{BalanceMode, IbsTree};
+use std::hint::black_box;
+
+fn fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_insert");
+    for &n in &[100usize, 250, 500, 1000] {
+        for &(label, a) in &[("a=0", 0.0), ("a=0.5", 0.5), ("a=1", 1.0)] {
+            let w = FigureWorkload { n, a, seed: 7 };
+            let items = w.intervals();
+            group.throughput(Throughput::Elements(n as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("unbalanced/{label}"), n),
+                &items,
+                |b, items| {
+                    b.iter(|| {
+                        let mut t = IbsTree::with_mode(BalanceMode::None);
+                        for (id, iv) in items {
+                            t.insert(*id, iv.clone()).unwrap();
+                        }
+                        black_box(t.node_count())
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("avl/{label}"), n),
+                &items,
+                |b, items| {
+                    b.iter(|| {
+                        let mut t = IbsTree::with_mode(BalanceMode::Avl);
+                        for (id, iv) in items {
+                            t.insert(*id, iv.clone()).unwrap();
+                        }
+                        black_box(t.node_count())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+
+/// Short statistical config: the full sweep has ~110 points; default
+/// Criterion settings (100 samples x 5 s) would take hours for no extra
+/// decision value at these effect sizes.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = fig7
+}
+criterion_main!(benches);

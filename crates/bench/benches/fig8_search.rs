@@ -1,0 +1,58 @@
+//! Figure 8: average IBS-tree search time (find all predicates matching
+//! a value) for a = 0, 0.5, 1 and increasing N, query values drawn from
+//! the paper's U[1, 10000] key distribution.
+
+use bench::workload::FigureWorkload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ibs::{BalanceMode, IbsTree};
+use std::hint::black_box;
+
+fn fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_search");
+    for &n in &[100usize, 250, 500, 1000] {
+        for &(label, a) in &[("a=0", 0.0), ("a=0.5", 0.5), ("a=1", 1.0)] {
+            let w = FigureWorkload { n, a, seed: 8 };
+            let mut tree = IbsTree::with_mode(BalanceMode::Avl);
+            for (id, iv) in w.intervals() {
+                tree.insert(id, iv).unwrap();
+            }
+            let queries = w.queries(1024);
+            group.throughput(Throughput::Elements(queries.len() as u64));
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &(tree, queries),
+                |b, (tree, queries)| {
+                    let mut out = Vec::with_capacity(64);
+                    b.iter(|| {
+                        let mut total = 0usize;
+                        for q in queries {
+                            out.clear();
+                            tree.stab_into(q, &mut out);
+                            total += out.len();
+                        }
+                        black_box(total)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+
+/// Short statistical config: the full sweep has ~110 points; default
+/// Criterion settings (100 samples x 5 s) would take hours for no extra
+/// decision value at these effect sizes.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = fig8
+}
+criterion_main!(benches);

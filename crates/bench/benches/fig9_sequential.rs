@@ -1,0 +1,65 @@
+//! Figure 9: predicate test cost, IBS-tree vs sequential list, for
+//! small predicate counts (N = 5..40). The paper's point: "the cost
+//! curve for sequential search is always higher than for the IBS-tree,
+//! showing that the IBS-tree has quite low overhead."
+
+use altindex::{BulkBuild, NaiveIntervalList, StabIndex};
+use bench::workload::FigureWorkload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ibs::IbsTree;
+use std::hint::black_box;
+
+fn fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_vs_sequential");
+    for &n in &[5usize, 10, 20, 30, 40] {
+        let w = FigureWorkload { n, a: 0.5, seed: 9 };
+        let items = w.intervals();
+        let queries = w.queries(1024);
+        let ibs: IbsTree<i64> = BulkBuild::build(items.clone());
+        let seq = NaiveIntervalList::build(items);
+        group.throughput(Throughput::Elements(queries.len() as u64));
+        group.bench_with_input(BenchmarkId::new("ibs", n), &queries, |b, queries| {
+            let mut out = Vec::with_capacity(64);
+            b.iter(|| {
+                let mut total = 0usize;
+                for q in queries {
+                    out.clear();
+                    StabIndex::stab_into(&ibs, q, &mut out);
+                    total += out.len();
+                }
+                black_box(total)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", n), &queries, |b, queries| {
+            let mut out = Vec::with_capacity(64);
+            b.iter(|| {
+                let mut total = 0usize;
+                for q in queries {
+                    out.clear();
+                    seq.stab_into(q, &mut out);
+                    total += out.len();
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+
+/// Short statistical config: the full sweep has ~110 points; default
+/// Criterion settings (100 samples x 5 s) would take hours for no extra
+/// decision value at these effect sizes.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = fig9
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! The §5.2 scenario end to end: per-tuple match cost of the full
+//! Figure 1 scheme at the paper's exact shape (15 attributes, 200
+//! predicates, 90% indexable, selectivity 0.1). The paper's estimate on
+//! a SPARCstation 1 was 2.1 ms/tuple; the shape of interest is how the
+//! cost decomposes, not the absolute number.
+
+use bench::scheme::SchemeWorkload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use predindex::{Matcher, PredicateIndex};
+use std::hint::black_box;
+
+fn scheme_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheme_cost");
+    // The paper's shape, plus scaled variants of the same shape.
+    for &preds in &[200usize, 1000, 5000] {
+        let w = SchemeWorkload {
+            predicates: preds,
+            ..SchemeWorkload::default()
+        };
+        let db = w.database();
+        let mut index = PredicateIndex::new();
+        for p in w.predicates() {
+            index.insert(p, db.catalog()).expect("valid scenario predicate");
+        }
+        let tuples = w.tuples(512);
+        group.throughput(Throughput::Elements(tuples.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("match_tuple", preds),
+            &tuples,
+            |b, tuples| {
+                let mut out = Vec::with_capacity(64);
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for t in tuples {
+                        out.clear();
+                        index.match_tuple_into(SchemeWorkload::RELATION, t, &mut out);
+                        total += out.len();
+                    }
+                    black_box(total)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+
+/// Short statistical config: the full sweep has ~110 points; default
+/// Criterion settings (100 samples x 5 s) would take hours for no extra
+/// decision value at these effect sizes.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = scheme_cost
+}
+criterion_main!(benches);

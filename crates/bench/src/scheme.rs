@@ -1,0 +1,167 @@
+//! The §5.2 full-scheme scenario generator.
+//!
+//! The paper's worked example assumes: 15 attributes per relation, 200
+//! predicates per relation, 90% of predicates indexable, predicate
+//! clauses on 1/3 of the attributes (≈40 predicates per indexed
+//! attribute), 2 clauses per predicate, clause selectivity 0.1. This
+//! module manufactures a database and predicate set with exactly those
+//! shape parameters so the cost model can be measured, not just
+//! recomputed.
+
+use interval::Interval;
+use predicate::{Clause, FunctionRegistry, Predicate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relation::{AttrType, Database, Schema, Tuple, Value};
+
+/// Shape parameters for the scheme scenario (§5.2 defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct SchemeWorkload {
+    /// Attributes per relation (paper: 15).
+    pub attrs: usize,
+    /// Attributes that carry predicate clauses (paper: 1/3 of 15 = 5).
+    pub predicated_attrs: usize,
+    /// Predicates on the relation (paper: 200).
+    pub predicates: usize,
+    /// Fraction of indexable predicates (paper: 0.9).
+    pub indexable_frac: f64,
+    /// Average selectivity of each clause (paper: 0.1).
+    pub clause_selectivity: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SchemeWorkload {
+    fn default() -> Self {
+        SchemeWorkload {
+            attrs: 15,
+            predicated_attrs: 5,
+            predicates: 200,
+            indexable_frac: 0.9,
+            clause_selectivity: 0.1,
+            seed: 42,
+        }
+    }
+}
+
+/// Attribute value domain (matches the figure workloads).
+pub const DOMAIN: i64 = 10_000;
+
+impl SchemeWorkload {
+    /// Relation name used by the scenario.
+    pub const RELATION: &'static str = "r";
+
+    /// Builds the database with the scenario schema.
+    pub fn database(&self) -> Database {
+        let mut db = Database::new();
+        let mut b = Schema::builder(Self::RELATION);
+        for i in 0..self.attrs {
+            b = b.attr(format!("a{i}"), AttrType::Int);
+        }
+        db.create_relation(b.build()).expect("fresh relation");
+        db
+    }
+
+    /// Generates the predicate set with the paper's shape.
+    pub fn predicates(&self) -> Vec<Predicate> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let reg = FunctionRegistry::default();
+        let width = ((DOMAIN as f64) * self.clause_selectivity) as i64;
+        (0..self.predicates)
+            .map(|_| {
+                if rng.gen_bool(self.indexable_frac) {
+                    // Two range clauses on distinct predicated attributes.
+                    let first = rng.gen_range(0..self.predicated_attrs);
+                    let mut second = rng.gen_range(0..self.predicated_attrs);
+                    while second == first && self.predicated_attrs > 1 {
+                        second = rng.gen_range(0..self.predicated_attrs);
+                    }
+                    let clause = |rng: &mut StdRng, attr: usize| {
+                        let lo = rng.gen_range(1..=DOMAIN - width);
+                        Clause::Range {
+                            attr: format!("a{attr}"),
+                            interval: Interval::closed(
+                                Value::Int(lo),
+                                Value::Int(lo + width),
+                            ),
+                        }
+                    };
+                    let c1 = clause(&mut rng, first);
+                    let c2 = clause(&mut rng, second);
+                    Predicate::new(Self::RELATION, vec![c1, c2])
+                } else {
+                    // Non-indexable: a single opaque function clause.
+                    let attr = rng.gen_range(0..self.attrs);
+                    Predicate::new(
+                        Self::RELATION,
+                        vec![Clause::Func {
+                            name: "isodd".into(),
+                            attr: format!("a{attr}"),
+                            func: reg.get("isodd").expect("builtin"),
+                        }],
+                    )
+                }
+            })
+            .collect()
+    }
+
+    /// Generates `count` random tuples from the scenario domain.
+    pub fn tuples(&self, count: usize) -> Vec<Tuple> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xfeed);
+        (0..count)
+            .map(|_| {
+                Tuple::new(
+                    (0..self.attrs)
+                        .map(|_| Value::Int(rng.gen_range(1..=DOMAIN)))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predindex::{Matcher, PredicateIndex};
+
+    #[test]
+    fn shape_matches_paper() {
+        let w = SchemeWorkload::default();
+        let db = w.database();
+        let preds = w.predicates();
+        assert_eq!(preds.len(), 200);
+        let indexable = preds
+            .iter()
+            .filter(|p| p.clauses().iter().any(|c| c.is_indexable()))
+            .count();
+        assert!((160..=198).contains(&indexable), "indexable = {indexable}");
+
+        let mut index = PredicateIndex::new();
+        for p in preds {
+            index.insert(p, db.catalog()).unwrap();
+        }
+        // One IBS-tree per predicated attribute.
+        assert_eq!(index.attribute_tree_count(), w.predicated_attrs);
+    }
+
+    #[test]
+    fn match_counts_are_plausible() {
+        // Each predicate has 2 clauses of selectivity ~0.1, so a random
+        // tuple should fully match ~200 * 0.01 = 2 indexable predicates
+        // plus about half of the ~20 isodd predicates.
+        let w = SchemeWorkload::default();
+        let db = w.database();
+        let mut index = PredicateIndex::new();
+        for p in w.predicates() {
+            index.insert(p, db.catalog()).unwrap();
+        }
+        let tuples = w.tuples(200);
+        let total: usize = tuples
+            .iter()
+            .map(|t| index.match_tuple(SchemeWorkload::RELATION, t).len())
+            .sum();
+        let avg = total as f64 / 200.0;
+        assert!((2.0..=25.0).contains(&avg), "avg matches = {avg}");
+    }
+}

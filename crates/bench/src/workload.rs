@@ -1,0 +1,200 @@
+//! Workload generators reproducing the paper's evaluation setup.
+//!
+//! §5.2: "A series of IBS trees were created which contained N
+//! predicates for N between 0 and 1,000. A fraction a of predicates were
+//! simple points of the form attribute = constant, and the remaining
+//! fraction 1 − a were closed intervals. The points and interval
+//! boundaries were drawn randomly from a uniform distribution of
+//! integers between 1 and 10,000. The length of the intervals was drawn
+//! randomly from a uniform distribution of integers between 1 and
+//! 1,000."
+
+use interval::{Interval, IntervalId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Key domain bounds from the paper.
+pub const DOMAIN_LO: i64 = 1;
+/// Upper bound of the paper's uniform endpoint distribution.
+pub const DOMAIN_HI: i64 = 10_000;
+/// Upper bound of the paper's uniform interval-length distribution.
+pub const MAX_LEN: i64 = 1_000;
+
+/// The Figure 7/8 workload: `n` predicates, fraction `a` of which are
+/// points, the rest closed intervals.
+#[derive(Debug, Clone, Copy)]
+pub struct FigureWorkload {
+    /// Number of predicates.
+    pub n: usize,
+    /// Fraction of point (equality) predicates: the paper sweeps
+    /// a ∈ {0, 0.5, 1}.
+    pub a: f64,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl FigureWorkload {
+    /// Generates the interval set.
+    pub fn intervals(&self) -> Vec<(IntervalId, Interval<i64>)> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.n as u32)
+            .map(|i| {
+                let iv = if rng.gen_bool(self.a) {
+                    Interval::point(rng.gen_range(DOMAIN_LO..=DOMAIN_HI))
+                } else {
+                    let lo = rng.gen_range(DOMAIN_LO..=DOMAIN_HI);
+                    let len = rng.gen_range(1..=MAX_LEN);
+                    Interval::closed(lo, lo + len)
+                };
+                (IntervalId(i), iv)
+            })
+            .collect()
+    }
+
+    /// A stream of query points from the paper's key distribution.
+    pub fn queries(&self, count: usize) -> Vec<i64> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xdead_beef);
+        (0..count)
+            .map(|_| rng.gen_range(DOMAIN_LO..=DOMAIN_HI))
+            .collect()
+    }
+}
+
+/// A clustered ("80/20") interval workload: `hot_frac` of the intervals
+/// crowd into a region occupying 5% of the key domain, the rest spread
+/// uniformly. The paper evaluates uniform keys only; rule bases in
+/// practice cluster (many rules watch the same thresholds), so the skew
+/// experiment checks that nothing degrades super-logarithmically.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusteredWorkload {
+    /// Number of intervals.
+    pub n: usize,
+    /// Fraction of intervals landing in the hot region.
+    pub hot_frac: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ClusteredWorkload {
+    /// The hot region: 5% of the domain, centered.
+    const HOT_LO: i64 = 4_750;
+    const HOT_HI: i64 = 5_250;
+
+    /// Generates the interval set.
+    pub fn intervals(&self) -> Vec<(IntervalId, Interval<i64>)> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.n as u32)
+            .map(|i| {
+                let (lo_range, max_len) = if rng.gen_bool(self.hot_frac) {
+                    (Self::HOT_LO..=Self::HOT_HI, 100)
+                } else {
+                    (DOMAIN_LO..=DOMAIN_HI, MAX_LEN)
+                };
+                let lo = rng.gen_range(lo_range);
+                let len = rng.gen_range(1..=max_len);
+                (IntervalId(i), Interval::closed(lo, lo + len))
+            })
+            .collect()
+    }
+
+    /// Queries skewed the same way: most probes hit the hot region.
+    pub fn queries(&self, count: usize) -> Vec<i64> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xabcd);
+        (0..count)
+            .map(|_| {
+                if rng.gen_bool(self.hot_frac) {
+                    rng.gen_range(Self::HOT_LO..=Self::HOT_HI)
+                } else {
+                    rng.gen_range(DOMAIN_LO..=DOMAIN_HI)
+                }
+            })
+            .collect()
+    }
+}
+
+/// A non-overlapping interval set of size `n` (the §5.1 O(N)-marker best
+/// case: disjoint intervals).
+pub fn disjoint_intervals(n: usize) -> Vec<(IntervalId, Interval<i64>)> {
+    (0..n as u32)
+        .map(|i| {
+            let base = i as i64 * 10;
+            (IntervalId(i), Interval::closed(base, base + 6))
+        })
+        .collect()
+}
+
+/// A heavily nested interval set of size `n` (a worst case for marker
+/// count: every interval overlaps every other).
+pub fn nested_intervals(n: usize) -> Vec<(IntervalId, Interval<i64>)> {
+    (0..n as u32)
+        .map(|i| {
+            let k = i as i64;
+            (IntervalId(i), Interval::closed(-k, k))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_respected() {
+        for (a, lo, hi) in [(0.0, 0, 0), (0.5, 350, 650), (1.0, 1000, 1000)] {
+            let w = FigureWorkload { n: 1000, a, seed: 1 };
+            let points = w
+                .intervals()
+                .iter()
+                .filter(|(_, iv)| iv.is_point())
+                .count();
+            assert!(
+                (lo..=hi).contains(&points),
+                "a={a}: {points} points outside [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let w = FigureWorkload { n: 50, a: 0.5, seed: 9 };
+        assert_eq!(w.intervals(), w.intervals());
+        assert_eq!(w.queries(10), w.queries(10));
+        let other = FigureWorkload { n: 50, a: 0.5, seed: 10 };
+        assert_ne!(w.intervals(), other.intervals());
+    }
+
+    #[test]
+    fn endpoints_in_domain() {
+        let w = FigureWorkload { n: 500, a: 0.3, seed: 2 };
+        for (_, iv) in w.intervals() {
+            let lo = iv.lo().value().copied().unwrap();
+            let hi = iv.hi().value().copied().unwrap();
+            assert!((DOMAIN_LO..=DOMAIN_HI).contains(&lo));
+            assert!(hi <= DOMAIN_HI + MAX_LEN);
+            assert!(hi - lo <= MAX_LEN);
+        }
+    }
+
+    #[test]
+    fn clustered_respects_hot_fraction() {
+        let w = ClusteredWorkload { n: 2000, hot_frac: 0.8, seed: 3 };
+        let hot = w
+            .intervals()
+            .iter()
+            .filter(|(_, iv)| {
+                let lo = iv.lo().value().copied().unwrap();
+                (4_750..=5_250).contains(&lo)
+            })
+            .count();
+        assert!((1_400..=1_800).contains(&hot), "hot = {hot}");
+        assert_eq!(w.intervals(), w.intervals(), "deterministic");
+    }
+
+    #[test]
+    fn disjoint_really_disjoint() {
+        let ivs = disjoint_intervals(100);
+        for w in ivs.windows(2) {
+            assert!(!w[0].1.overlaps(&w[1].1));
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Arena storage for IBS-tree nodes.
+//!
+//! Nodes live in a `Vec` and refer to each other by `u32` index with a
+//! `NULL` sentinel; a free list recycles slots so ids stay stable across
+//! deletions (the mark registry depends on that stability).
+
+use crate::marks::MarkSet;
+
+/// Index of a node in the arena. `NodeId::NULL` is the absent child.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Sentinel for "no node".
+    pub const NULL: NodeId = NodeId(u32::MAX);
+
+    /// Is this the null sentinel?
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == u32::MAX
+    }
+
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One IBS-tree node: the paper's upside-down-"T" diagram — a value plus
+/// the `<`, `=`, `>` mark slots — extended with AVL height and endpoint
+/// ownership bookkeeping for dynamic deletion.
+#[derive(Debug, Clone)]
+pub struct Node<K> {
+    /// The end point of an interval or the constant in an equality
+    /// predicate (paper's `Value` field).
+    pub value: K,
+    pub left: NodeId,
+    pub right: NodeId,
+    /// Height of the subtree rooted here (leaf = 1).
+    pub height: u32,
+    /// `<` slot.
+    pub less: MarkSet,
+    /// `=` slot.
+    pub eq: MarkSet,
+    /// `>` slot.
+    pub greater: MarkSet,
+    /// Intervals whose (finite) lower endpoint value equals `value`.
+    pub lo_owners: MarkSet,
+    /// Intervals whose (finite) upper endpoint value equals `value`.
+    pub hi_owners: MarkSet,
+}
+
+impl<K> Node<K> {
+    fn new(value: K) -> Self {
+        Node {
+            value,
+            left: NodeId::NULL,
+            right: NodeId::NULL,
+            height: 1,
+            less: MarkSet::new(),
+            eq: MarkSet::new(),
+            greater: MarkSet::new(),
+            lo_owners: MarkSet::new(),
+            hi_owners: MarkSet::new(),
+        }
+    }
+
+    /// Is any interval's endpoint anchored at this node?
+    pub fn has_owners(&self) -> bool {
+        !self.lo_owners.is_empty() || !self.hi_owners.is_empty()
+    }
+}
+
+/// Slab of nodes with a free list.
+#[derive(Debug, Clone, Default)]
+pub struct Arena<K> {
+    nodes: Vec<Option<Node<K>>>,
+    free: Vec<NodeId>,
+    live: usize,
+}
+
+impl<K> Arena<K> {
+    pub fn new() -> Self {
+        Arena {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Allocates a node holding `value`, reusing a free slot if possible.
+    pub fn alloc(&mut self, value: K) -> NodeId {
+        self.live += 1;
+        if let Some(id) = self.free.pop() {
+            self.nodes[id.index()] = Some(Node::new(value));
+            id
+        } else {
+            let id = NodeId(u32::try_from(self.nodes.len()).expect("arena overflow"));
+            self.nodes.push(Some(Node::new(value)));
+            id
+        }
+    }
+
+    /// Releases a node's slot back to the free list.
+    pub fn dealloc(&mut self, id: NodeId) -> Node<K> {
+        let node = self.nodes[id.index()].take().expect("double free");
+        self.free.push(id);
+        self.live -= 1;
+        node
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Are there no live nodes?
+    #[allow(dead_code)] // part of the container API surface
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Iterates `(id, node)` over live nodes.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node<K>)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|n| (NodeId(i as u32), n)))
+    }
+}
+
+impl<K> std::ops::Index<NodeId> for Arena<K> {
+    type Output = Node<K>;
+    #[inline]
+    fn index(&self, id: NodeId) -> &Node<K> {
+        self.nodes[id.index()].as_ref().expect("dangling node id")
+    }
+}
+
+impl<K> std::ops::IndexMut<NodeId> for Arena<K> {
+    #[inline]
+    fn index_mut(&mut self, id: NodeId) -> &mut Node<K> {
+        self.nodes[id.index()].as_mut().expect("dangling node id")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_dealloc_recycles() {
+        let mut a: Arena<i32> = Arena::new();
+        let n1 = a.alloc(10);
+        let n2 = a.alloc(20);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[n1].value, 10);
+        a.dealloc(n1);
+        assert_eq!(a.len(), 1);
+        let n3 = a.alloc(30);
+        assert_eq!(n3, n1, "free slot is reused");
+        assert_eq!(a[n3].value, 30);
+        assert_eq!(a[n2].value, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a: Arena<i32> = Arena::new();
+        let n = a.alloc(1);
+        a.dealloc(n);
+        a.dealloc(n);
+    }
+
+    #[test]
+    fn iter_skips_freed() {
+        let mut a: Arena<i32> = Arena::new();
+        let n1 = a.alloc(1);
+        let _n2 = a.alloc(2);
+        a.dealloc(n1);
+        let vals: Vec<i32> = a.iter().map(|(_, n)| n.value).collect();
+        assert_eq!(vals, vec![2]);
+    }
+}

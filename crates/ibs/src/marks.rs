@@ -1,0 +1,162 @@
+//! Mark sets: the `<`, `=`, `>` slots of IBS-tree nodes.
+//!
+//! The paper's analysis (§5.1) assumes mark sets are "maintained using
+//! auxiliary binary search trees" so that membership and update cost
+//! `O(log N)`. We use sorted vectors with binary search instead: identical
+//! asymptotics for lookup, and far better constants at the set sizes that
+//! occur in practice (mark sets hold `O(log N)` ids on average). This is
+//! the classic small-collection substitution from the performance guide.
+
+use interval::IntervalId;
+
+/// Which of a node's three mark slots a mark lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Slot {
+    /// The `<` slot: the interval covers every value that would be
+    /// inserted into the node's left subtree.
+    Less,
+    /// The `=` slot: the interval contains the node's value.
+    Eq,
+    /// The `>` slot: the interval covers every value that would be
+    /// inserted into the node's right subtree.
+    Greater,
+}
+
+impl std::fmt::Display for Slot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Slot::Less => write!(f, "<"),
+            Slot::Eq => write!(f, "="),
+            Slot::Greater => write!(f, ">"),
+        }
+    }
+}
+
+/// A sorted, duplicate-free set of interval identifiers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MarkSet {
+    ids: Vec<IntervalId>,
+}
+
+impl MarkSet {
+    /// An empty set.
+    pub const fn new() -> Self {
+        MarkSet { ids: Vec::new() }
+    }
+
+    /// Inserts `id`; returns `true` if it was not already present.
+    pub fn insert(&mut self, id: IntervalId) -> bool {
+        match self.ids.binary_search(&id) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.ids.insert(pos, id);
+                true
+            }
+        }
+    }
+
+    /// Removes `id`; returns `true` if it was present.
+    pub fn remove(&mut self, id: IntervalId) -> bool {
+        match self.ids.binary_search(&id) {
+            Ok(pos) => {
+                self.ids.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: IntervalId) -> bool {
+        self.ids.binary_search(&id).is_ok()
+    }
+
+    /// Number of marks in the set.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Iterates the ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = IntervalId> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// The ids as a slice (sorted ascending).
+    pub fn as_slice(&self) -> &[IntervalId] {
+        &self.ids
+    }
+
+    /// Appends all ids to `out` (used on the stab-query hot path: one
+    /// extend per visited node, no per-id branching).
+    #[inline]
+    pub fn extend_into(&self, out: &mut Vec<IntervalId>) {
+        out.extend_from_slice(&self.ids);
+    }
+
+    /// Removes every id and returns them (used when dismantling a node).
+    pub fn drain_all(&mut self) -> Vec<IntervalId> {
+        std::mem::take(&mut self.ids)
+    }
+}
+
+impl FromIterator<IntervalId> for MarkSet {
+    fn from_iter<T: IntoIterator<Item = IntervalId>>(iter: T) -> Self {
+        let mut ids: Vec<IntervalId> = iter.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        MarkSet { ids }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> IntervalId {
+        IntervalId(n)
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = MarkSet::new();
+        assert!(s.insert(id(5)));
+        assert!(s.insert(id(1)));
+        assert!(s.insert(id(3)));
+        assert!(!s.insert(id(3)), "duplicate insert is a no-op");
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(id(1)));
+        assert!(!s.contains(id(2)));
+        assert!(s.remove(id(3)));
+        assert!(!s.remove(id(3)));
+        assert_eq!(s.as_slice(), &[id(1), id(5)]);
+    }
+
+    #[test]
+    fn stays_sorted() {
+        let mut s = MarkSet::new();
+        for n in [9, 2, 7, 4, 0, 11] {
+            s.insert(id(n));
+        }
+        let v: Vec<u32> = s.iter().map(|i| i.0).collect();
+        assert_eq!(v, vec![0, 2, 4, 7, 9, 11]);
+    }
+
+    #[test]
+    fn from_iter_dedups() {
+        let s: MarkSet = [id(3), id(1), id(3), id(2)].into_iter().collect();
+        assert_eq!(s.as_slice(), &[id(1), id(2), id(3)]);
+    }
+
+    #[test]
+    fn extend_into_appends() {
+        let s: MarkSet = [id(2), id(1)].into_iter().collect();
+        let mut out = vec![id(9)];
+        s.extend_into(&mut out);
+        assert_eq!(out, vec![id(9), id(1), id(2)]);
+    }
+}

@@ -1,0 +1,684 @@
+//! The interval binary search tree (IBS-tree), §4.2–4.3 of the paper.
+//!
+//! Overview of the encoding:
+//!
+//! * Every finite interval endpoint is a node in a plain binary search
+//!   tree over the key domain.
+//! * Each node carries three *mark slots*. A mark for interval `I` in a
+//!   node's `=` slot asserts `I` contains the node's value; a mark in the
+//!   `<` (`>`) slot asserts `I` covers every key that could ever be
+//!   inserted into the node's left (right) subtree.
+//! * A stabbing query for `X` walks the ordinary search path for `X`,
+//!   collecting the `<` slot when it goes left, the `>` slot when it goes
+//!   right, and the `=` slot when it hits `X` exactly. The collected union
+//!   is exactly the set of intervals containing `X`.
+//!
+//! Where the paper finds the `leftUp`/`rightUp` ancestors by walking
+//! parent pointers, we thread the *descent fences* — the open range
+//! `(lo_fence, hi_fence)` of keys insertable under the current node —
+//! down every descent; `rightUp(R).value` is precisely the current
+//! `hi_fence`, so "everything in the right subtree of R lies within P"
+//! becomes [`Interval::covers_open_range`].
+//!
+//! Deletion follows §4.2's endpoint-ownership rule (an endpoint node is
+//! removed only when no remaining interval is anchored at it) with the
+//! predecessor-swap splice. Instead of re-deriving mark positions by
+//! reversing insertion — fragile once rotations have migrated marks — we
+//! keep a registry from interval id to its mark placements, so clearing
+//! an interval is exact by construction (see DESIGN.md §5).
+
+use crate::arena::{Arena, Node, NodeId};
+use crate::marks::{MarkSet, Slot};
+use interval::{Interval, IntervalId};
+use std::collections::HashMap;
+
+/// Whether the tree rebalances itself.
+///
+/// The paper's empirical section (§5.2) measured the *unbalanced* variant
+/// ("the balancing scheme using rotations was not implemented, but as with
+/// ordinary binary search trees, the tree is normally balanced if data is
+/// inserted in random order"); §4.3 defines AVL balancing with
+/// mark-preserving rotations. Both are provided so the balancing ablation
+/// can quantify the difference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BalanceMode {
+    /// Plain BST shape, exactly as benchmarked in the paper's §5.2.
+    None,
+    /// AVL balancing with the Figure 5/6 mark-preserving rotations.
+    #[default]
+    Avl,
+}
+
+/// Error returned by [`IbsTree::insert`] when the id is already present.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DuplicateId(pub IntervalId);
+
+impl std::fmt::Display for DuplicateId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "interval id {} is already in the tree", self.0)
+    }
+}
+
+impl std::error::Error for DuplicateId {}
+
+/// A dynamically updatable index over intervals and points supporting
+/// stabbing queries in `O(log N + L)`.
+///
+/// ```
+/// use ibs::IbsTree;
+/// use interval::{Interval, IntervalId};
+///
+/// let mut t = IbsTree::new();
+/// t.insert(IntervalId(0), Interval::closed(9, 19)).unwrap();   // paper Fig. 2: A
+/// t.insert(IntervalId(1), Interval::closed(2, 7)).unwrap();    // B
+/// t.insert(IntervalId(4), Interval::closed(8, 12)).unwrap();   // E
+/// t.insert(IntervalId(6), Interval::at_most(17)).unwrap();     // G = (-inf, 17]
+///
+/// let mut hits = t.stab(&10);
+/// hits.sort();
+/// assert_eq!(hits, vec![IntervalId(0), IntervalId(4), IntervalId(6)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IbsTree<K> {
+    pub(crate) arena: Arena<K>,
+    pub(crate) root: NodeId,
+    /// id → the interval itself (the paper's `PREDICATES` side table,
+    /// scoped to this tree).
+    pub(crate) intervals: HashMap<u32, Interval<K>>,
+    /// id → every `(node, slot)` currently holding a mark for it.
+    pub(crate) placements: HashMap<u32, Vec<(NodeId, Slot)>>,
+    /// Intervals with no finite endpoint at all: `(-inf, +inf)` matches
+    /// every key, so it is reported unconditionally rather than marked.
+    pub(crate) universal: Vec<IntervalId>,
+    mode: BalanceMode,
+}
+
+impl<K: Ord + Clone> Default for IbsTree<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone> IbsTree<K> {
+    /// An empty AVL-balanced tree.
+    pub fn new() -> Self {
+        Self::with_mode(BalanceMode::Avl)
+    }
+
+    /// An empty tree with an explicit balancing mode.
+    pub fn with_mode(mode: BalanceMode) -> Self {
+        IbsTree {
+            arena: Arena::new(),
+            root: NodeId::NULL,
+            intervals: HashMap::new(),
+            placements: HashMap::new(),
+            universal: Vec::new(),
+            mode,
+        }
+    }
+
+    /// The balancing mode this tree was created with.
+    pub fn mode(&self) -> BalanceMode {
+        self.mode
+    }
+
+    /// Number of intervals currently indexed.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Is the tree empty of intervals?
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Number of live endpoint nodes.
+    pub fn node_count(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Total number of marks across all slots — the paper's space metric
+    /// (§5.1: `O(N log N)` worst case, `O(N)` when intervals are
+    /// disjoint).
+    pub fn marker_count(&self) -> usize {
+        self.arena
+            .iter()
+            .map(|(_, n)| n.less.len() + n.eq.len() + n.greater.len())
+            .sum()
+    }
+
+    /// Height of the endpoint tree (empty = 0).
+    pub fn height(&self) -> u32 {
+        self.height_of(self.root)
+    }
+
+    /// The interval stored under `id`, if any.
+    pub fn get(&self, id: IntervalId) -> Option<&Interval<K>> {
+        self.intervals.get(&id.0)
+    }
+
+    /// Does the tree contain an interval under `id`?
+    pub fn contains_id(&self, id: IntervalId) -> bool {
+        self.intervals.contains_key(&id.0)
+    }
+
+    /// Iterates all `(id, interval)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (IntervalId, &Interval<K>)> {
+        self.intervals
+            .iter()
+            .map(|(&id, iv)| (IntervalId(id), iv))
+    }
+
+    // ------------------------------------------------------------------
+    // Stabbing queries (paper Figure 4, `findIntervals`)
+    // ------------------------------------------------------------------
+
+    /// Returns the ids of every interval containing `x`, in unspecified
+    /// order (each id exactly once).
+    pub fn stab(&self, x: &K) -> Vec<IntervalId> {
+        let mut out = Vec::new();
+        self.stab_into(x, &mut out);
+        out
+    }
+
+    /// As [`IbsTree::stab`], appending into a caller-owned buffer so hot
+    /// loops can reuse the allocation.
+    pub fn stab_into(&self, x: &K, out: &mut Vec<IntervalId>) {
+        out.extend_from_slice(&self.universal);
+        let mut cur = self.root;
+        while !cur.is_null() {
+            let node = &self.arena[cur];
+            match x.cmp(&node.value) {
+                std::cmp::Ordering::Equal => {
+                    node.eq.extend_into(out);
+                    break;
+                }
+                std::cmp::Ordering::Less => {
+                    node.less.extend_into(out);
+                    cur = node.left;
+                }
+                std::cmp::Ordering::Greater => {
+                    node.greater.extend_into(out);
+                    cur = node.right;
+                }
+            }
+        }
+        debug_assert!(
+            {
+                let mut v = out.clone();
+                v.sort_unstable();
+                v.windows(2).all(|w| w[0] != w[1])
+            },
+            "a stab path collected the same interval twice"
+        );
+    }
+
+    /// Counts the intervals containing `x` without materializing ids.
+    pub fn stab_count(&self, x: &K) -> usize {
+        let mut count = self.universal.len();
+        let mut cur = self.root;
+        while !cur.is_null() {
+            let node = &self.arena[cur];
+            match x.cmp(&node.value) {
+                std::cmp::Ordering::Equal => {
+                    count += node.eq.len();
+                    break;
+                }
+                std::cmp::Ordering::Less => {
+                    count += node.less.len();
+                    cur = node.left;
+                }
+                std::cmp::Ordering::Greater => {
+                    count += node.greater.len();
+                    cur = node.right;
+                }
+            }
+        }
+        count
+    }
+
+    // ------------------------------------------------------------------
+    // Insertion (paper Figure 3, `addLeft` / `addRight`)
+    // ------------------------------------------------------------------
+
+    /// Indexes `iv` under `id`.
+    ///
+    /// Structure first, marks second: both endpoint nodes are inserted
+    /// (and the tree rebalanced) before any mark is placed, so marks are
+    /// always placed canonically with respect to the final shape. This is
+    /// an equivalent refactoring of the paper's interleaved
+    /// `insertPredicate`.
+    pub fn insert(&mut self, id: IntervalId, iv: Interval<K>) -> Result<(), DuplicateId> {
+        if self.intervals.contains_key(&id.0) {
+            return Err(DuplicateId(id));
+        }
+        self.intervals.insert(id.0, iv.clone());
+
+        let lo_val = iv.lo().value().cloned();
+        let hi_val = iv.hi().value().cloned();
+        if lo_val.is_none() && hi_val.is_none() {
+            self.universal.push(id);
+            return Ok(());
+        }
+        if let Some(v) = &lo_val {
+            let n = self.ensure_node(v.clone());
+            self.arena[n].lo_owners.insert(id);
+        }
+        if let Some(v) = &hi_val {
+            let n = self.ensure_node(v.clone());
+            self.arena[n].hi_owners.insert(id);
+        }
+        self.place_marks(id, &iv);
+        Ok(())
+    }
+
+    /// Places the marks for `iv` canonically. The endpoint nodes must
+    /// already exist.
+    ///
+    /// This is the paper's `addLeft`/`addRight` pair fused into one
+    /// fragment decomposition: starting at the root, each visited node
+    /// whose value the interval contains gets an `=` mark; a child
+    /// subtree whose entire open key range the interval covers gets a
+    /// `<`/`>` mark on the parent (and the descent stops there); a child
+    /// subtree the interval only partially overlaps is descended into.
+    /// Because the interval's endpoints are tree values, at most two
+    /// root-to-endpoint paths are walked — the same paths `addLeft` and
+    /// `addRight` take — but no redundant mark is ever placed beyond a
+    /// subtree already covered by an ancestor's mark, which the paper's
+    /// formulation only guarantees up to set semantics of its result.
+    pub(crate) fn place_marks(&mut self, id: IntervalId, iv: &Interval<K>) {
+        // (node, lo_fence, hi_fence) positions partially overlapping iv.
+        let mut stack: Vec<(NodeId, Option<K>, Option<K>)> = Vec::new();
+        if !self.root.is_null() {
+            stack.push((self.root, None, None));
+        }
+        while let Some((n, lo_f, hi_f)) = stack.pop() {
+            let v = self.arena[n].value.clone();
+            if iv.contains(&v) {
+                self.add_mark(n, Slot::Eq, id);
+            }
+            let left = self.arena[n].left;
+            if iv.covers_open_range(lo_f.as_ref(), Some(&v)) {
+                self.add_mark(n, Slot::Less, id);
+            } else if !left.is_null() && iv.overlaps_open_range(lo_f.as_ref(), Some(&v)) {
+                stack.push((left, lo_f.clone(), Some(v.clone())));
+            }
+            let right = self.arena[n].right;
+            if iv.covers_open_range(Some(&v), hi_f.as_ref()) {
+                self.add_mark(n, Slot::Greater, id);
+            } else if !right.is_null() && iv.overlaps_open_range(Some(&v), hi_f.as_ref()) {
+                stack.push((right, Some(v), hi_f));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Removal (paper §4.2 deletion procedure)
+    // ------------------------------------------------------------------
+
+    /// Removes the interval stored under `id`, returning it. Endpoint
+    /// nodes are deleted when no remaining interval is anchored at them.
+    pub fn remove(&mut self, id: IntervalId) -> Option<Interval<K>> {
+        let iv = self.intervals.remove(&id.0)?;
+
+        let lo_val = iv.lo().value().cloned();
+        let hi_val = iv.hi().value().cloned();
+        if lo_val.is_none() && hi_val.is_none() {
+            self.universal.retain(|&u| u != id);
+            return Some(iv);
+        }
+
+        // 1. Every mark for the interval comes out, registry-exact.
+        self.clear_marks(id);
+
+        // 2. Release both endpoint ownerships first (a point interval
+        //    owns the same node twice), then collect values whose nodes
+        //    are now unowned and must be deleted.
+        if let Some(v) = &lo_val {
+            let n = self.find_node(v).expect("lo endpoint node missing");
+            self.arena[n].lo_owners.remove(id);
+        }
+        if let Some(v) = &hi_val {
+            let n = self.find_node(v).expect("hi endpoint node missing");
+            self.arena[n].hi_owners.remove(id);
+        }
+        let mut doomed: Vec<K> = Vec::new();
+        for v in [&lo_val, &hi_val].into_iter().flatten() {
+            if doomed.last() == Some(v) {
+                continue; // point interval: both endpoints share a node
+            }
+            let n = self.find_node(v).expect("endpoint node missing");
+            if !self.arena[n].has_owners() {
+                doomed.push(v.clone());
+            }
+        }
+
+        // 3. Delete unowned endpoint nodes (each fixes up the marks of
+        //    intervals the restructuring disturbed).
+        for v in doomed {
+            self.delete_value(&v);
+        }
+        Some(iv)
+    }
+
+    /// Deletes the node holding `v` from the endpoint tree, repairing the
+    /// marks of every interval the restructuring could disturb (the
+    /// paper's temporary set `T`, here taken as: all intervals with marks
+    /// on the spliced or value-swapped nodes, plus all intervals anchored
+    /// at the predecessor's value).
+    fn delete_value(&mut self, v: &K) {
+        // Descend to the target, recording (node, went_left) for retrace.
+        let mut path: Vec<(NodeId, bool)> = Vec::new();
+        let mut cur = self.root;
+        loop {
+            assert!(!cur.is_null(), "delete_value: value not in tree");
+            match v.cmp(&self.arena[cur].value) {
+                std::cmp::Ordering::Equal => break,
+                std::cmp::Ordering::Less => {
+                    path.push((cur, true));
+                    cur = self.arena[cur].left;
+                }
+                std::cmp::Ordering::Greater => {
+                    path.push((cur, false));
+                    cur = self.arena[cur].right;
+                }
+            }
+        }
+        let x = cur;
+
+        let two_children =
+            !self.arena[x].left.is_null() && !self.arena[x].right.is_null();
+
+        // Collect the repair set T and strip its marks.
+        let mut repair: Vec<IntervalId> = Vec::new();
+        let note = |set: &MarkSet, repair: &mut Vec<IntervalId>| {
+            for m in set.iter() {
+                if !repair.contains(&m) {
+                    repair.push(m);
+                }
+            }
+        };
+        {
+            let xn = &self.arena[x];
+            note(&xn.less, &mut repair);
+            note(&xn.eq, &mut repair);
+            note(&xn.greater, &mut repair);
+        }
+
+        let spliced; // the node physically removed from the tree
+        if two_children {
+            // Find the predecessor y = max(left(x)), extending the path.
+            path.push((x, true));
+            let mut y = self.arena[x].left;
+            while !self.arena[y].right.is_null() {
+                path.push((y, false));
+                y = self.arena[y].right;
+            }
+            {
+                let yn = &self.arena[y];
+                note(&yn.less, &mut repair);
+                note(&yn.eq, &mut repair);
+                note(&yn.greater, &mut repair);
+                note(&yn.lo_owners, &mut repair);
+                note(&yn.hi_owners, &mut repair);
+            }
+            for &m in &repair {
+                self.clear_marks(m);
+            }
+            // Swap the values (and the endpoint ownership that travels
+            // with a value) of x and y; marks were already stripped from
+            // both nodes, so only the payload moves.
+            self.swap_node_values(x, y);
+            spliced = y;
+        } else {
+            for &m in &repair {
+                self.clear_marks(m);
+            }
+            spliced = x;
+        }
+
+        // Splice: the spliced node has at most one child.
+        let child = if self.arena[spliced].left.is_null() {
+            self.arena[spliced].right
+        } else {
+            self.arena[spliced].left
+        };
+        debug_assert!(
+            self.arena[spliced].left.is_null() || self.arena[spliced].right.is_null()
+        );
+        match path.last().copied() {
+            None => self.root = child,
+            Some((parent, went_left)) => {
+                if went_left {
+                    self.arena[parent].left = child;
+                } else {
+                    self.arena[parent].right = child;
+                }
+            }
+        }
+        let dead = self.arena.dealloc(spliced);
+        debug_assert!(
+            dead.less.is_empty() && dead.eq.is_empty() && dead.greater.is_empty(),
+            "spliced node still carried marks"
+        );
+        debug_assert!(!dead.has_owners(), "spliced node still owned endpoints");
+
+        // Rebalance up the (pre-splice) path.
+        self.retrace(&path);
+
+        // Re-place marks for every disturbed interval, canonically for
+        // the new shape. (The interval being removed is already gone from
+        // the side table, so it can never appear in `repair`.)
+        for m in repair {
+            let iv = self.intervals.get(&m.0).expect("repair id unknown").clone();
+            self.place_marks(m, &iv);
+        }
+    }
+
+    /// Swaps `value`, `lo_owners`, `hi_owners` between two nodes, leaving
+    /// links, heights, and mark slots in place (the paper: "swap the
+    /// values of x and y, leaving the markers in their former
+    /// locations").
+    fn swap_node_values(&mut self, a: NodeId, b: NodeId) {
+        debug_assert_ne!(a, b);
+        // Take both payloads out, swap, put back — avoids unsafe split
+        // borrows on the arena.
+        let mut an = std::mem::replace(&mut self.arena[a].lo_owners, MarkSet::new());
+        std::mem::swap(&mut an, &mut self.arena[b].lo_owners);
+        self.arena[a].lo_owners = an;
+        let mut an = std::mem::replace(&mut self.arena[a].hi_owners, MarkSet::new());
+        std::mem::swap(&mut an, &mut self.arena[b].hi_owners);
+        self.arena[a].hi_owners = an;
+        let av = self.arena[a].value.clone();
+        let bv = std::mem::replace(&mut self.arena[b].value, av);
+        self.arena[a].value = bv;
+    }
+
+    // ------------------------------------------------------------------
+    // Mark bookkeeping
+    // ------------------------------------------------------------------
+
+    /// Adds a mark and records the placement. Idempotent.
+    pub(crate) fn add_mark(&mut self, node: NodeId, slot: Slot, id: IntervalId) {
+        let set = match slot {
+            Slot::Less => &mut self.arena[node].less,
+            Slot::Eq => &mut self.arena[node].eq,
+            Slot::Greater => &mut self.arena[node].greater,
+        };
+        if set.insert(id) {
+            self.placements.entry(id.0).or_default().push((node, slot));
+        }
+    }
+
+    /// Removes a mark (if present) and its placement record.
+    pub(crate) fn remove_mark(&mut self, node: NodeId, slot: Slot, id: IntervalId) {
+        let set = match slot {
+            Slot::Less => &mut self.arena[node].less,
+            Slot::Eq => &mut self.arena[node].eq,
+            Slot::Greater => &mut self.arena[node].greater,
+        };
+        if set.remove(id) {
+            let places = self
+                .placements
+                .get_mut(&id.0)
+                .expect("mark without placement record");
+            let pos = places
+                .iter()
+                .position(|&(n, s)| n == node && s == slot)
+                .expect("placement record out of sync");
+            places.swap_remove(pos);
+        }
+    }
+
+    /// Removes every mark belonging to `id`, registry-exact.
+    pub(crate) fn clear_marks(&mut self, id: IntervalId) {
+        let Some(places) = self.placements.remove(&id.0) else {
+            return;
+        };
+        for (node, slot) in places {
+            let set = match slot {
+                Slot::Less => &mut self.arena[node].less,
+                Slot::Eq => &mut self.arena[node].eq,
+                Slot::Greater => &mut self.arena[node].greater,
+            };
+            let removed = set.remove(id);
+            debug_assert!(removed, "registry pointed at a missing mark");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Structural BST/AVL machinery
+    // ------------------------------------------------------------------
+
+    /// Finds the node holding exactly `v`.
+    pub(crate) fn find_node(&self, v: &K) -> Option<NodeId> {
+        let mut cur = self.root;
+        while !cur.is_null() {
+            match v.cmp(&self.arena[cur].value) {
+                std::cmp::Ordering::Equal => return Some(cur),
+                std::cmp::Ordering::Less => cur = self.arena[cur].left,
+                std::cmp::Ordering::Greater => cur = self.arena[cur].right,
+            }
+        }
+        None
+    }
+
+    /// Finds or inserts the node for `v`, rebalancing after an insert.
+    fn ensure_node(&mut self, v: K) -> NodeId {
+        if self.root.is_null() {
+            let n = self.arena.alloc(v);
+            self.root = n;
+            return n;
+        }
+        let mut path: Vec<(NodeId, bool)> = Vec::new();
+        let mut cur = self.root;
+        loop {
+            match v.cmp(&self.arena[cur].value) {
+                std::cmp::Ordering::Equal => return cur,
+                std::cmp::Ordering::Less => {
+                    path.push((cur, true));
+                    let next = self.arena[cur].left;
+                    if next.is_null() {
+                        let n = self.arena.alloc(v);
+                        self.arena[cur].left = n;
+                        self.retrace(&path);
+                        return n;
+                    }
+                    cur = next;
+                }
+                std::cmp::Ordering::Greater => {
+                    path.push((cur, false));
+                    let next = self.arena[cur].right;
+                    if next.is_null() {
+                        let n = self.arena.alloc(v);
+                        self.arena[cur].right = n;
+                        self.retrace(&path);
+                        return n;
+                    }
+                    cur = next;
+                }
+            }
+        }
+    }
+
+    pub(crate) fn height_of(&self, n: NodeId) -> u32 {
+        if n.is_null() {
+            0
+        } else {
+            self.arena[n].height
+        }
+    }
+
+    pub(crate) fn update_height(&mut self, n: NodeId) {
+        let h = 1 + self
+            .height_of(self.arena[n].left)
+            .max(self.height_of(self.arena[n].right));
+        self.arena[n].height = h;
+    }
+
+    /// Walks a recorded root-to-parent path bottom-up, refreshing heights
+    /// and (in AVL mode) rotating where the balance factor exceeds ±1.
+    fn retrace(&mut self, path: &[(NodeId, bool)]) {
+        for i in (0..path.len()).rev() {
+            let (n, _) = path[i];
+            self.update_height(n);
+            if self.mode == BalanceMode::Avl {
+                let new_sub = self.rebalance(n);
+                if new_sub != n {
+                    match i.checked_sub(1) {
+                        None => self.root = new_sub,
+                        Some(pi) => {
+                            let (parent, went_left) = path[pi];
+                            if went_left {
+                                self.arena[parent].left = new_sub;
+                            } else {
+                                self.arena[parent].right = new_sub;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Restores the AVL property at `n`, returning the (possibly new)
+    /// subtree root.
+    fn rebalance(&mut self, n: NodeId) -> NodeId {
+        let bf = self.balance_factor(n);
+        if bf > 1 {
+            // Left-heavy.
+            let l = self.arena[n].left;
+            if self.balance_factor(l) < 0 {
+                let new_l = self.rotate_left(l);
+                self.arena[n].left = new_l;
+            }
+            self.rotate_right(n)
+        } else if bf < -1 {
+            let r = self.arena[n].right;
+            if self.balance_factor(r) > 0 {
+                let new_r = self.rotate_right(r);
+                self.arena[n].right = new_r;
+            }
+            self.rotate_left(n)
+        } else {
+            n
+        }
+    }
+
+    pub(crate) fn balance_factor(&self, n: NodeId) -> i32 {
+        let node = &self.arena[n];
+        self.height_of(node.left) as i32 - self.height_of(node.right) as i32
+    }
+}
+
+/// Borrow-friendly access used by the balance and invariants modules.
+impl<K> IbsTree<K> {
+    pub(crate) fn node(&self, id: NodeId) -> &Node<K> {
+        &self.arena[id]
+    }
+
+    /// Root id (may be null).
+    pub(crate) fn root_id(&self) -> NodeId {
+        self.root
+    }
+}

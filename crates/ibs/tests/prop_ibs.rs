@@ -1,0 +1,262 @@
+//! Property-based differential testing of the IBS-tree.
+//!
+//! Strategy: generate arbitrary sequences of insert/remove operations
+//! over the full interval family (points, closed/open/half-open, open-
+//! ended) on a small integer key space (so collisions, shared endpoints,
+//! and heavy overlap are common), replay them against both the IBS-tree
+//! and a naive `Vec` oracle, and after every operation
+//!
+//! * verify every structural invariant (BST order, AVL balance, mark
+//!   soundness, mark completeness at every node and gap, registry and
+//!   ownership accounting), and
+//! * compare stabbing results against the oracle for every key in the
+//!   domain.
+
+use ibs::{BalanceMode, IbsTree};
+use interval::{Interval, IntervalId, Lower, Upper};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Interval<i32>),
+    /// Remove the k-th live interval (mod current size).
+    Remove(usize),
+}
+
+fn arb_interval(max_key: i32) -> impl Strategy<Value = Interval<i32>> {
+    let key = 0..=max_key;
+    prop_oneof![
+        // Points are weighted up: the paper's workloads use a = 0, .5, 1
+        // fractions of equality predicates.
+        2 => key.clone().prop_map(Interval::point),
+        4 => (key.clone(), key.clone(), any::<(bool, bool)>()).prop_filter_map(
+            "non-empty",
+            |(a, b, (lo_incl, hi_incl))| {
+                let (a, b) = if a <= b { (a, b) } else { (b, a) };
+                let lo = if lo_incl { Lower::Inclusive(a) } else { Lower::Exclusive(a) };
+                let hi = if hi_incl { Upper::Inclusive(b) } else { Upper::Exclusive(b) };
+                Interval::new(lo, hi).ok()
+            }
+        ),
+        1 => key.clone().prop_map(Interval::at_least),
+        1 => key.clone().prop_map(Interval::greater_than),
+        1 => key.clone().prop_map(Interval::at_most),
+        1 => key.prop_map(Interval::less_than),
+        1 => Just(Interval::unbounded()),
+    ]
+}
+
+fn arb_ops(max_key: i32, len: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => arb_interval(max_key).prop_map(Op::Insert),
+            2 => (0usize..64).prop_map(Op::Remove),
+        ],
+        1..len,
+    )
+}
+
+/// Replays `ops` on a tree in `mode`, checking invariants and the oracle
+/// after every step.
+fn run_differential(ops: Vec<Op>, mode: BalanceMode, max_key: i32) {
+    let mut tree: IbsTree<i32> = IbsTree::with_mode(mode);
+    let mut oracle: Vec<(IntervalId, Interval<i32>)> = Vec::new();
+    let mut next_id = 0u32;
+
+    for op in ops {
+        match op {
+            Op::Insert(iv) => {
+                let id = IntervalId(next_id);
+                next_id += 1;
+                tree.insert(id, iv.clone()).expect("fresh id");
+                oracle.push((id, iv));
+            }
+            Op::Remove(k) => {
+                if oracle.is_empty() {
+                    continue;
+                }
+                let (id, iv) = oracle.remove(k % oracle.len());
+                let got = tree.remove(id).expect("oracle id must be present");
+                assert_eq!(got, iv, "removed interval mismatch");
+            }
+        }
+        tree.assert_invariants();
+        assert_eq!(tree.len(), oracle.len());
+
+        // Exhaustive stab cross-check over the key domain plus sentinels
+        // outside it.
+        for x in -1..=(max_key + 1) {
+            let mut got = tree.stab(&x);
+            got.sort_unstable();
+            let mut want: Vec<IntervalId> = oracle
+                .iter()
+                .filter(|(_, iv)| iv.contains(&x))
+                .map(|&(id, _)| id)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "stab({x}) diverged from oracle");
+            assert_eq!(tree.stab_count(&x), want.len(), "stab_count({x})");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn differential_avl_dense_keys(ops in arb_ops(15, 40)) {
+        run_differential(ops, BalanceMode::Avl, 15);
+    }
+
+    #[test]
+    fn differential_unbalanced_dense_keys(ops in arb_ops(15, 40)) {
+        run_differential(ops, BalanceMode::None, 15);
+    }
+
+    #[test]
+    fn differential_avl_sparse_keys(ops in arb_ops(100, 30)) {
+        run_differential(ops, BalanceMode::Avl, 100);
+    }
+
+    #[test]
+    fn marker_count_matches_registry(ops in arb_ops(20, 40)) {
+        let mut tree: IbsTree<i32> = IbsTree::new();
+        let mut live = Vec::new();
+        let mut next = 0u32;
+        for op in ops {
+            match op {
+                Op::Insert(iv) => {
+                    let id = IntervalId(next);
+                    next += 1;
+                    tree.insert(id, iv).unwrap();
+                    live.push(id);
+                }
+                Op::Remove(k) if !live.is_empty() => {
+                    let id = live.remove(k % live.len());
+                    tree.remove(id).unwrap();
+                }
+                Op::Remove(_) => {}
+            }
+        }
+        // marker_count is a full arena scan; it must agree with what the
+        // invariant checker already proved about the registry.
+        tree.assert_invariants();
+        prop_assert!(tree.marker_count() <= tree.len() * (2 * (tree.height() as usize + 1)));
+    }
+}
+
+/// Deterministic stress: a large mixed workload in both modes, with
+/// invariants checked at intervals (full checks every step would be
+/// quadratic in test time).
+#[test]
+fn stress_mixed_workload() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    for mode in [BalanceMode::Avl, BalanceMode::None] {
+        let mut rng = StdRng::seed_from_u64(0x1b5);
+        let mut tree: IbsTree<i32> = IbsTree::with_mode(mode);
+        let mut oracle: Vec<(IntervalId, Interval<i32>)> = Vec::new();
+        let mut next = 0u32;
+
+        for step in 0..2_000 {
+            if oracle.is_empty() || rng.gen_bool(0.6) {
+                let a = rng.gen_range(0..1_000);
+                let len = rng.gen_range(0..120);
+                let iv = match rng.gen_range(0..5) {
+                    0 => Interval::point(a),
+                    1 => Interval::closed(a, a + len),
+                    2 => Interval::closed_open(a, a + len + 1),
+                    3 => Interval::at_least(a),
+                    _ => Interval::less_than(a),
+                };
+                let id = IntervalId(next);
+                next += 1;
+                tree.insert(id, iv.clone()).unwrap();
+                oracle.push((id, iv));
+            } else {
+                let k = rng.gen_range(0..oracle.len());
+                let (id, _) = oracle.remove(k);
+                tree.remove(id).unwrap();
+            }
+            if step % 200 == 199 {
+                tree.assert_invariants();
+            }
+            // Spot-check a few random stabs every step.
+            for _ in 0..3 {
+                let x = rng.gen_range(-10..1_200);
+                let mut got = tree.stab(&x);
+                got.sort_unstable();
+                let mut want: Vec<IntervalId> = oracle
+                    .iter()
+                    .filter(|(_, iv)| iv.contains(&x))
+                    .map(|&(id, _)| id)
+                    .collect();
+                want.sort_unstable();
+                assert_eq!(got, want, "mode {mode:?}, step {step}, stab({x})");
+            }
+        }
+        tree.assert_invariants();
+    }
+}
+
+/// Drain a heavily overlapping set down to empty, exercising the
+/// predecessor-swap deletion path with repairs.
+#[test]
+fn drain_to_empty() {
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut tree: IbsTree<i32> = IbsTree::new();
+    let n = 300u32;
+    for i in 0..n {
+        let a = (i as i32 * 13) % 500;
+        tree.insert(IntervalId(i), Interval::closed(a, a + 200)).unwrap();
+    }
+    tree.assert_invariants();
+    let mut ids: Vec<u32> = (0..n).collect();
+    ids.shuffle(&mut rng);
+    for (k, i) in ids.into_iter().enumerate() {
+        tree.remove(IntervalId(i)).unwrap();
+        if k % 25 == 0 {
+            tree.assert_invariants();
+        }
+    }
+    tree.assert_invariants();
+    assert!(tree.is_empty());
+    assert_eq!(tree.node_count(), 0);
+    assert_eq!(tree.marker_count(), 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Interval-overlap queries agree with the naive definition on
+    /// arbitrary stored sets and arbitrary query intervals.
+    #[test]
+    fn stab_interval_matches_naive(
+        stored in prop::collection::vec(arb_interval(20), 0..30),
+        queries in prop::collection::vec(arb_interval(20), 1..10),
+    ) {
+        let mut tree: IbsTree<i32> = IbsTree::new();
+        let mut oracle = Vec::new();
+        for (i, iv) in stored.into_iter().enumerate() {
+            let id = IntervalId(i as u32);
+            tree.insert(id, iv.clone()).unwrap();
+            oracle.push((id, iv));
+        }
+        for q in queries {
+            let mut got = tree.stab_interval(&q);
+            got.sort_unstable();
+            let mut want: Vec<IntervalId> = oracle
+                .iter()
+                .filter(|(_, iv)| iv.overlaps(&q))
+                .map(|&(id, _)| id)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "query {}", q);
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Endpoint (bound) types for intervals.
+//!
+//! Lower and upper bounds are distinct types so that the type system rules
+//! out nonsense like an interval whose lower end is `+∞`, and so that each
+//! side gets the ordering semantics appropriate to it:
+//!
+//! * two lower bounds at the same value compare `Inclusive < Exclusive`
+//!   (the inclusive one admits more of the low end),
+//! * two upper bounds at the same value compare `Exclusive < Inclusive`.
+//!
+//! These orderings make "interval A starts before interval B" and
+//! "interval A ends after interval B" plain `Ord` comparisons, which the
+//! treap / segment tree / interval tree comparators rely on.
+
+use std::cmp::Ordering;
+
+/// Lower endpoint of an interval.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Lower<K> {
+    /// No lower bound (`-∞`): the paper's open-ended interval obtained by
+    /// setting `const1 = -∞`.
+    Unbounded,
+    /// `value ≤ x`.
+    Inclusive(K),
+    /// `value < x`.
+    Exclusive(K),
+}
+
+/// Upper endpoint of an interval.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Upper<K> {
+    /// No upper bound (`+∞`).
+    Unbounded,
+    /// `x ≤ value`.
+    Inclusive(K),
+    /// `x < value`.
+    Exclusive(K),
+}
+
+impl<K: Ord> Lower<K> {
+    /// Does this lower bound admit `x`?
+    #[inline]
+    pub fn admits(&self, x: &K) -> bool {
+        match self {
+            Lower::Unbounded => true,
+            Lower::Inclusive(v) => v <= x,
+            Lower::Exclusive(v) => v < x,
+        }
+    }
+
+    /// Does this lower bound admit *every* element of the open range
+    /// `(fence, ·)`, i.e. every `x` with `x > fence`?
+    ///
+    /// With `fence = None` the range starts at `-∞`, so only an unbounded
+    /// lower bound qualifies. This is the test the IBS-tree uses to decide
+    /// whether everything in a subtree lies within an interval (the
+    /// paper's `leftUp`/`rightUp` comparison, done against the descent
+    /// fence instead of by walking ancestors).
+    #[inline]
+    pub fn admits_all_above(&self, fence: Option<&K>) -> bool {
+        match (self, fence) {
+            (Lower::Unbounded, _) => true,
+            (_, None) => false,
+            // Both Inclusive(v) and Exclusive(v) admit every x > v, so in
+            // either case admitting all x > fence needs v <= fence.
+            (Lower::Inclusive(v), Some(f)) | (Lower::Exclusive(v), Some(f)) => v <= f,
+        }
+    }
+
+    /// The finite endpoint value, if any.
+    #[inline]
+    pub fn value(&self) -> Option<&K> {
+        match self {
+            Lower::Unbounded => None,
+            Lower::Inclusive(v) | Lower::Exclusive(v) => Some(v),
+        }
+    }
+
+    /// Is the bound inclusive (`≤`)?
+    #[inline]
+    pub fn is_inclusive(&self) -> bool {
+        matches!(self, Lower::Inclusive(_))
+    }
+}
+
+impl<K: Ord> Upper<K> {
+    /// Does this upper bound admit `x`?
+    #[inline]
+    pub fn admits(&self, x: &K) -> bool {
+        match self {
+            Upper::Unbounded => true,
+            Upper::Inclusive(v) => x <= v,
+            Upper::Exclusive(v) => x < v,
+        }
+    }
+
+    /// Does this upper bound admit every element of the open range
+    /// `(·, fence)`, i.e. every `x` with `x < fence`? `fence = None`
+    /// means the range extends to `+∞`.
+    #[inline]
+    pub fn admits_all_below(&self, fence: Option<&K>) -> bool {
+        match (self, fence) {
+            (Upper::Unbounded, _) => true,
+            (_, None) => false,
+            (Upper::Inclusive(v), Some(f)) | (Upper::Exclusive(v), Some(f)) => v >= f,
+        }
+    }
+
+    /// The finite endpoint value, if any.
+    #[inline]
+    pub fn value(&self) -> Option<&K> {
+        match self {
+            Upper::Unbounded => None,
+            Upper::Inclusive(v) | Upper::Exclusive(v) => Some(v),
+        }
+    }
+
+    /// Is the bound inclusive (`≤`)?
+    #[inline]
+    pub fn is_inclusive(&self) -> bool {
+        matches!(self, Upper::Inclusive(_))
+    }
+}
+
+impl<K: Ord> PartialOrd for Lower<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K: Ord> Ord for Lower<K> {
+    /// Orders by "how far left the interval starts": `-∞` first, then by
+    /// value, inclusive before exclusive at equal values.
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Lower::*;
+        match (self, other) {
+            (Unbounded, Unbounded) => Ordering::Equal,
+            (Unbounded, _) => Ordering::Less,
+            (_, Unbounded) => Ordering::Greater,
+            (Inclusive(a), Inclusive(b)) | (Exclusive(a), Exclusive(b)) => a.cmp(b),
+            (Inclusive(a), Exclusive(b)) => a.cmp(b).then(Ordering::Less),
+            (Exclusive(a), Inclusive(b)) => a.cmp(b).then(Ordering::Greater),
+        }
+    }
+}
+
+impl<K: Ord> PartialOrd for Upper<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K: Ord> Ord for Upper<K> {
+    /// Orders by "how far right the interval ends": by value with
+    /// exclusive before inclusive, `+∞` last.
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Upper::*;
+        match (self, other) {
+            (Unbounded, Unbounded) => Ordering::Equal,
+            (Unbounded, _) => Ordering::Greater,
+            (_, Unbounded) => Ordering::Less,
+            (Inclusive(a), Inclusive(b)) | (Exclusive(a), Exclusive(b)) => a.cmp(b),
+            (Inclusive(a), Exclusive(b)) => a.cmp(b).then(Ordering::Greater),
+            (Exclusive(a), Inclusive(b)) => a.cmp(b).then(Ordering::Less),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_admits() {
+        assert!(Lower::Unbounded.admits(&5));
+        assert!(Lower::Inclusive(5).admits(&5));
+        assert!(!Lower::Exclusive(5).admits(&5));
+        assert!(Lower::Exclusive(5).admits(&6));
+        assert!(!Lower::Inclusive(5).admits(&4));
+    }
+
+    #[test]
+    fn upper_admits() {
+        assert!(Upper::Unbounded.admits(&5));
+        assert!(Upper::Inclusive(5).admits(&5));
+        assert!(!Upper::Exclusive(5).admits(&5));
+        assert!(Upper::Exclusive(5).admits(&4));
+        assert!(!Upper::Inclusive(5).admits(&6));
+    }
+
+    #[test]
+    fn lower_admits_all_above() {
+        // Every x > 5 is admitted by bounds at <=5 of either openness.
+        assert!(Lower::Inclusive(5).admits_all_above(Some(&5)));
+        assert!(Lower::Exclusive(5).admits_all_above(Some(&5)));
+        assert!(Lower::Inclusive(4).admits_all_above(Some(&5)));
+        assert!(!Lower::Inclusive(6).admits_all_above(Some(&5)));
+        // Only -inf admits all of (-inf, ...).
+        assert!(Lower::<i32>::Unbounded.admits_all_above(None));
+        assert!(!Lower::Inclusive(0).admits_all_above(None));
+    }
+
+    #[test]
+    fn upper_admits_all_below() {
+        assert!(Upper::Inclusive(5).admits_all_below(Some(&5)));
+        assert!(Upper::Exclusive(5).admits_all_below(Some(&5)));
+        assert!(Upper::Inclusive(6).admits_all_below(Some(&5)));
+        assert!(!Upper::Inclusive(4).admits_all_below(Some(&5)));
+        assert!(Upper::<i32>::Unbounded.admits_all_below(None));
+        assert!(!Upper::Inclusive(100).admits_all_below(None));
+    }
+
+    #[test]
+    fn lower_ordering() {
+        let mut v = vec![
+            Lower::Exclusive(3),
+            Lower::Inclusive(3),
+            Lower::Unbounded,
+            Lower::Inclusive(1),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Lower::Unbounded,
+                Lower::Inclusive(1),
+                Lower::Inclusive(3),
+                Lower::Exclusive(3),
+            ]
+        );
+    }
+
+    #[test]
+    fn upper_ordering() {
+        let mut v = vec![
+            Upper::Inclusive(3),
+            Upper::Exclusive(3),
+            Upper::Unbounded,
+            Upper::Inclusive(9),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Upper::Exclusive(3),
+                Upper::Inclusive(3),
+                Upper::Inclusive(9),
+                Upper::Unbounded,
+            ]
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests for the interval algebra — the axioms every index
+//! structure in the workspace silently relies on.
+
+use interval::{Interval, Lower, Upper};
+use proptest::prelude::*;
+
+fn arb_interval() -> impl Strategy<Value = Interval<i32>> {
+    let key = -20i32..=20;
+    prop_oneof![
+        2 => key.clone().prop_map(Interval::point),
+        4 => (key.clone(), key.clone(), any::<(bool, bool)>()).prop_filter_map(
+            "non-empty",
+            |(a, b, (li, hi))| {
+                let (a, b) = if a <= b { (a, b) } else { (b, a) };
+                let lo = if li { Lower::Inclusive(a) } else { Lower::Exclusive(a) };
+                let up = if hi { Upper::Inclusive(b) } else { Upper::Exclusive(b) };
+                Interval::new(lo, up).ok()
+            }
+        ),
+        1 => key.clone().prop_map(Interval::at_least),
+        1 => key.clone().prop_map(Interval::greater_than),
+        1 => key.clone().prop_map(Interval::at_most),
+        1 => key.prop_map(Interval::less_than),
+        1 => Just(Interval::unbounded()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `overlaps` is symmetric and agrees with a pointwise witness over
+    /// the (dense-enough) integer domain: since all endpoints are
+    /// integers, two intervals overlap iff some integer-or-half point is
+    /// in both; checking integers and midpoints x+0.5 via the doubled
+    /// domain 2x covers every case.
+    #[test]
+    fn overlaps_symmetric_and_pointwise(a in arb_interval(), b in arb_interval()) {
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        // Doubled-domain witness search: scale endpoints by 2 and test
+        // every integer in the scaled domain, which includes all
+        // original midpoints.
+        let scale = |iv: &Interval<i32>| {
+            let lo = match iv.lo() {
+                Lower::Unbounded => Lower::Unbounded,
+                Lower::Inclusive(v) => Lower::Inclusive(v * 2),
+                Lower::Exclusive(v) => Lower::Exclusive(v * 2),
+            };
+            let hi = match iv.hi() {
+                Upper::Unbounded => Upper::Unbounded,
+                Upper::Inclusive(v) => Upper::Inclusive(v * 2),
+                Upper::Exclusive(v) => Upper::Exclusive(v * 2),
+            };
+            Interval::new(lo, hi).expect("scaling preserves non-emptiness")
+        };
+        let (a2, b2) = (scale(&a), scale(&b));
+        let witness = (-44..=44).any(|x| a2.contains(&x) && b2.contains(&x));
+        prop_assert_eq!(a.overlaps(&b), witness, "a={} b={}", a, b);
+    }
+
+    /// `intersect` is the pointwise conjunction: x ∈ a∩b ⟺ x ∈ a ∧ x ∈ b,
+    /// and `None` means no common point exists.
+    #[test]
+    fn intersect_is_pointwise_and(a in arb_interval(), b in arb_interval(), x in -25i32..=25) {
+        match a.intersect(&b) {
+            Some(i) => {
+                prop_assert_eq!(i.contains(&x), a.contains(&x) && b.contains(&x));
+            }
+            None => {
+                prop_assert!(!(a.contains(&x) && b.contains(&x)));
+                prop_assert!(!a.overlaps(&b));
+            }
+        }
+    }
+
+    /// Intersection is commutative and idempotent.
+    #[test]
+    fn intersect_algebra(a in arb_interval(), b in arb_interval()) {
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        prop_assert_eq!(a.intersect(&a), Some(a.clone()));
+    }
+
+    /// `covers_open_range(lo, hi)` is equivalent to containing every
+    /// point strictly between the fences (checked on the doubled domain
+    /// so open/closed distinctions are visible).
+    #[test]
+    fn covers_open_range_pointwise(
+        iv in arb_interval(),
+        lo in prop::option::of(-20i32..=20),
+        hi in prop::option::of(-20i32..=20),
+    ) {
+        prop_assume!(match (lo, hi) { (Some(a), Some(b)) => a < b, _ => true });
+        let covers = iv.covers_open_range(lo.as_ref(), hi.as_ref());
+        if covers {
+            // Every integer strictly inside must be contained.
+            for x in -21..=21 {
+                let inside = lo.is_none_or(|a| x > a) && hi.is_none_or(|b| x < b);
+                if inside {
+                    prop_assert!(iv.contains(&x), "{} claimed to cover ({:?},{:?}) but misses {}", iv, lo, hi, x);
+                }
+            }
+        } else {
+            // Not covering an unbounded side with a bounded interval is
+            // always sound; for bounded ranges there must be an escapee
+            // in the doubled domain.
+            if let (Some(a), Some(b)) = (lo, hi) {
+                if a < b {
+                    let escapee = ((2 * a + 1)..(2 * b)).any(|x2| {
+                        // x2/2 in doubled domain: rebuild iv in doubled domain.
+                        let lo2 = match iv.lo() {
+                            Lower::Unbounded => Lower::Unbounded,
+                            Lower::Inclusive(v) => Lower::Inclusive(v * 2),
+                            Lower::Exclusive(v) => Lower::Exclusive(v * 2),
+                        };
+                        let hi2 = match iv.hi() {
+                            Upper::Unbounded => Upper::Unbounded,
+                            Upper::Inclusive(v) => Upper::Inclusive(v * 2),
+                            Upper::Exclusive(v) => Upper::Exclusive(v * 2),
+                        };
+                        let iv2 = Interval::new(lo2, hi2).expect("non-empty");
+                        !iv2.contains(&x2)
+                    });
+                    prop_assert!(
+                        escapee,
+                        "{} does not cover ({:?},{:?}) yet contains every point",
+                        iv, lo, hi
+                    );
+                }
+            }
+        }
+    }
+
+    /// `overlaps_open_range` never under-reports (it may over-report in
+    /// discrete domains, which only costs a vacuous descent).
+    #[test]
+    fn overlaps_open_range_is_superset_of_truth(
+        iv in arb_interval(),
+        lo in prop::option::of(-20i32..=20),
+        hi in prop::option::of(-20i32..=20),
+    ) {
+        prop_assume!(match (lo, hi) { (Some(a), Some(b)) => a < b, _ => true });
+        let claims = iv.overlaps_open_range(lo.as_ref(), hi.as_ref());
+        let truth = (-21..=21).any(|x| {
+            let inside = lo.is_none_or(|a| x > a) && hi.is_none_or(|b| x < b);
+            inside && iv.contains(&x)
+        });
+        if truth {
+            prop_assert!(claims, "{} overlaps ({:?},{:?}) but the test says no", iv, lo, hi);
+        }
+    }
+
+    /// `is_point` ⟺ contains exactly one integer in a bounded domain.
+    #[test]
+    fn point_detection(iv in arb_interval()) {
+        if iv.is_point() {
+            let members = (-25..=25).filter(|x| iv.contains(x)).count();
+            prop_assert_eq!(members, 1);
+        }
+    }
+}

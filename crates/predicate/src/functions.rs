@@ -1,0 +1,98 @@
+//! Registry of opaque predicate functions.
+//!
+//! The paper's example: `IsOdd(EMP.age) and EMP.dept = "Shoe"`. Function
+//! clauses are resolved by name at parse time through this registry.
+
+use crate::clause::PredFn;
+use relation::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Named boolean functions over a single attribute value.
+#[derive(Clone)]
+pub struct FunctionRegistry {
+    funcs: HashMap<String, PredFn>,
+}
+
+impl std::fmt::Debug for FunctionRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<&str> = self.funcs.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        f.debug_struct("FunctionRegistry")
+            .field("functions", &names)
+            .finish()
+    }
+}
+
+impl Default for FunctionRegistry {
+    /// Registry pre-loaded with the built-ins.
+    fn default() -> Self {
+        let mut r = FunctionRegistry {
+            funcs: HashMap::new(),
+        };
+        r.register("isodd", |v| matches!(v, Value::Int(i) if i.rem_euclid(2) == 1));
+        r.register("iseven", |v| matches!(v, Value::Int(i) if i.rem_euclid(2) == 0));
+        r.register("ispositive", |v| match v {
+            Value::Int(i) => *i > 0,
+            Value::Float(f) => *f > 0.0,
+            _ => false,
+        });
+        r.register("isnegative", |v| match v {
+            Value::Int(i) => *i < 0,
+            Value::Float(f) => *f < 0.0,
+            _ => false,
+        });
+        r.register("isempty", |v| matches!(v, Value::Str(s) if s.is_empty()));
+        r
+    }
+}
+
+impl FunctionRegistry {
+    /// An empty registry (no built-ins).
+    pub fn empty() -> Self {
+        FunctionRegistry {
+            funcs: HashMap::new(),
+        }
+    }
+
+    /// Registers (or replaces) a function under `name` (lower-cased).
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(&Value) -> bool + Send + Sync + 'static,
+    ) {
+        self.funcs.insert(name.into().to_lowercase(), Arc::new(f));
+    }
+
+    /// Looks up a function by (case-insensitive) name.
+    pub fn get(&self, name: &str) -> Option<PredFn> {
+        self.funcs.get(&name.to_lowercase()).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins() {
+        let r = FunctionRegistry::default();
+        assert!(r.get("isodd").unwrap()(&Value::Int(3)));
+        assert!(!r.get("isodd").unwrap()(&Value::Int(4)));
+        assert!(!r.get("isodd").unwrap()(&Value::str("3")));
+        assert!(r.get("IsOdd").is_some(), "lookup is case-insensitive");
+        assert!(r.get("nope").is_none());
+        assert!(r.get("iseven").unwrap()(&Value::Int(-2)));
+        assert!(r.get("isnegative").unwrap()(&Value::Float(-0.5)));
+        assert!(r.get("isempty").unwrap()(&Value::str("")));
+    }
+
+    #[test]
+    fn custom_registration() {
+        let mut r = FunctionRegistry::empty();
+        assert!(r.get("long_name").is_none());
+        r.register("long_name", |v| matches!(v, Value::Str(s) if s.len() > 5));
+        assert!(r.get("long_name").unwrap()(&Value::str("abcdefg")));
+        assert!(!r.get("long_name").unwrap()(&Value::str("abc")));
+    }
+}

@@ -1,0 +1,233 @@
+//! # Predicate model (§1 of the paper)
+//!
+//! Single-relation selection predicates: conjunctions of range clauses
+//! (`const1 ρ1 t.attr ρ2 const2`, ρ ∈ {<, ≤}), equality clauses
+//! (degenerate ranges), and opaque function clauses
+//! (`function(t.attr)`), plus a textual predicate language that follows
+//! the paper's examples:
+//!
+//! ```
+//! use predicate::parse_predicate;
+//!
+//! let p = parse_predicate(r#"emp.salary < 20000 and emp.age > 50"#).unwrap();
+//! assert_eq!(p.relation(), "emp");
+//! assert_eq!(p.clauses().len(), 2);
+//!
+//! let ranged = parse_predicate("20000 <= emp.salary <= 30000").unwrap();
+//! assert_eq!(ranged.clauses().len(), 1);
+//!
+//! let f = parse_predicate(r#"isodd(emp.age) and emp.dept = "Shoe""#).unwrap();
+//! assert!(!f.clauses()[0].is_indexable());
+//! ```
+//!
+//! Disjunctions are split ("broken up into two or more predicates that
+//! do not have disjunction", §1) by [`parse_predicates`]:
+//!
+//! ```
+//! use predicate::parse_predicates;
+//! let ps = parse_predicates("emp.age < 20 or emp.age > 60").unwrap();
+//! assert_eq!(ps.len(), 2);
+//! ```
+
+mod clause;
+mod functions;
+mod parser;
+mod predicate;
+pub mod selectivity;
+
+pub use clause::{Clause, PredFn};
+pub use functions::FunctionRegistry;
+pub use parser::{lex, parse_conjunct, parse_dnf, LexError, ParseError, Token};
+pub use predicate::{BindError, BoundClause, BoundPredicate, Predicate};
+
+/// Parses a single conjunctive predicate using the built-in function
+/// registry.
+pub fn parse_predicate(input: &str) -> Result<Predicate, ParseError> {
+    parse_conjunct(input, &FunctionRegistry::default())
+}
+
+/// Parses a (possibly disjunctive) condition into its DNF predicates
+/// using the built-in function registry.
+pub fn parse_predicates(input: &str) -> Result<Vec<Predicate>, ParseError> {
+    parse_dnf(input, &FunctionRegistry::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::{AttrType, Schema, Tuple, Value};
+
+    fn emp_schema() -> Schema {
+        Schema::builder("emp")
+            .attr("name", AttrType::Str)
+            .attr("age", AttrType::Int)
+            .attr("salary", AttrType::Int)
+            .attr("dept", AttrType::Str)
+            .build()
+    }
+
+    fn emp(name: &str, age: i64, salary: i64, dept: &str) -> Tuple {
+        Tuple::new(vec![
+            Value::str(name),
+            Value::Int(age),
+            Value::Int(salary),
+            Value::str(dept),
+        ])
+    }
+
+    fn matches(src: &str, t: &Tuple) -> bool {
+        parse_predicate(src)
+            .unwrap()
+            .bind(&emp_schema())
+            .unwrap()
+            .matches(t)
+    }
+
+    #[test]
+    fn paper_example_1() {
+        let src = "emp.salary < 20000 and emp.age > 50";
+        assert!(matches(src, &emp("al", 61, 12_000, "Shoe")));
+        assert!(!matches(src, &emp("al", 61, 20_000, "Shoe")));
+        assert!(!matches(src, &emp("al", 50, 12_000, "Shoe")));
+    }
+
+    #[test]
+    fn paper_example_2_double_bound() {
+        let src = "20000 <= emp.salary <= 30000";
+        assert!(matches(src, &emp("b", 30, 20_000, "x")));
+        assert!(matches(src, &emp("b", 30, 30_000, "x")));
+        assert!(!matches(src, &emp("b", 30, 19_999, "x")));
+        assert!(!matches(src, &emp("b", 30, 30_001, "x")));
+    }
+
+    #[test]
+    fn paper_example_3_equality() {
+        let src = r#"emp.dept = "Salesperson""#;
+        assert!(matches(src, &emp("c", 30, 0, "Salesperson")));
+        assert!(!matches(src, &emp("c", 30, 0, "salesperson")));
+    }
+
+    #[test]
+    fn paper_example_4_function() {
+        let src = r#"isodd(emp.age) and emp.dept = "Shoe""#;
+        assert!(matches(src, &emp("d", 31, 0, "Shoe")));
+        assert!(!matches(src, &emp("d", 32, 0, "Shoe")));
+        assert!(!matches(src, &emp("d", 31, 0, "Hat")));
+    }
+
+    #[test]
+    fn reversed_operand_sides() {
+        assert!(matches("50 < emp.age", &emp("e", 51, 0, "x")));
+        assert!(!matches("50 < emp.age", &emp("e", 50, 0, "x")));
+        assert!(matches("50 >= emp.age", &emp("e", 50, 0, "x")));
+    }
+
+    #[test]
+    fn descending_chain() {
+        let src = "30000 >= emp.salary >= 20000";
+        assert!(matches(src, &emp("f", 0, 25_000, "x")));
+        assert!(!matches(src, &emp("f", 0, 35_000, "x")));
+    }
+
+    #[test]
+    fn strict_chain() {
+        let src = "10 < emp.age < 20";
+        assert!(!matches(src, &emp("g", 10, 0, "x")));
+        assert!(matches(src, &emp("g", 11, 0, "x")));
+        assert!(matches(src, &emp("g", 19, 0, "x")));
+        assert!(!matches(src, &emp("g", 20, 0, "x")));
+    }
+
+    #[test]
+    fn disjunction_splits() {
+        let ps = parse_predicates("emp.age < 20 or emp.age > 60 or emp.salary = 0").unwrap();
+        assert_eq!(ps.len(), 3);
+        assert!(ps.iter().all(|p| p.relation() == "emp"));
+    }
+
+    #[test]
+    fn dnf_distribution() {
+        // (a or b) and (c or d) → 4 conjuncts.
+        let ps = parse_predicates(
+            "(emp.age < 20 or emp.age > 60) and (emp.salary < 100 or emp.salary > 900)",
+        )
+        .unwrap();
+        assert_eq!(ps.len(), 4);
+        assert!(ps.iter().all(|p| p.clauses().len() == 2));
+    }
+
+    #[test]
+    fn not_equal_desugars() {
+        let ps = parse_predicates("emp.age != 30").unwrap();
+        assert_eq!(ps.len(), 2);
+        let s = emp_schema();
+        let hit = |t: &Tuple| ps.iter().any(|p| p.bind(&s).unwrap().matches(t));
+        assert!(hit(&emp("h", 29, 0, "x")));
+        assert!(!hit(&emp("h", 30, 0, "x")));
+        assert!(hit(&emp("h", 31, 0, "x")));
+    }
+
+    #[test]
+    fn contradiction_is_unsatisfiable() {
+        let p = parse_predicate("emp.age < 10 and emp.age > 20").unwrap();
+        assert!(!p.is_satisfiable());
+        let p = parse_predicate("20 <= emp.age <= 10").unwrap();
+        assert!(!p.is_satisfiable());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            parse_predicate("1 < 2"),
+            Err(ParseError::BadComparison(_))
+        ));
+        assert!(matches!(
+            parse_predicate("emp.a < emp.b"),
+            Err(ParseError::BadComparison(_))
+        ));
+        assert!(matches!(
+            parse_predicate("10 < emp.age > 5"),
+            Err(ParseError::BadChain(_))
+        ));
+        assert!(matches!(
+            parse_predicate("nosuchfn(emp.age)"),
+            Err(ParseError::UnknownFunction(_))
+        ));
+        assert!(matches!(
+            parse_predicate("emp.age < 5 and dept.size > 3"),
+            Err(ParseError::MultipleRelations { .. })
+        ));
+        assert!(matches!(
+            parse_predicate("emp.age < 5 or emp.age > 9"),
+            Err(ParseError::DisjunctionNotAllowed)
+        ));
+        assert!(matches!(parse_predicate(""), Err(ParseError::Empty)));
+        assert!(matches!(
+            parse_predicate("emp.age <"),
+            Err(ParseError::Unexpected { .. })
+        ));
+    }
+
+    #[test]
+    fn custom_function_registry() {
+        let mut reg = FunctionRegistry::default();
+        reg.register("is_round", |v| matches!(v, Value::Int(i) if i % 100 == 0));
+        let p = parse_conjunct("is_round(emp.salary)", &reg).unwrap();
+        let b = p.bind(&emp_schema()).unwrap();
+        assert!(b.matches(&emp("i", 0, 500, "x")));
+        assert!(!b.matches(&emp("i", 0, 550, "x")));
+    }
+
+    #[test]
+    fn float_and_string_literals() {
+        let s = Schema::builder("m")
+            .attr("score", AttrType::Float)
+            .attr("tag", AttrType::Str)
+            .build();
+        let p = parse_predicate(r#"m.score >= 2.5 and m.tag < "n""#).unwrap();
+        let b = p.bind(&s).unwrap();
+        assert!(b.matches(&Tuple::new(vec![Value::Float(2.5), Value::str("abc")])));
+        assert!(!b.matches(&Tuple::new(vec![Value::Float(2.4), Value::str("abc")])));
+        assert!(!b.matches(&Tuple::new(vec![Value::Float(3.0), Value::str("zzz")])));
+    }
+}

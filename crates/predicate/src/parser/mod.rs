@@ -1,0 +1,7 @@
+//! The predicate language: lexer, parser, and DNF normalization.
+
+mod lexer;
+mod parse;
+
+pub use lexer::{lex, LexError, Token};
+pub use parse::{parse_conjunct, parse_dnf, ParseError};

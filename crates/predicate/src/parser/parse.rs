@@ -1,0 +1,502 @@
+//! Recursive-descent parser and DNF normalization.
+//!
+//! The grammar (keywords case-insensitive):
+//!
+//! ```text
+//! expr   := term ('or' term)*
+//! term   := factor ('and' factor)*
+//! factor := '(' expr ')' | funccall | comparison
+//! funccall   := Ident '(' attrref ')'
+//! comparison := operand cmp operand (cmp operand)?
+//! operand    := literal | attrref
+//! attrref    := Ident '.' Ident
+//! cmp        := '<' | '<=' | '=' | '>=' | '>' | '!=' | '<>'
+//! ```
+//!
+//! The boolean expression is normalized to disjunctive normal form; each
+//! disjunct becomes one [`Predicate`], implementing §1's "any predicate
+//! containing a disjunction is broken up into two or more predicates".
+//! `!=` desugars to `< or >`, which rides the same mechanism.
+
+use crate::clause::Clause;
+use crate::functions::FunctionRegistry;
+use crate::parser::lexer::{lex, LexError, Token};
+use crate::predicate::Predicate;
+use interval::{Interval, Lower, Upper};
+use relation::Value;
+use std::fmt;
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Tokenizer failure.
+    Lex(LexError),
+    /// Unexpected token (or end of input).
+    Unexpected { got: Option<String>, expected: String },
+    /// A comparison between two literals or two attributes.
+    BadComparison(String),
+    /// A chained comparison with inconsistent operator directions.
+    BadChain(String),
+    /// Unknown function name.
+    UnknownFunction(String),
+    /// One conjunct references more than one relation (join conditions
+    /// are out of scope, as in the paper).
+    MultipleRelations { first: String, second: String },
+    /// The input contained a disjunction but a single conjunctive
+    /// predicate was requested.
+    DisjunctionNotAllowed,
+    /// Empty input.
+    Empty,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected { got, expected } => match got {
+                Some(g) => write!(f, "unexpected {g:?}, expected {expected}"),
+                None => write!(f, "unexpected end of input, expected {expected}"),
+            },
+            ParseError::BadComparison(m) => write!(f, "bad comparison: {m}"),
+            ParseError::BadChain(m) => write!(f, "bad chained comparison: {m}"),
+            ParseError::UnknownFunction(n) => write!(f, "unknown function {n:?}"),
+            ParseError::MultipleRelations { first, second } => write!(
+                f,
+                "conjunct mixes relations {first:?} and {second:?} (join predicates are not supported)"
+            ),
+            ParseError::DisjunctionNotAllowed => {
+                write!(f, "input is a disjunction; use parse_dnf to split it")
+            }
+            ParseError::Empty => write!(f, "empty predicate"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+/// A parsed leaf before DNF expansion.
+#[derive(Debug, Clone)]
+enum Leaf {
+    /// Range clause; `interval = None` means the comparison chain was
+    /// contradictory (e.g. `5 <= a <= 3`) — the conjunct is
+    /// unsatisfiable.
+    Range {
+        rel: String,
+        attr: String,
+        interval: Option<Interval<Value>>,
+    },
+    /// Function clause.
+    Func { rel: String, attr: String, name: String },
+    /// `attr != c`, expanded to `< c or > c` during DNF.
+    NotEqual { rel: String, attr: String, value: Value },
+}
+
+#[derive(Debug, Clone)]
+enum Expr {
+    Or(Box<Expr>, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Leaf(Leaf),
+}
+
+/// Parses `input` into one predicate per disjunct of its DNF.
+pub fn parse_dnf(input: &str, funcs: &FunctionRegistry) -> Result<Vec<Predicate>, ParseError> {
+    let tokens = lex(input)?;
+    if tokens.is_empty() {
+        return Err(ParseError::Empty);
+    }
+    let mut p = Parser { tokens, pos: 0 };
+    let expr = p.expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(ParseError::Unexpected {
+            got: Some(p.tokens[p.pos].to_string()),
+            expected: "end of input".into(),
+        });
+    }
+    let conjuncts = dnf(&expr);
+    conjuncts
+        .into_iter()
+        .map(|leaves| build_predicate(leaves, funcs))
+        .collect()
+}
+
+/// Parses `input` as a single conjunctive predicate (no `or`, no `!=`).
+pub fn parse_conjunct(
+    input: &str,
+    funcs: &FunctionRegistry,
+) -> Result<Predicate, ParseError> {
+    let mut preds = parse_dnf(input, funcs)?;
+    if preds.len() != 1 {
+        return Err(ParseError::DisjunctionNotAllowed);
+    }
+    Ok(preds.pop().expect("length checked"))
+}
+
+/// Expands an expression tree to DNF: a list of conjuncts, each a list
+/// of leaves. `NotEqual` leaves split into two alternatives here.
+fn dnf(expr: &Expr) -> Vec<Vec<Leaf>> {
+    match expr {
+        Expr::Or(a, b) => {
+            let mut out = dnf(a);
+            out.extend(dnf(b));
+            out
+        }
+        Expr::And(a, b) => {
+            let left = dnf(a);
+            let right = dnf(b);
+            let mut out = Vec::with_capacity(left.len() * right.len());
+            for l in &left {
+                for r in &right {
+                    let mut c = l.clone();
+                    c.extend(r.iter().cloned());
+                    out.push(c);
+                }
+            }
+            out
+        }
+        Expr::Leaf(Leaf::NotEqual { rel, attr, value }) => vec![
+            vec![Leaf::Range {
+                rel: rel.clone(),
+                attr: attr.clone(),
+                interval: Some(Interval::less_than(value.clone())),
+            }],
+            vec![Leaf::Range {
+                rel: rel.clone(),
+                attr: attr.clone(),
+                interval: Some(Interval::greater_than(value.clone())),
+            }],
+        ],
+        Expr::Leaf(l) => vec![vec![l.clone()]],
+    }
+}
+
+fn build_predicate(leaves: Vec<Leaf>, funcs: &FunctionRegistry) -> Result<Predicate, ParseError> {
+    let mut relation: Option<String> = None;
+    let mut clauses = Vec::with_capacity(leaves.len());
+    let mut satisfiable = true;
+    for leaf in leaves {
+        let (rel, clause) = match leaf {
+            Leaf::Range { rel, attr, interval } => match interval {
+                Some(iv) => (rel, Some(Clause::Range { attr, interval: iv })),
+                None => {
+                    satisfiable = false;
+                    (rel, None)
+                }
+            },
+            Leaf::Func { rel, attr, name } => {
+                let func = funcs
+                    .get(&name)
+                    .ok_or_else(|| ParseError::UnknownFunction(name.clone()))?;
+                (rel, Some(Clause::Func { name, attr, func }))
+            }
+            Leaf::NotEqual { .. } => unreachable!("expanded during DNF"),
+        };
+        match &relation {
+            None => relation = Some(rel),
+            Some(r) if *r != rel => {
+                return Err(ParseError::MultipleRelations {
+                    first: r.clone(),
+                    second: rel,
+                })
+            }
+            Some(_) => {}
+        }
+        if let Some(c) = clause {
+            clauses.push(c);
+        }
+    }
+    let relation = relation.ok_or(ParseError::Empty)?;
+    let p = Predicate::new(relation.clone(), clauses);
+    Ok(if satisfiable {
+        p
+    } else {
+        Predicate::unsatisfiable(relation)
+    })
+}
+
+/// One of the two comparison operand kinds.
+#[derive(Debug, Clone)]
+enum Operand {
+    Literal(Value),
+    Attr { rel: String, attr: String },
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t == *want => Ok(()),
+            got => Err(ParseError::Unexpected {
+                got: got.map(|t| t.to_string()),
+                expected: what.to_string(),
+            }),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.term()?;
+        while self.peek() == Some(&Token::Or) {
+            self.next();
+            let right = self.term()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.factor()?;
+        while self.peek() == Some(&Token::And) {
+            self.next();
+            let right = self.factor()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Token::LParen) => {
+                self.next();
+                let e = self.expr()?;
+                self.expect(&Token::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(Token::Ident(_))
+                if matches!(self.tokens.get(self.pos + 1), Some(Token::LParen)) =>
+            {
+                self.funccall()
+            }
+            _ => self.comparison(),
+        }
+    }
+
+    fn funccall(&mut self) -> Result<Expr, ParseError> {
+        let Some(Token::Ident(name)) = self.next() else {
+            unreachable!("caller checked")
+        };
+        self.expect(&Token::LParen, "'('")?;
+        let (rel, attr) = self.attrref()?;
+        self.expect(&Token::RParen, "')'")?;
+        Ok(Expr::Leaf(Leaf::Func { rel, attr, name }))
+    }
+
+    fn attrref(&mut self) -> Result<(String, String), ParseError> {
+        let rel = match self.next() {
+            Some(Token::Ident(r)) => r,
+            got => {
+                return Err(ParseError::Unexpected {
+                    got: got.map(|t| t.to_string()),
+                    expected: "relation name".into(),
+                })
+            }
+        };
+        self.expect(&Token::Dot, "'.'")?;
+        match self.next() {
+            Some(Token::Ident(a)) => Ok((rel, a)),
+            got => Err(ParseError::Unexpected {
+                got: got.map(|t| t.to_string()),
+                expected: "attribute name".into(),
+            }),
+        }
+    }
+
+    fn operand(&mut self) -> Result<Operand, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Int(i)) => {
+                self.next();
+                Ok(Operand::Literal(Value::Int(i)))
+            }
+            Some(Token::Float(x)) => {
+                self.next();
+                Ok(Operand::Literal(Value::Float(x)))
+            }
+            Some(Token::Str(s)) => {
+                self.next();
+                Ok(Operand::Literal(Value::Str(s)))
+            }
+            Some(Token::Bool(b)) => {
+                self.next();
+                Ok(Operand::Literal(Value::Bool(b)))
+            }
+            Some(Token::Ident(_)) => {
+                let (rel, attr) = self.attrref()?;
+                Ok(Operand::Attr { rel, attr })
+            }
+            got => Err(ParseError::Unexpected {
+                got: got.map(|t| t.to_string()),
+                expected: "literal or relation.attribute".into(),
+            }),
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<Token, ParseError> {
+        match self.next() {
+            Some(t @ (Token::Lt | Token::Le | Token::Eq | Token::Ge | Token::Gt | Token::Ne)) => {
+                Ok(t)
+            }
+            got => Err(ParseError::Unexpected {
+                got: got.map(|t| t.to_string()),
+                expected: "comparison operator".into(),
+            }),
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let a = self.operand()?;
+        let op1 = self.cmp_op()?;
+        let b = self.operand()?;
+
+        // Chained form: lit op attr op lit.
+        let chained = matches!(
+            self.peek(),
+            Some(Token::Lt | Token::Le | Token::Eq | Token::Ge | Token::Gt | Token::Ne)
+        );
+        if chained {
+            let op2 = self.cmp_op()?;
+            let c = self.operand()?;
+            return self.lower_chain(a, op1, b, op2, c);
+        }
+        self.lower_single(a, op1, b)
+    }
+
+    fn lower_single(&self, a: Operand, op: Token, b: Operand) -> Result<Expr, ParseError> {
+        // Normalize to attr-on-the-left.
+        let (rel, attr, op, lit) = match (a, b) {
+            (Operand::Attr { rel, attr }, Operand::Literal(v)) => (rel, attr, op, v),
+            (Operand::Literal(v), Operand::Attr { rel, attr }) => {
+                (rel, attr, flip(op), v)
+            }
+            (Operand::Literal(_), Operand::Literal(_)) => {
+                return Err(ParseError::BadComparison(
+                    "both sides are literals".into(),
+                ))
+            }
+            (Operand::Attr { .. }, Operand::Attr { .. }) => {
+                return Err(ParseError::BadComparison(
+                    "both sides are attributes (join predicates are not supported)".into(),
+                ))
+            }
+        };
+        let leaf = match op {
+            Token::Lt => Leaf::Range {
+                rel,
+                attr,
+                interval: Some(Interval::less_than(lit)),
+            },
+            Token::Le => Leaf::Range {
+                rel,
+                attr,
+                interval: Some(Interval::at_most(lit)),
+            },
+            Token::Gt => Leaf::Range {
+                rel,
+                attr,
+                interval: Some(Interval::greater_than(lit)),
+            },
+            Token::Ge => Leaf::Range {
+                rel,
+                attr,
+                interval: Some(Interval::at_least(lit)),
+            },
+            Token::Eq => Leaf::Range {
+                rel,
+                attr,
+                interval: Some(Interval::point(lit)),
+            },
+            Token::Ne => Leaf::NotEqual {
+                rel,
+                attr,
+                value: lit,
+            },
+            _ => unreachable!("cmp_op filtered"),
+        };
+        Ok(Expr::Leaf(leaf))
+    }
+
+    /// Lowers `c1 ρ1 attr ρ2 c2` (the paper's general range clause form)
+    /// to an interval.
+    fn lower_chain(
+        &self,
+        a: Operand,
+        op1: Token,
+        b: Operand,
+        op2: Token,
+        c: Operand,
+    ) -> Result<Expr, ParseError> {
+        let (lo_lit, rel, attr, hi_lit, op_lo, op_hi) = match (a, b, c) {
+            (Operand::Literal(lo), Operand::Attr { rel, attr }, Operand::Literal(hi)) => {
+                (lo, rel, attr, hi, op1, op2)
+            }
+            _ => {
+                return Err(ParseError::BadChain(
+                    "chained comparisons must be literal ρ attr ρ literal".into(),
+                ))
+            }
+        };
+        // Both ops ascending (< / <=) or both descending (> / >=).
+        let make = |lo: Value, lo_op: &Token, hi: Value, hi_op: &Token| {
+            let lower = match lo_op {
+                Token::Le => Lower::Inclusive(lo),
+                Token::Lt => Lower::Exclusive(lo),
+                _ => unreachable!(),
+            };
+            let upper = match hi_op {
+                Token::Le => Upper::Inclusive(hi),
+                Token::Lt => Upper::Exclusive(hi),
+                _ => unreachable!(),
+            };
+            Interval::new(lower, upper).ok()
+        };
+        let interval = match (&op_lo, &op_hi) {
+            (Token::Lt | Token::Le, Token::Lt | Token::Le) => {
+                make(lo_lit, &op_lo, hi_lit, &op_hi)
+            }
+            (Token::Gt | Token::Ge, Token::Gt | Token::Ge) => {
+                // c1 >= attr >= c2 reads downward: flip to c2 <= attr <= c1.
+                make(hi_lit, &flip(op_hi), lo_lit, &flip(op_lo))
+            }
+            _ => {
+                return Err(ParseError::BadChain(
+                    "chained comparison operators must point the same way".into(),
+                ))
+            }
+        };
+        Ok(Expr::Leaf(Leaf::Range {
+            rel,
+            attr,
+            interval,
+        }))
+    }
+}
+
+/// Mirror a comparison operator (for swapping operand sides).
+fn flip(op: Token) -> Token {
+    match op {
+        Token::Lt => Token::Gt,
+        Token::Le => Token::Ge,
+        Token::Gt => Token::Lt,
+        Token::Ge => Token::Le,
+        other => other,
+    }
+}

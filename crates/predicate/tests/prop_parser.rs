@@ -1,0 +1,178 @@
+//! Property-based testing of the predicate language.
+//!
+//! Two independent checks:
+//!
+//! 1. **Round trip** — any programmatically built conjunctive predicate
+//!    renders to source (`Predicate::to_source`) that parses back to an
+//!    equivalent predicate (identical evaluation on every tuple in the
+//!    domain).
+//! 2. **DNF semantics** — any randomly generated boolean expression
+//!    (comparisons joined by and/or with parentheses) evaluates, tuple
+//!    by tuple, the same way through the parser's DNF split as through a
+//!    reference evaluator over the generating AST.
+
+use interval::{Interval, Lower, Upper};
+use predicate::{parse_predicate, parse_predicates, Clause, Predicate};
+use proptest::prelude::*;
+use relation::{AttrType, Schema, Tuple, Value};
+
+const ATTRS: [&str; 3] = ["a", "b", "c"];
+
+fn schema() -> Schema {
+    Schema::builder("rel")
+        .attr("a", AttrType::Int)
+        .attr("b", AttrType::Int)
+        .attr("c", AttrType::Int)
+        .build()
+}
+
+fn arb_range_clause() -> impl Strategy<Value = Clause> {
+    (0usize..3, 0i64..40, 0i64..40, any::<(bool, bool)>(), 0u8..6).prop_filter_map(
+        "non-empty",
+        |(attr, x, y, (li, hi), kind)| {
+            let (x, y) = if x <= y { (x, y) } else { (y, x) };
+            let interval = match kind {
+                0 => Interval::point(Value::Int(x)),
+                1 => Interval::at_least(Value::Int(x)),
+                2 => Interval::greater_than(Value::Int(x)),
+                3 => Interval::at_most(Value::Int(x)),
+                4 => Interval::less_than(Value::Int(x)),
+                _ => {
+                    let lo = if li {
+                        Lower::Inclusive(Value::Int(x))
+                    } else {
+                        Lower::Exclusive(Value::Int(x))
+                    };
+                    let up = if hi {
+                        Upper::Inclusive(Value::Int(y))
+                    } else {
+                        Upper::Exclusive(Value::Int(y))
+                    };
+                    Interval::new(lo, up).ok()?
+                }
+            };
+            Some(Clause::Range {
+                attr: ATTRS[attr].to_string(),
+                interval,
+            })
+        },
+    )
+}
+
+fn arb_tuple() -> impl Strategy<Value = Tuple> {
+    (-2i64..42, -2i64..42, -2i64..42)
+        .prop_map(|(a, b, c)| Tuple::new(vec![Value::Int(a), Value::Int(b), Value::Int(c)]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn to_source_round_trips(
+        clauses in prop::collection::vec(arb_range_clause(), 1..5),
+        tuples in prop::collection::vec(arb_tuple(), 1..20),
+    ) {
+        let original = Predicate::new("rel", clauses);
+        prop_assume!(original.is_satisfiable());
+        let Some(src) = original.to_source() else {
+            // Fully unbounded clause: no source spelling; skip.
+            return Ok(());
+        };
+        let reparsed = parse_predicate(&src)
+            .unwrap_or_else(|e| panic!("reparse of {src:?} failed: {e}"));
+        let s = schema();
+        let b1 = original.bind(&s).unwrap();
+        let b2 = reparsed.bind(&s).unwrap();
+        for t in &tuples {
+            prop_assert_eq!(
+                b1.matches(t),
+                b2.matches(t),
+                "round trip diverged on {:?} via {:?}",
+                t,
+                src
+            );
+        }
+    }
+}
+
+/// Test-side boolean expression AST with its own evaluator.
+#[derive(Debug, Clone)]
+enum Expr {
+    Cmp { attr: usize, op: u8, k: i64 },
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn eval(&self, t: &Tuple) -> bool {
+        match self {
+            Expr::Cmp { attr, op, k } => {
+                let Value::Int(v) = t.get(*attr) else { unreachable!() };
+                match op {
+                    0 => v < k,
+                    1 => v <= k,
+                    2 => v == k,
+                    3 => v >= k,
+                    4 => v > k,
+                    _ => v != k,
+                }
+            }
+            Expr::And(a, b) => a.eval(t) && b.eval(t),
+            Expr::Or(a, b) => a.eval(t) || b.eval(t),
+        }
+    }
+
+    fn render(&self) -> String {
+        match self {
+            Expr::Cmp { attr, op, k } => {
+                let o = ["<", "<=", "=", ">=", ">", "!="][*op as usize];
+                format!("rel.{} {} {}", ATTRS[*attr], o, k)
+            }
+            Expr::And(a, b) => format!("({} and {})", a.render(), b.render()),
+            Expr::Or(a, b) => format!("({} or {})", a.render(), b.render()),
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = (0usize..3, 0u8..6, 0i64..40).prop_map(|(attr, op, k)| Expr::Cmp {
+        attr,
+        op,
+        k,
+    });
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dnf_split_preserves_semantics(
+        expr in arb_expr(),
+        tuples in prop::collection::vec(arb_tuple(), 1..20),
+    ) {
+        let src = expr.render();
+        let preds = parse_predicates(&src)
+            .unwrap_or_else(|e| panic!("parse of {src:?} failed: {e}"));
+        prop_assert!(!preds.is_empty());
+        let s = schema();
+        let bound: Vec<_> = preds.iter().map(|p| p.bind(&s).unwrap()).collect();
+        for t in &tuples {
+            let via_dnf = bound.iter().any(|b| b.matches(t));
+            prop_assert_eq!(
+                via_dnf,
+                expr.eval(t),
+                "DNF diverged on {:?} for {:?}",
+                t,
+                src
+            );
+        }
+    }
+}

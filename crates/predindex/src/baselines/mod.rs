@@ -1,0 +1,12 @@
+//! The §2 baseline matching strategies, in the paper's order of
+//! increasing complexity.
+
+mod hash_seq;
+mod locking;
+mod rtree_matcher;
+mod sequential;
+
+pub use hash_seq::HashSequentialMatcher;
+pub use locking::PhysicalLockingMatcher;
+pub use rtree_matcher::RTreeMatcher;
+pub use sequential::SequentialMatcher;

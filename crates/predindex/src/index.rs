@@ -1,0 +1,276 @@
+//! The paper's predicate indexing scheme (Figure 1).
+//!
+//! ```text
+//! inserted or deleted tuples enter here
+//!                │
+//!        hash on relation name
+//!                │
+//!   ┌────────────┴───────────────────────────────┐
+//!   │ per-relation second-level index:           │
+//!   │   list of non-indexable predicates         │
+//!   │   one IBS-tree per attribute with ≥1       │
+//!   │     indexable predicate clause             │
+//!   └────────────┬───────────────────────────────┘
+//!                │ partial matches
+//!        PREDICATES table: full residual test
+//! ```
+//!
+//! For a conjunction with several indexable clauses, "the most selective
+//! one is placed in the IBS-tree (selectivity estimates are obtained
+//! from the query optimizer)"; everything else is verified by the
+//! residual test against the `PREDICATES` table.
+
+use crate::matcher::{IndexError, Matcher, PredicateId, PredicateStore, StoredPredicate};
+use ibs::{BalanceMode, IbsTree};
+use interval::Interval;
+use predicate::selectivity::most_selective_indexable;
+use predicate::{BoundClause, Predicate};
+use relation::fx::FnvHashMap;
+use relation::{Catalog, Tuple, Value};
+
+/// Where a registered predicate physically lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Location {
+    /// In the IBS-tree of this attribute (by schema position).
+    Tree { attr: usize },
+    /// On the relation's non-indexable list.
+    NonIndexable,
+    /// Nowhere: the predicate is unsatisfiable and can never match.
+    Unsatisfiable,
+}
+
+/// Second-level index for one relation.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RelationIndex {
+    /// One IBS-tree per attribute that has at least one indexed clause.
+    attr_trees: FnvHashMap<usize, IbsTree<Value>>,
+    /// Predicates whose clauses are all opaque functions (or empty).
+    non_indexable: Vec<PredicateId>,
+}
+
+impl RelationIndex {
+    /// Iterates `(attribute index, tree)` pairs (stats support).
+    pub(crate) fn attr_trees_iter(
+        &self,
+    ) -> impl Iterator<Item = (usize, &IbsTree<Value>)> {
+        self.attr_trees.iter().map(|(&a, t)| (a, t))
+    }
+
+    /// Length of the non-indexable list (stats support).
+    pub(crate) fn non_indexable_len(&self) -> usize {
+        self.non_indexable.len()
+    }
+}
+
+/// The paper's predicate index: relation-name hash → per-attribute
+/// IBS-trees + non-indexable list → `PREDICATES` residual test.
+///
+/// ```
+/// use predindex::{Matcher, PredicateIndex};
+/// use predicate::parse_predicate;
+/// use relation::{AttrType, Database, Schema, Value};
+///
+/// let mut db = Database::new();
+/// db.create_relation(
+///     Schema::builder("emp")
+///         .attr("age", AttrType::Int)
+///         .attr("salary", AttrType::Int)
+///         .build(),
+/// )
+/// .unwrap();
+///
+/// let mut index = PredicateIndex::new();
+/// let p = parse_predicate("emp.salary < 20000 and emp.age > 50").unwrap();
+/// let id = index.insert(p, db.catalog()).unwrap();
+///
+/// let t = db.insert("emp", vec![Value::Int(61), Value::Int(12_000)]).unwrap();
+/// assert_eq!(index.match_tuple("emp", &t), vec![id]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PredicateIndex {
+    relations: FnvHashMap<String, RelationIndex>,
+    store: PredicateStore,
+    locations: FnvHashMap<u32, (String, Location)>,
+    mode: BalanceMode,
+}
+
+impl Default for PredicateIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PredicateIndex {
+    /// An index whose IBS-trees are AVL-balanced.
+    pub fn new() -> Self {
+        Self::with_mode(BalanceMode::Avl)
+    }
+
+    /// An index with explicit IBS-tree balancing (the paper's empirical
+    /// section ran unbalanced trees).
+    pub fn with_mode(mode: BalanceMode) -> Self {
+        PredicateIndex {
+            relations: FnvHashMap::default(),
+            store: PredicateStore::new(),
+            locations: FnvHashMap::default(),
+            mode,
+        }
+    }
+
+    /// The stored form of a registered predicate.
+    pub fn get(&self, id: PredicateId) -> Option<&StoredPredicate> {
+        self.store.get(id)
+    }
+
+    /// Matching ids appended into a caller-owned buffer (hot path).
+    pub fn match_tuple_into(&self, relation: &str, tuple: &Tuple, out: &mut Vec<PredicateId>) {
+        let from = out.len();
+        let Some(ri) = self.relations.get(relation) else {
+            return;
+        };
+        // Partial match: stab every per-attribute IBS-tree with the
+        // tuple's value for that attribute, then sweep the non-indexable
+        // list. Each predicate lives in exactly one place, so no
+        // deduplication is needed.
+        for (&attr, tree) in &ri.attr_trees {
+            tree.stab_into(tuple.get(attr), out);
+        }
+        out.extend_from_slice(&ri.non_indexable);
+        // Residual test against PREDICATES.
+        let store = &self.store;
+        let mut keep = from;
+        for i in from..out.len() {
+            if store.full_match(out[i], tuple) {
+                out.swap(keep, i);
+                keep += 1;
+            }
+        }
+        out.truncate(keep);
+        out[from..].sort_unstable();
+    }
+
+    /// Number of per-attribute IBS-trees across all relations (for
+    /// diagnostics and the §5.2 cost model).
+    pub fn attribute_tree_count(&self) -> usize {
+        self.relations.values().map(|r| r.attr_trees.len()).sum()
+    }
+
+    /// Iterates `(relation name, relation index)` pairs (stats support).
+    pub(crate) fn relations_iter(
+        &self,
+    ) -> impl Iterator<Item = (&str, &RelationIndex)> {
+        self.relations.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Total markers across all IBS-trees (§5.1 space metric).
+    pub fn marker_count(&self) -> usize {
+        self.relations
+            .values()
+            .flat_map(|r| r.attr_trees.values())
+            .map(|t| t.marker_count())
+            .sum()
+    }
+}
+
+impl Matcher for PredicateIndex {
+    fn insert(&mut self, pred: Predicate, catalog: &Catalog) -> Result<PredicateId, IndexError> {
+        let (id, stored) = self.store.register(pred, catalog)?;
+        let relation = stored.bound.relation().to_string();
+        // Decide the placement with the store borrow, mutate after.
+        let chosen: Option<Option<(usize, Interval<Value>)>> = if !stored.bound.is_satisfiable()
+        {
+            None
+        } else {
+            Some(
+                most_selective_indexable(catalog, &stored.bound).map(|cix| {
+                    let BoundClause::Range { attr, interval } = &stored.bound.clauses()[cix]
+                    else {
+                        unreachable!("most_selective_indexable returns range clauses")
+                    };
+                    (*attr, interval.clone())
+                }),
+            )
+        };
+        let location = match chosen {
+            None => Location::Unsatisfiable,
+            Some(Some((attr, interval))) => {
+                self.index_clause(&relation, attr, id, interval);
+                Location::Tree { attr }
+            }
+            Some(None) => {
+                self.relations
+                    .entry(relation.clone())
+                    .or_default()
+                    .non_indexable
+                    .push(id);
+                Location::NonIndexable
+            }
+        };
+        self.locations.insert(id.0, (relation, location));
+        Ok(id)
+    }
+
+    fn remove(&mut self, id: PredicateId) -> Option<Predicate> {
+        let stored = self.store.unregister(id)?;
+        let (relation, location) = self
+            .locations
+            .remove(&id.0)
+            .expect("stored predicate must have a location");
+        match location {
+            Location::Tree { attr } => {
+                let ri = self
+                    .relations
+                    .get_mut(&relation)
+                    .expect("indexed relation exists");
+                let tree = ri.attr_trees.get_mut(&attr).expect("indexed tree exists");
+                tree.remove(id).expect("indexed interval exists");
+                if tree.is_empty() {
+                    ri.attr_trees.remove(&attr);
+                }
+            }
+            Location::NonIndexable => {
+                let ri = self
+                    .relations
+                    .get_mut(&relation)
+                    .expect("indexed relation exists");
+                ri.non_indexable.retain(|&p| p != id);
+            }
+            Location::Unsatisfiable => {}
+        }
+        Some(stored.source)
+    }
+
+    fn match_tuple(&self, relation: &str, tuple: &Tuple) -> Vec<PredicateId> {
+        let mut out = Vec::new();
+        self.match_tuple_into(relation, tuple, &mut out);
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    fn strategy(&self) -> &'static str {
+        "ibs-index"
+    }
+}
+
+impl PredicateIndex {
+    fn index_clause(
+        &mut self,
+        relation: &str,
+        attr: usize,
+        id: PredicateId,
+        interval: Interval<Value>,
+    ) {
+        let mode = self.mode;
+        let tree = self
+            .relations
+            .entry(relation.to_string())
+            .or_default()
+            .attr_trees
+            .entry(attr)
+            .or_insert_with(|| IbsTree::with_mode(mode));
+        tree.insert(id, interval).expect("fresh predicate id");
+    }
+}

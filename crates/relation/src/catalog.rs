@@ -1,0 +1,310 @@
+//! The catalog (named relations + statistics) and the [`Database`]
+//! facade whose mutations emit the tuple events a rule system consumes.
+
+use crate::fx::FnvHashMap;
+use crate::relation::{Relation, RelationError, Tuple, TupleId};
+use crate::schema::Schema;
+use crate::stats::ColumnStats;
+use crate::value::Value;
+use std::fmt;
+
+/// Catalog errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// A relation with this name already exists.
+    Duplicate(String),
+    /// No relation with this name.
+    NoSuchRelation(String),
+    /// Underlying relation mutation failed.
+    Relation(RelationError),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::Duplicate(n) => write!(f, "relation {n:?} already exists"),
+            CatalogError::NoSuchRelation(n) => write!(f, "no relation named {n:?}"),
+            CatalogError::Relation(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+impl From<RelationError> for CatalogError {
+    fn from(e: RelationError) -> Self {
+        CatalogError::Relation(e)
+    }
+}
+
+/// Named relations plus per-column optimizer statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    relations: FnvHashMap<String, Relation>,
+    /// `(relation, attr index)` → stats, populated by [`Catalog::analyze`].
+    stats: FnvHashMap<(String, usize), ColumnStats>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a new relation.
+    pub fn create_relation(&mut self, schema: Schema) -> Result<(), CatalogError> {
+        let name = schema.name().to_string();
+        if self.relations.contains_key(&name) {
+            return Err(CatalogError::Duplicate(name));
+        }
+        self.relations.insert(name, Relation::new(schema));
+        Ok(())
+    }
+
+    /// The relation called `name`.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Mutable access to the relation called `name`.
+    pub fn relation_mut(&mut self, name: &str) -> Option<&mut Relation> {
+        self.relations.get_mut(name)
+    }
+
+    /// Iterates relations in unspecified order.
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.values()
+    }
+
+    /// (Re)builds column statistics for every relation from current
+    /// contents — the stand-in for "selectivity estimates are obtained
+    /// from the query optimizer" (§4).
+    pub fn analyze(&mut self) {
+        self.stats.clear();
+        for (name, rel) in &self.relations {
+            for i in 0..rel.schema().arity() {
+                let column: Vec<Value> =
+                    rel.iter().map(|(_, t)| t.get(i).clone()).collect();
+                self.stats
+                    .insert((name.clone(), i), ColumnStats::from_values(column));
+            }
+        }
+    }
+
+    /// Stats for one column, if analyzed.
+    pub fn column_stats(&self, relation: &str, attr: usize) -> Option<&ColumnStats> {
+        // Allocation-free lookup would need a borrowed pair key; this
+        // path only runs at predicate-registration time, not per tuple.
+        self.stats.get(&(relation.to_string(), attr))
+    }
+}
+
+/// A tuple-level change, as delivered to the rule engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TupleEvent {
+    /// A tuple was inserted.
+    Inserted {
+        relation: String,
+        id: TupleId,
+        tuple: Tuple,
+    },
+    /// A tuple was replaced.
+    Updated {
+        relation: String,
+        id: TupleId,
+        old: Tuple,
+        new: Tuple,
+    },
+    /// A tuple was deleted.
+    Deleted {
+        relation: String,
+        id: TupleId,
+        tuple: Tuple,
+    },
+}
+
+impl TupleEvent {
+    /// The relation the event belongs to.
+    pub fn relation(&self) -> &str {
+        match self {
+            TupleEvent::Inserted { relation, .. }
+            | TupleEvent::Updated { relation, .. }
+            | TupleEvent::Deleted { relation, .. } => relation,
+        }
+    }
+
+    /// The tuple as it exists *after* the event (the paper's matching
+    /// target: "each new or modified tuple"). `None` for deletions.
+    pub fn current(&self) -> Option<&Tuple> {
+        match self {
+            TupleEvent::Inserted { tuple, .. } => Some(tuple),
+            TupleEvent::Updated { new, .. } => Some(new),
+            TupleEvent::Deleted { .. } => None,
+        }
+    }
+}
+
+/// A catalog with event-emitting mutations.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    catalog: Catalog,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access (schema changes, analyze).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Registers a new relation.
+    pub fn create_relation(&mut self, schema: Schema) -> Result<(), CatalogError> {
+        self.catalog.create_relation(schema)
+    }
+
+    /// Inserts a tuple, returning a clone of what was stored (convenient
+    /// for immediately matching it against predicates).
+    pub fn insert(&mut self, relation: &str, values: Vec<Value>) -> Result<Tuple, CatalogError> {
+        Ok(self.insert_event(relation, values)?.current().unwrap().clone())
+    }
+
+    /// Inserts a tuple and returns the full event.
+    pub fn insert_event(
+        &mut self,
+        relation: &str,
+        values: Vec<Value>,
+    ) -> Result<TupleEvent, CatalogError> {
+        let rel = self
+            .catalog
+            .relation_mut(relation)
+            .ok_or_else(|| CatalogError::NoSuchRelation(relation.to_string()))?;
+        let id = rel.insert(values)?;
+        Ok(TupleEvent::Inserted {
+            relation: relation.to_string(),
+            id,
+            tuple: rel.get(id).expect("just inserted").clone(),
+        })
+    }
+
+    /// Replaces a tuple and returns the full event.
+    pub fn update_event(
+        &mut self,
+        relation: &str,
+        id: TupleId,
+        values: Vec<Value>,
+    ) -> Result<TupleEvent, CatalogError> {
+        let rel = self
+            .catalog
+            .relation_mut(relation)
+            .ok_or_else(|| CatalogError::NoSuchRelation(relation.to_string()))?;
+        let old = rel.update(id, values)?;
+        Ok(TupleEvent::Updated {
+            relation: relation.to_string(),
+            id,
+            old,
+            new: rel.get(id).expect("just updated").clone(),
+        })
+    }
+
+    /// Deletes a tuple and returns the full event.
+    pub fn delete_event(
+        &mut self,
+        relation: &str,
+        id: TupleId,
+    ) -> Result<TupleEvent, CatalogError> {
+        let rel = self
+            .catalog
+            .relation_mut(relation)
+            .ok_or_else(|| CatalogError::NoSuchRelation(relation.to_string()))?;
+        let tuple = rel.delete(id)?;
+        Ok(TupleEvent::Deleted {
+            relation: relation.to_string(),
+            id,
+            tuple,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::AttrType;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(
+            Schema::builder("emp")
+                .attr("name", AttrType::Str)
+                .attr("age", AttrType::Int)
+                .build(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_duplicate_fails() {
+        let mut d = db();
+        let err = d
+            .create_relation(Schema::builder("emp").attr("x", AttrType::Int).build())
+            .unwrap_err();
+        assert_eq!(err, CatalogError::Duplicate("emp".into()));
+    }
+
+    #[test]
+    fn events_carry_old_and_new() {
+        let mut d = db();
+        let ev = d
+            .insert_event("emp", vec![Value::str("al"), Value::Int(30)])
+            .unwrap();
+        let TupleEvent::Inserted { id, .. } = ev else {
+            panic!("expected insert event")
+        };
+        let ev = d
+            .update_event("emp", id, vec![Value::str("al"), Value::Int(31)])
+            .unwrap();
+        match &ev {
+            TupleEvent::Updated { old, new, .. } => {
+                assert_eq!(old.get(1), &Value::Int(30));
+                assert_eq!(new.get(1), &Value::Int(31));
+                assert_eq!(ev.current().unwrap().get(1), &Value::Int(31));
+            }
+            _ => panic!("expected update event"),
+        }
+        let ev = d.delete_event("emp", id).unwrap();
+        assert!(ev.current().is_none());
+        assert_eq!(ev.relation(), "emp");
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let mut d = db();
+        assert!(matches!(
+            d.insert("nope", vec![]),
+            Err(CatalogError::NoSuchRelation(_))
+        ));
+    }
+
+    #[test]
+    fn analyze_builds_stats() {
+        let mut d = db();
+        for i in 0..100 {
+            d.insert("emp", vec![Value::str(format!("e{i}")), Value::Int(i)])
+                .unwrap();
+        }
+        d.catalog_mut().analyze();
+        let stats = d.catalog().column_stats("emp", 1).unwrap();
+        assert_eq!(stats.rows(), 100);
+        assert_eq!(stats.distinct(), 100);
+        assert!(d.catalog().column_stats("emp", 5).is_none());
+    }
+}

@@ -1,0 +1,66 @@
+//! A minimal FNV-1a hasher for the hot relation-name lookups.
+//!
+//! The top level of the paper's index is "a hash table, using relation
+//! names as keys" consulted once per modified tuple (Figure 1). The
+//! standard library's SipHash is DoS-resistant but slow for short string
+//! keys; an in-process rule index faces no untrusted keys, so FNV-1a is
+//! the appropriate trade (see the workspace performance guide). Written
+//! out here (~30 lines) rather than pulling in a crate.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a, 64-bit.
+#[derive(Debug, Clone, Copy)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+/// `HashMap` keyed with FNV-1a.
+pub type FnvHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
+
+/// `HashSet` keyed with FNV-1a.
+pub type FnvHashSet<K> = HashSet<K, BuildHasherDefault<FnvHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c
+        let mut h = FnvHasher::default();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn map_works() {
+        let mut m: FnvHashMap<String, i32> = FnvHashMap::default();
+        m.insert("emp".into(), 1);
+        m.insert("dept".into(), 2);
+        assert_eq!(m["emp"], 1);
+        assert_eq!(m.get("nope"), None);
+    }
+}

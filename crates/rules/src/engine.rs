@@ -1,0 +1,410 @@
+//! The forward-chaining rule engine.
+//!
+//! This is the application layer the paper builds its index for: every
+//! inserted, updated, or deleted tuple is matched against all rule
+//! selection conditions through a [`PredicateIndex`] (the Figure 1
+//! discrimination network), matching rule instantiations go on an
+//! agenda ordered by priority then recency, and fired actions may queue
+//! further database operations whose events are matched in turn —
+//! forward chaining, with a firing limit as the runaway guard.
+//!
+//! Join conditions are out of scope, exactly as in the paper ("this
+//! paper does not address the issue of how join predicates will be
+//! processed"); §6 sketches the two-layer network that would sit on top.
+
+use crate::rule::{Action, DbOp, Rule, RuleContext, RuleId};
+use predindex::{IndexError, Matcher, PredicateId, PredicateIndex};
+use relation::fx::FnvHashMap;
+use relation::{CatalogError, Database, Schema, TupleEvent, TupleId, Value};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Errors from engine operations.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Rule condition failed to register (unknown relation/attribute,
+    /// type error).
+    Index(IndexError),
+    /// Database mutation failed.
+    Catalog(CatalogError),
+    /// Forward chaining exceeded the firing limit — almost certainly a
+    /// rule loop.
+    FiringLimit { limit: usize },
+    /// No rule with the given id.
+    NoSuchRule(RuleId),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Index(e) => write!(f, "{e}"),
+            EngineError::Catalog(e) => write!(f, "{e}"),
+            EngineError::FiringLimit { limit } => {
+                write!(f, "forward chaining exceeded {limit} firings (rule loop?)")
+            }
+            EngineError::NoSuchRule(id) => write!(f, "no such rule {id}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<IndexError> for EngineError {
+    fn from(e: IndexError) -> Self {
+        EngineError::Index(e)
+    }
+}
+
+impl From<CatalogError> for EngineError {
+    fn from(e: CatalogError) -> Self {
+        EngineError::Catalog(e)
+    }
+}
+
+/// What happened while processing one external mutation.
+#[derive(Debug, Clone, Default)]
+pub struct FireReport {
+    /// `(rule, rule name)` in firing order, across the whole chain.
+    pub fired: Vec<(RuleId, String)>,
+    /// Number of database operations applied (1 external + cascaded).
+    pub ops_applied: usize,
+}
+
+struct StoredRule {
+    rule: Rule,
+    predicate_ids: Vec<PredicateId>,
+    fired: u64,
+}
+
+/// The engine: a [`Database`] plus rules indexed by a
+/// [`PredicateIndex`].
+pub struct RuleEngine {
+    db: Database,
+    index: PredicateIndex,
+    rules: FnvHashMap<u32, StoredRule>,
+    pred_to_rule: FnvHashMap<u32, u32>,
+    next_rule: u32,
+    log: Vec<String>,
+    firing_limit: usize,
+    total_fired: u64,
+}
+
+impl RuleEngine {
+    /// Wraps a database with an empty rule set.
+    pub fn new(db: Database) -> Self {
+        RuleEngine {
+            db,
+            index: PredicateIndex::new(),
+            rules: FnvHashMap::default(),
+            pred_to_rule: FnvHashMap::default(),
+            next_rule: 0,
+            log: Vec::new(),
+            firing_limit: 10_000,
+            total_fired: 0,
+        }
+    }
+
+    /// Changes the per-mutation firing limit (runaway-chain guard).
+    pub fn set_firing_limit(&mut self, limit: usize) {
+        self.firing_limit = limit;
+    }
+
+    /// Read access to the database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Creates a relation in the underlying database.
+    pub fn create_relation(&mut self, schema: Schema) -> Result<(), EngineError> {
+        self.db.create_relation(schema)?;
+        Ok(())
+    }
+
+    /// The engine log (appended to by `Action::Log` and
+    /// `RuleContext::log`).
+    pub fn log(&self) -> &[String] {
+        &self.log
+    }
+
+    /// Total rule firings since construction.
+    pub fn total_fired(&self) -> u64 {
+        self.total_fired
+    }
+
+    /// Number of registered rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Registers a rule; its condition predicates enter the predicate
+    /// index.
+    pub fn add_rule(&mut self, rule: Rule) -> Result<RuleId, EngineError> {
+        let mut predicate_ids = Vec::with_capacity(rule.conditions.len());
+        for pred in &rule.conditions {
+            match self.index.insert(pred.clone(), self.db.catalog()) {
+                Ok(pid) => predicate_ids.push(pid),
+                Err(e) => {
+                    // Roll back the partial registration.
+                    for pid in predicate_ids {
+                        self.index.remove(pid);
+                    }
+                    return Err(e.into());
+                }
+            }
+        }
+        let id = RuleId(self.next_rule);
+        self.next_rule += 1;
+        for &pid in &predicate_ids {
+            self.pred_to_rule.insert(pid.0, id.0);
+        }
+        self.rules.insert(
+            id.0,
+            StoredRule {
+                rule,
+                predicate_ids,
+                fired: 0,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Registers a rule and immediately fires it on every tuple already
+    /// in the database that satisfies its condition (as if each had just
+    /// been inserted). Returns the rule id and the backfill report.
+    ///
+    /// This is how a trigger system brings a new rule up to date with
+    /// existing facts — tuple-driven matching (the paper's problem) only
+    /// covers changes arriving *after* registration.
+    pub fn add_rule_retroactive(
+        &mut self,
+        rule: Rule,
+    ) -> Result<(RuleId, FireReport), EngineError> {
+        let id = self.add_rule(rule)?;
+        let stored = &self.rules[&id.0];
+        // Collect matching existing tuples per condition, deduplicated
+        // per tuple (a tuple matching several disjuncts fires once).
+        let mut seeds: Vec<TupleEvent> = Vec::new();
+        let mut seen: Vec<(String, TupleId)> = Vec::new();
+        for pred in &stored.rule.conditions {
+            let Some(rel) = self.db.catalog().relation(pred.relation()) else {
+                continue;
+            };
+            let schema = rel.schema();
+            let Ok(bound) = pred.bind(schema) else { continue };
+            for (tid, tuple) in bound.scan(rel) {
+                let key = (pred.relation().to_string(), tid);
+                if seen.contains(&key) {
+                    continue;
+                }
+                seen.push(key);
+                seeds.push(TupleEvent::Inserted {
+                    relation: pred.relation().to_string(),
+                    id: tid,
+                    tuple: tuple.clone(),
+                });
+            }
+        }
+        // Fire only the NEW rule on the backfill seeds (other rules
+        // already saw these tuples when they actually arrived); any
+        // database operations the firings queue chain normally through
+        // every rule.
+        let mut report = FireReport::default();
+        for seed in seeds {
+            if !self.rules[&id.0].rule.mask.on_insert {
+                break;
+            }
+            if report.fired.len() >= self.firing_limit {
+                return Err(EngineError::FiringLimit {
+                    limit: self.firing_limit,
+                });
+            }
+            let follow_ups = self.fire_one(id.0, &seed, &mut report)?;
+            for ev in follow_ups {
+                let r = self.chain(ev)?;
+                report.fired.extend(r.fired);
+                report.ops_applied += r.ops_applied;
+            }
+        }
+        Ok((id, report))
+    }
+
+    /// Unregisters a rule and its predicates.
+    pub fn remove_rule(&mut self, id: RuleId) -> Result<Rule, EngineError> {
+        let stored = self
+            .rules
+            .remove(&id.0)
+            .ok_or(EngineError::NoSuchRule(id))?;
+        for pid in &stored.predicate_ids {
+            self.index.remove(*pid);
+            self.pred_to_rule.remove(&pid.0);
+        }
+        Ok(stored.rule)
+    }
+
+    /// Inserts a tuple and runs the rule chain it triggers.
+    pub fn insert(
+        &mut self,
+        relation: &str,
+        values: Vec<Value>,
+    ) -> Result<FireReport, EngineError> {
+        let ev = self.db.insert_event(relation, values)?;
+        self.chain(ev)
+    }
+
+    /// Updates a tuple and runs the rule chain it triggers.
+    pub fn update(
+        &mut self,
+        relation: &str,
+        id: TupleId,
+        values: Vec<Value>,
+    ) -> Result<FireReport, EngineError> {
+        let ev = self.db.update_event(relation, id, values)?;
+        self.chain(ev)
+    }
+
+    /// Deletes a tuple and runs the rule chain it triggers.
+    pub fn delete(&mut self, relation: &str, id: TupleId) -> Result<FireReport, EngineError> {
+        let ev = self.db.delete_event(relation, id)?;
+        self.chain(ev)
+    }
+
+    /// The recognize-act cycle: match the event, order the agenda, fire,
+    /// apply queued operations, repeat on their events.
+    fn chain(&mut self, first: TupleEvent) -> Result<FireReport, EngineError> {
+        let mut report = FireReport::default();
+        let mut events = VecDeque::new();
+        events.push_back(first);
+
+        while let Some(event) = events.pop_front() {
+            report.ops_applied += 1;
+            // The tuple to match: the post-state for insert/update, the
+            // removed tuple for delete (so cleanup rules can see it).
+            let tuple = match &event {
+                TupleEvent::Inserted { tuple, .. } => tuple,
+                TupleEvent::Updated { new, .. } => new,
+                TupleEvent::Deleted { tuple, .. } => tuple,
+            };
+            let matched = self.index.match_tuple(event.relation(), tuple);
+
+            // Build the agenda: one instantiation per *rule* (a rule
+            // whose DNF has several matching disjuncts still fires
+            // once), ordered by priority descending, then registration
+            // recency (newest first), OPS5-style.
+            let mut agenda: Vec<(i32, u32)> = Vec::new();
+            for pid in matched {
+                let rid = self.pred_to_rule[&pid.0];
+                let stored = &self.rules[&rid];
+                if !stored.rule.mask.accepts(&event) {
+                    continue;
+                }
+                if !agenda.iter().any(|&(_, r)| r == rid) {
+                    agenda.push((stored.rule.priority, rid));
+                }
+            }
+            agenda.sort_by(|a, b| b.0.cmp(&a.0).then(b.1.cmp(&a.1)));
+
+            for (_, rid) in agenda {
+                if report.fired.len() >= self.firing_limit {
+                    return Err(EngineError::FiringLimit {
+                        limit: self.firing_limit,
+                    });
+                }
+                for ev in self.fire_one(rid, &event, &mut report)? {
+                    events.push_back(ev);
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Fires one rule on one event: runs the action, applies its queued
+    /// database operations, and returns the resulting events (which the
+    /// caller feeds back into the chain).
+    fn fire_one(
+        &mut self,
+        rid: u32,
+        event: &TupleEvent,
+        report: &mut FireReport,
+    ) -> Result<Vec<TupleEvent>, EngineError> {
+        let tuple = match event {
+            TupleEvent::Inserted { tuple, .. } => tuple.clone(),
+            TupleEvent::Updated { new, .. } => new.clone(),
+            TupleEvent::Deleted { tuple, .. } => tuple.clone(),
+        };
+        let stored = self.rules.get_mut(&rid).expect("agenda rule exists");
+        let rule_name = stored.rule.name.clone();
+        let action = stored.rule.action.clone();
+        stored.fired += 1;
+        self.total_fired += 1;
+        report.fired.push((RuleId(rid), rule_name.clone()));
+
+        let mut ops = Vec::new();
+        match action {
+            Action::Log(msg) => {
+                self.log.push(format!(
+                    "[{rule_name}] {msg}: {}{}",
+                    event.relation(),
+                    tuple
+                ));
+            }
+            Action::Callback(f) => {
+                let mut ctx = RuleContext {
+                    event,
+                    rule_name: &rule_name,
+                    log: &mut self.log,
+                    ops: &mut ops,
+                };
+                f(&mut ctx);
+            }
+        }
+        let mut out = Vec::with_capacity(ops.len());
+        for op in ops {
+            let ev = match op {
+                DbOp::Insert { relation, values } => {
+                    self.db.insert_event(&relation, values)?
+                }
+                DbOp::UpdateCurrent { values } => {
+                    let (rel, id) = current_target(event)?;
+                    self.db.update_event(&rel, id, values)?
+                }
+                DbOp::DeleteCurrent => {
+                    let (rel, id) = current_target(event)?;
+                    self.db.delete_event(&rel, id)?
+                }
+            };
+            out.push(ev);
+        }
+        Ok(out)
+    }
+}
+
+/// The `(relation, tuple id)` a `*Current` operation applies to.
+fn current_target(event: &TupleEvent) -> Result<(String, TupleId), EngineError> {
+    match event {
+        TupleEvent::Inserted { relation, id, .. }
+        | TupleEvent::Updated { relation, id, .. } => Ok((relation.clone(), *id)),
+        TupleEvent::Deleted { relation, .. } => Err(EngineError::Catalog(
+            CatalogError::NoSuchRelation(format!(
+                "cannot modify the current tuple of a delete event on {relation}"
+            )),
+        )),
+    }
+}
+
+/// A rule whose `RuleId` is attached — returned by rule listing.
+impl RuleEngine {
+    /// Iterates `(id, rule name)` pairs.
+    pub fn rules(&self) -> impl Iterator<Item = (RuleId, &str)> {
+        self.rules
+            .iter()
+            .map(|(&id, s)| (RuleId(id), s.rule.name.as_str()))
+    }
+
+    /// Iterates `(id, rule name, firings)` — per-rule activity counters
+    /// for conflict-set tuning and dead-rule detection.
+    pub fn fire_counts(&self) -> impl Iterator<Item = (RuleId, &str, u64)> {
+        self.rules
+            .iter()
+            .map(|(&id, s)| (RuleId(id), s.rule.name.as_str(), s.fired))
+    }
+}

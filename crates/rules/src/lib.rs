@@ -1,0 +1,552 @@
+//! # Forward-chaining rule engine (database triggers)
+//!
+//! The application layer the paper's index exists for: production rules
+//! `if condition then action` over a main-memory database, with every
+//! tuple change matched against all rule conditions through the
+//! [`predindex::PredicateIndex`] discrimination network.
+//!
+//! ```
+//! use rules::{Action, EventMask, Rule, RuleEngine};
+//! use relation::{AttrType, Database, Schema, Value};
+//!
+//! let mut db = Database::new();
+//! db.create_relation(
+//!     Schema::builder("emp")
+//!         .attr("name", AttrType::Str)
+//!         .attr("salary", AttrType::Int)
+//!         .build(),
+//! )
+//! .unwrap();
+//!
+//! let mut engine = RuleEngine::new(db);
+//! engine
+//!     .add_rule(
+//!         Rule::builder("underpaid")
+//!             .when("emp.salary < 15000").unwrap()
+//!             .then(Action::log("below minimum"))
+//!             .build(),
+//!     )
+//!     .unwrap();
+//!
+//! let report = engine
+//!     .insert("emp", vec![Value::str("al"), Value::Int(9_000)])
+//!     .unwrap();
+//! assert_eq!(report.fired.len(), 1);
+//! assert!(engine.log()[0].contains("below minimum"));
+//! ```
+
+mod engine;
+mod rule;
+
+pub use engine::{EngineError, FireReport, RuleEngine};
+pub use rule::{Action, DbOp, EventMask, Rule, RuleBuilder, RuleContext, RuleId};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::{AttrType, Database, Schema, Value};
+
+    fn engine() -> RuleEngine {
+        let mut db = Database::new();
+        db.create_relation(
+            Schema::builder("emp")
+                .attr("name", AttrType::Str)
+                .attr("age", AttrType::Int)
+                .attr("salary", AttrType::Int)
+                .build(),
+        )
+        .unwrap();
+        db.create_relation(
+            Schema::builder("alerts")
+                .attr("message", AttrType::Str)
+                .attr("level", AttrType::Int)
+                .build(),
+        )
+        .unwrap();
+        RuleEngine::new(db)
+    }
+
+    #[test]
+    fn simple_trigger_fires_on_matching_insert() {
+        let mut e = engine();
+        e.add_rule(
+            Rule::builder("senior")
+                .when("emp.age > 60")
+                .unwrap()
+                .then(Action::log("senior employee"))
+                .build(),
+        )
+        .unwrap();
+        let r = e
+            .insert("emp", vec![Value::str("al"), Value::Int(65), Value::Int(0)])
+            .unwrap();
+        assert_eq!(r.fired.len(), 1);
+        let r = e
+            .insert("emp", vec![Value::str("bo"), Value::Int(30), Value::Int(0)])
+            .unwrap();
+        assert_eq!(r.fired.len(), 0);
+        assert_eq!(e.total_fired(), 1);
+    }
+
+    #[test]
+    fn update_and_delete_masks() {
+        let mut e = engine();
+        e.add_rule(
+            Rule::builder("on-delete-only")
+                .when("emp.salary > 0")
+                .unwrap()
+                .on(EventMask {
+                    on_insert: false,
+                    on_update: false,
+                    on_delete: true,
+                })
+                .then(Action::log("gone"))
+                .build(),
+        )
+        .unwrap();
+        let ev = e
+            .insert("emp", vec![Value::str("c"), Value::Int(30), Value::Int(10)])
+            .unwrap();
+        assert_eq!(ev.fired.len(), 0, "insert must not fire a delete rule");
+
+        // Find the tuple id and delete it.
+        let id = e.db().catalog().relation("emp").unwrap().iter().next().unwrap().0;
+        let ev = e.delete("emp", id).unwrap();
+        assert_eq!(ev.fired.len(), 1);
+        assert!(e.log()[0].contains("gone"));
+    }
+
+    #[test]
+    fn priority_orders_firing() {
+        let mut e = engine();
+        e.add_rule(
+            Rule::builder("low")
+                .when("emp.age > 0")
+                .unwrap()
+                .priority(1)
+                .then(Action::log("low"))
+                .build(),
+        )
+        .unwrap();
+        e.add_rule(
+            Rule::builder("high")
+                .when("emp.age > 0")
+                .unwrap()
+                .priority(9)
+                .then(Action::log("high"))
+                .build(),
+        )
+        .unwrap();
+        let r = e
+            .insert("emp", vec![Value::str("d"), Value::Int(1), Value::Int(0)])
+            .unwrap();
+        assert_eq!(
+            r.fired.iter().map(|(_, n)| n.as_str()).collect::<Vec<_>>(),
+            vec!["high", "low"]
+        );
+    }
+
+    #[test]
+    fn forward_chaining_cascades() {
+        let mut e = engine();
+        // Underpaid employees raise an alert tuple; level-2 alerts raise
+        // a level-3 escalation log.
+        e.add_rule(
+            Rule::builder("raise-alert")
+                .when("emp.salary < 1000")
+                .unwrap()
+                .then(Action::callback(|ctx| {
+                    ctx.queue(DbOp::Insert {
+                        relation: "alerts".into(),
+                        values: vec![Value::str("underpaid"), Value::Int(2)],
+                    });
+                }))
+                .build(),
+        )
+        .unwrap();
+        e.add_rule(
+            Rule::builder("escalate")
+                .when("alerts.level >= 2")
+                .unwrap()
+                .then(Action::log("escalated"))
+                .build(),
+        )
+        .unwrap();
+        let r = e
+            .insert("emp", vec![Value::str("e"), Value::Int(20), Value::Int(500)])
+            .unwrap();
+        assert_eq!(r.fired.len(), 2, "both rules fire through the chain");
+        assert_eq!(r.ops_applied, 2, "external insert + cascaded insert");
+        assert_eq!(
+            e.db().catalog().relation("alerts").unwrap().len(),
+            1,
+            "the cascaded tuple landed"
+        );
+        assert!(e.log().iter().any(|l| l.contains("escalated")));
+    }
+
+    #[test]
+    fn runaway_chain_hits_firing_limit() {
+        let mut e = engine();
+        e.set_firing_limit(50);
+        // Every alert insert re-inserts an alert: infinite loop.
+        e.add_rule(
+            Rule::builder("loop")
+                .when("alerts.level >= 0")
+                .unwrap()
+                .then(Action::callback(|ctx| {
+                    ctx.queue(DbOp::Insert {
+                        relation: "alerts".into(),
+                        values: vec![Value::str("again"), Value::Int(1)],
+                    });
+                }))
+                .build(),
+        )
+        .unwrap();
+        let err = e
+            .insert("alerts", vec![Value::str("start"), Value::Int(1)])
+            .unwrap_err();
+        assert!(matches!(err, EngineError::FiringLimit { limit: 50 }));
+    }
+
+    #[test]
+    fn update_current_action() {
+        let mut e = engine();
+        // Clamp salaries above 100k down to 100k. The rewritten tuple
+        // re-enters matching but no longer satisfies the condition.
+        e.add_rule(
+            Rule::builder("salary-cap")
+                .when("emp.salary > 100000")
+                .unwrap()
+                .then(Action::callback(|ctx| {
+                    let t = ctx.event.current().expect("insert/update event").clone();
+                    ctx.queue(DbOp::UpdateCurrent {
+                        values: vec![t.get(0).clone(), t.get(1).clone(), Value::Int(100_000)],
+                    });
+                }))
+                .build(),
+        )
+        .unwrap();
+        e.insert(
+            "emp",
+            vec![Value::str("f"), Value::Int(40), Value::Int(150_000)],
+        )
+        .unwrap();
+        let rel = e.db().catalog().relation("emp").unwrap();
+        let (_, t) = rel.iter().next().unwrap();
+        assert_eq!(t.get(2), &Value::Int(100_000));
+    }
+
+    #[test]
+    fn disjunctive_condition_fires_once() {
+        let mut e = engine();
+        e.add_rule(
+            Rule::builder("extremes")
+                .when("emp.age < 20 or emp.salary < 100")
+                .unwrap()
+                .then(Action::log("extreme"))
+                .build(),
+        )
+        .unwrap();
+        // Tuple matching BOTH disjuncts still fires the rule once.
+        let r = e
+            .insert("emp", vec![Value::str("g"), Value::Int(18), Value::Int(50)])
+            .unwrap();
+        assert_eq!(r.fired.len(), 1);
+    }
+
+    #[test]
+    fn remove_rule_stops_firing() {
+        let mut e = engine();
+        let id = e
+            .add_rule(
+                Rule::builder("r")
+                    .when("emp.age > 0")
+                    .unwrap()
+                    .then(Action::log("x"))
+                    .build(),
+            )
+            .unwrap();
+        assert_eq!(e.rule_count(), 1);
+        e.remove_rule(id).unwrap();
+        assert_eq!(e.rule_count(), 0);
+        let r = e
+            .insert("emp", vec![Value::str("h"), Value::Int(5), Value::Int(5)])
+            .unwrap();
+        assert_eq!(r.fired.len(), 0);
+        assert!(matches!(
+            e.remove_rule(id),
+            Err(EngineError::NoSuchRule(_))
+        ));
+    }
+
+    #[test]
+    fn bad_condition_is_rejected_and_rolled_back() {
+        let mut e = engine();
+        let err = e
+            .add_rule(
+                Rule::builder("bad")
+                    .when("emp.age > 0 or ghost.x = 1")
+                    .unwrap()
+                    .build(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Index(_)));
+        // The valid disjunct must not linger in the index.
+        let r = e
+            .insert("emp", vec![Value::str("i"), Value::Int(9), Value::Int(9)])
+            .unwrap();
+        assert_eq!(r.fired.len(), 0);
+    }
+}
+
+#[cfg(test)]
+mod agenda_tests {
+    use super::*;
+    use relation::{AttrType, Database, Schema, Value};
+
+    fn engine() -> RuleEngine {
+        let mut db = Database::new();
+        db.create_relation(
+            Schema::builder("t")
+                .attr("x", AttrType::Int)
+                .build(),
+        )
+        .unwrap();
+        RuleEngine::new(db)
+    }
+
+    #[test]
+    fn equal_priority_fires_newest_first() {
+        // OPS5-flavoured recency: at equal priority the most recently
+        // registered rule fires first.
+        let mut e = engine();
+        for name in ["first", "second", "third"] {
+            e.add_rule(
+                Rule::builder(name)
+                    .when("t.x > 0")
+                    .unwrap()
+                    .then(Action::log(name))
+                    .build(),
+            )
+            .unwrap();
+        }
+        let r = e.insert("t", vec![Value::Int(1)]).unwrap();
+        let order: Vec<&str> = r.fired.iter().map(|(_, n)| n.as_str()).collect();
+        assert_eq!(order, vec!["third", "second", "first"]);
+    }
+
+    #[test]
+    fn priority_beats_recency() {
+        let mut e = engine();
+        e.add_rule(
+            Rule::builder("old-but-urgent")
+                .when("t.x > 0")
+                .unwrap()
+                .priority(5)
+                .then(Action::log("urgent"))
+                .build(),
+        )
+        .unwrap();
+        e.add_rule(
+            Rule::builder("new-but-lazy")
+                .when("t.x > 0")
+                .unwrap()
+                .priority(-5)
+                .then(Action::log("lazy"))
+                .build(),
+        )
+        .unwrap();
+        let r = e.insert("t", vec![Value::Int(1)]).unwrap();
+        let order: Vec<&str> = r.fired.iter().map(|(_, n)| n.as_str()).collect();
+        assert_eq!(order, vec!["old-but-urgent", "new-but-lazy"]);
+    }
+
+    #[test]
+    fn rules_listing() {
+        let mut e = engine();
+        let a = e
+            .add_rule(Rule::builder("a").when("t.x > 0").unwrap().build())
+            .unwrap();
+        let _b = e
+            .add_rule(Rule::builder("b").when("t.x < 0").unwrap().build())
+            .unwrap();
+        let mut names: Vec<String> = e.rules().map(|(_, n)| n.to_string()).collect();
+        names.sort();
+        assert_eq!(names, vec!["a", "b"]);
+        e.remove_rule(a).unwrap();
+        assert_eq!(e.rules().count(), 1);
+    }
+
+    #[test]
+    fn non_matching_events_fire_nothing_and_cost_no_log() {
+        let mut e = engine();
+        e.add_rule(
+            Rule::builder("never")
+                .when("t.x > 1000000")
+                .unwrap()
+                .then(Action::log("?"))
+                .build(),
+        )
+        .unwrap();
+        for i in 0..50 {
+            let r = e.insert("t", vec![Value::Int(i)]).unwrap();
+            assert!(r.fired.is_empty());
+        }
+        assert!(e.log().is_empty());
+        assert_eq!(e.total_fired(), 0);
+    }
+}
+
+#[cfg(test)]
+mod retroactive_tests {
+    use super::*;
+    use relation::{AttrType, Database, Schema, Value};
+
+    fn seeded_engine() -> RuleEngine {
+        let mut db = Database::new();
+        db.create_relation(
+            Schema::builder("emp")
+                .attr("name", AttrType::Str)
+                .attr("salary", AttrType::Int)
+                .build(),
+        )
+        .unwrap();
+        db.create_relation(
+            Schema::builder("alerts").attr("who", AttrType::Str).build(),
+        )
+        .unwrap();
+        let mut e = RuleEngine::new(db);
+        for (n, s) in [("al", 900), ("bo", 5_000), ("cy", 700), ("di", 80_000)] {
+            e.insert("emp", vec![Value::str(n), Value::Int(s)]).unwrap();
+        }
+        e
+    }
+
+    #[test]
+    fn retroactive_rule_fires_on_existing_tuples() {
+        let mut e = seeded_engine();
+        let (_, report) = e
+            .add_rule_retroactive(
+                Rule::builder("underpaid")
+                    .when("emp.salary < 1000")
+                    .unwrap()
+                    .then(Action::log("backpay"))
+                    .build(),
+            )
+            .unwrap();
+        // al (900) and cy (700) already violate; bo and di do not.
+        assert_eq!(report.fired.len(), 2);
+        assert_eq!(e.log().len(), 2);
+        // And it keeps firing on future inserts.
+        let r = e.insert("emp", vec![Value::str("ed"), Value::Int(100)]).unwrap();
+        assert_eq!(r.fired.len(), 1);
+    }
+
+    #[test]
+    fn retroactive_backfill_does_not_refire_other_rules() {
+        let mut e = seeded_engine();
+        e.add_rule(
+            Rule::builder("everything")
+                .when("emp.salary >= 0")
+                .unwrap()
+                .then(Action::log("E"))
+                .build(),
+        )
+        .unwrap();
+        // The pre-existing rule must not re-fire during another rule's
+        // backfill.
+        let (_, report) = e
+            .add_rule_retroactive(
+                Rule::builder("rich")
+                    .when("emp.salary > 50000")
+                    .unwrap()
+                    .then(Action::log("R"))
+                    .build(),
+            )
+            .unwrap();
+        assert_eq!(report.fired.len(), 1, "only di matches the new rule");
+        assert!(report.fired.iter().all(|(_, n)| n == "rich"));
+        assert_eq!(
+            e.log().iter().filter(|l| l.contains("[everything]")).count(),
+            0,
+            "pre-existing rule re-fired during backfill"
+        );
+    }
+
+    #[test]
+    fn retroactive_cascades_chain_through_all_rules() {
+        let mut e = seeded_engine();
+        e.add_rule(
+            Rule::builder("on-alert")
+                .when(r#"alerts.who <= "zzzz""#)
+                .unwrap()
+                .then(Action::log("alert seen"))
+                .build(),
+        )
+        .unwrap();
+        let (_, report) = e
+            .add_rule_retroactive(
+                Rule::builder("flag-underpaid")
+                    .when("emp.salary < 1000")
+                    .unwrap()
+                    .then(Action::callback(|ctx| {
+                        let t = ctx.event.current().expect("insert").clone();
+                        ctx.queue(DbOp::Insert {
+                            relation: "alerts".into(),
+                            values: vec![t.get(0).clone()],
+                        });
+                    }))
+                    .build(),
+            )
+            .unwrap();
+        // 2 backfill firings + 2 cascaded alert firings.
+        assert_eq!(report.fired.len(), 4);
+        assert_eq!(e.db().catalog().relation("alerts").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn retroactive_disjunction_fires_once_per_tuple() {
+        let mut e = seeded_engine();
+        let (_, report) = e
+            .add_rule_retroactive(
+                Rule::builder("extremes")
+                    .when("emp.salary < 1000 or emp.salary < 5000")
+                    .unwrap()
+                    .then(Action::log("X"))
+                    .build(),
+            )
+            .unwrap();
+        // al and cy match both disjuncts but fire once each.
+        assert_eq!(report.fired.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod counter_tests {
+    use super::*;
+    use relation::{AttrType, Database, Schema, Value};
+
+    #[test]
+    fn per_rule_fire_counts() {
+        let mut db = Database::new();
+        db.create_relation(Schema::builder("t").attr("x", AttrType::Int).build())
+            .unwrap();
+        let mut e = RuleEngine::new(db);
+        let hot = e
+            .add_rule(Rule::builder("hot").when("t.x >= 0").unwrap().build())
+            .unwrap();
+        let cold = e
+            .add_rule(Rule::builder("cold").when("t.x < 0").unwrap().build())
+            .unwrap();
+        for i in 0..10 {
+            e.insert("t", vec![Value::Int(i)]).unwrap();
+        }
+        e.insert("t", vec![Value::Int(-1)]).unwrap();
+        let counts: std::collections::HashMap<RuleId, u64> =
+            e.fire_counts().map(|(id, _, n)| (id, n)).collect();
+        assert_eq!(counts[&hot], 10);
+        assert_eq!(counts[&cold], 1);
+        assert_eq!(e.total_fired(), 11);
+    }
+}

@@ -1,0 +1,247 @@
+//! Rule definitions: `if condition then action` (§1 of the paper).
+
+use predicate::{parse_predicates, ParseError, Predicate};
+use relation::{TupleEvent, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a registered rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RuleId(pub u32);
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule#{}", self.0)
+    }
+}
+
+/// Which tuple events a rule reacts to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventMask {
+    pub on_insert: bool,
+    pub on_update: bool,
+    pub on_delete: bool,
+}
+
+impl EventMask {
+    /// Insert + update — the paper's default framing ("each new or
+    /// modified tuple").
+    pub const INSERT_UPDATE: EventMask = EventMask {
+        on_insert: true,
+        on_update: true,
+        on_delete: false,
+    };
+
+    /// Every event kind.
+    pub const ALL: EventMask = EventMask {
+        on_insert: true,
+        on_update: true,
+        on_delete: true,
+    };
+
+    /// Does the mask accept this event?
+    pub fn accepts(&self, event: &TupleEvent) -> bool {
+        match event {
+            TupleEvent::Inserted { .. } => self.on_insert,
+            TupleEvent::Updated { .. } => self.on_update,
+            TupleEvent::Deleted { .. } => self.on_delete,
+        }
+    }
+}
+
+/// A database operation queued by a rule action, applied by the engine
+/// after the action returns (this is what makes the engine
+/// forward-chaining: applied operations raise new events which are
+/// matched in turn).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbOp {
+    /// Insert a tuple.
+    Insert { relation: String, values: Vec<Value> },
+    /// Update the tuple the rule fired on (only valid for insert/update
+    /// firings).
+    UpdateCurrent { values: Vec<Value> },
+    /// Delete the tuple the rule fired on.
+    DeleteCurrent,
+}
+
+/// Execution context handed to a firing rule's action.
+pub struct RuleContext<'a> {
+    /// The event that matched the rule's condition.
+    pub event: &'a TupleEvent,
+    /// The firing rule's name.
+    pub rule_name: &'a str,
+    pub(crate) log: &'a mut Vec<String>,
+    pub(crate) ops: &'a mut Vec<DbOp>,
+}
+
+impl RuleContext<'_> {
+    /// Appends a message to the engine log.
+    pub fn log(&mut self, message: impl Into<String>) {
+        self.log.push(message.into());
+    }
+
+    /// Queues a database operation to run after this action returns.
+    pub fn queue(&mut self, op: DbOp) {
+        self.ops.push(op);
+    }
+}
+
+/// What a rule does when it fires.
+#[derive(Clone)]
+pub enum Action {
+    /// Append `"<message>: <tuple>"` to the engine log.
+    Log(String),
+    /// Run arbitrary code with a [`RuleContext`].
+    Callback(Arc<dyn Fn(&mut RuleContext<'_>) + Send + Sync>),
+}
+
+impl Action {
+    /// Convenience constructor for [`Action::Log`].
+    pub fn log(message: impl Into<String>) -> Action {
+        Action::Log(message.into())
+    }
+
+    /// Convenience constructor for [`Action::Callback`].
+    pub fn callback(f: impl Fn(&mut RuleContext<'_>) + Send + Sync + 'static) -> Action {
+        Action::Callback(Arc::new(f))
+    }
+}
+
+impl fmt::Debug for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Log(m) => write!(f, "Log({m:?})"),
+            Action::Callback(_) => write!(f, "Callback(..)"),
+        }
+    }
+}
+
+/// A production rule / trigger.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    pub name: String,
+    /// The selection condition, already split into DNF conjuncts: the
+    /// rule fires when *any* conjunct matches.
+    pub conditions: Vec<Predicate>,
+    pub mask: EventMask,
+    pub action: Action,
+    /// Higher fires first when several rules match one event.
+    pub priority: i32,
+}
+
+impl Rule {
+    /// Starts building a rule called `name`.
+    pub fn builder(name: impl Into<String>) -> RuleBuilder {
+        RuleBuilder {
+            name: name.into(),
+            conditions: Vec::new(),
+            mask: EventMask::INSERT_UPDATE,
+            action: Action::log("fired"),
+            priority: 0,
+        }
+    }
+}
+
+/// Builder for [`Rule`].
+pub struct RuleBuilder {
+    name: String,
+    conditions: Vec<Predicate>,
+    mask: EventMask,
+    action: Action,
+    priority: i32,
+}
+
+impl RuleBuilder {
+    /// Sets the condition from source text (disjunctions allowed; they
+    /// are split into separate predicates per the paper).
+    pub fn when(mut self, condition: &str) -> Result<Self, ParseError> {
+        self.conditions = parse_predicates(condition)?;
+        Ok(self)
+    }
+
+    /// Sets the condition from already-built predicates.
+    pub fn when_predicates(mut self, preds: Vec<Predicate>) -> Self {
+        self.conditions = preds;
+        self
+    }
+
+    /// Sets the event mask.
+    pub fn on(mut self, mask: EventMask) -> Self {
+        self.mask = mask;
+        self
+    }
+
+    /// Sets the action.
+    pub fn then(mut self, action: Action) -> Self {
+        self.action = action;
+        self
+    }
+
+    /// Sets the priority (higher fires first).
+    pub fn priority(mut self, p: i32) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Finishes the rule. Panics if no condition was set (a rule with no
+    /// condition is a programming error, not a data error).
+    pub fn build(self) -> Rule {
+        assert!(
+            !self.conditions.is_empty(),
+            "rule {:?} has no condition",
+            self.name
+        );
+        Rule {
+            name: self.name,
+            conditions: self.conditions,
+            mask: self.mask,
+            action: self.action,
+            priority: self.priority,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_basics() {
+        let r = Rule::builder("watch")
+            .when("emp.age > 50")
+            .unwrap()
+            .priority(3)
+            .build();
+        assert_eq!(r.name, "watch");
+        assert_eq!(r.conditions.len(), 1);
+        assert_eq!(r.priority, 3);
+        assert!(r.mask.on_insert && r.mask.on_update && !r.mask.on_delete);
+    }
+
+    #[test]
+    fn disjunction_splits_conditions() {
+        let r = Rule::builder("extremes")
+            .when("emp.age < 20 or emp.age > 60")
+            .unwrap()
+            .build();
+        assert_eq!(r.conditions.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no condition")]
+    fn empty_condition_panics() {
+        Rule::builder("nope").build();
+    }
+
+    #[test]
+    fn event_mask() {
+        use relation::{Tuple, TupleId};
+        let ev = TupleEvent::Deleted {
+            relation: "r".into(),
+            id: TupleId(0),
+            tuple: Tuple::new(vec![]),
+        };
+        assert!(!EventMask::INSERT_UPDATE.accepts(&ev));
+        assert!(EventMask::ALL.accepts(&ev));
+    }
+}

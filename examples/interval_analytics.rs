@@ -1,0 +1,111 @@
+//! The IBS-tree as a general dynamic interval index, outside the rule
+//! system — the conclusion's "VLSI CAD tools, geographic information
+//! systems, and other applications that deal with geometric data".
+//!
+//! Scenario: a scheduling service tracks meeting-room bookings as time
+//! intervals (minutes of the day) and answers "which bookings cover
+//! minute X?" while bookings are created and cancelled on-line. The same
+//! workload is answered by every interval structure in the workspace to
+//! show they agree and how their update capabilities differ.
+//!
+//! Run with `cargo run --release --example interval_analytics`.
+
+use predmatch::altindex::{
+    BulkBuild, CenteredIntervalTree, DynamicStabIndex, IntervalSkipList, IntervalTreap,
+    NaiveIntervalList, SegmentTree, StabIndex,
+};
+use predmatch::interval::{Interval, IntervalId};
+use predmatch::prelude::IbsTree;
+use std::time::Instant;
+
+const BOOKINGS: u32 = 20_000;
+
+fn booking(i: u32) -> Interval<i32> {
+    let start = ((i as i64 * 37) % 1380) as i32;
+    let len = ((i as i64 * 13) % 170 + 10) as i32;
+    Interval::closed_open(start, start + len)
+}
+
+fn main() {
+    let items: Vec<(IntervalId, Interval<i32>)> = (0..BOOKINGS)
+        .map(|i| (IntervalId(i), booking(i)))
+        .collect();
+
+    // Dynamic structures build incrementally, static ones bulk-build.
+    let t0 = Instant::now();
+    let mut ibs: IbsTree<i32> = IbsTree::new();
+    for (id, iv) in &items {
+        ibs.insert(*id, iv.clone()).unwrap();
+    }
+    let ibs_build = t0.elapsed();
+
+    let t0 = Instant::now();
+    let seg = SegmentTree::build(items.clone());
+    let seg_build = t0.elapsed();
+
+    let cit = CenteredIntervalTree::build(items.clone());
+    let treap = IntervalTreap::build(items.clone());
+    let skip = IntervalSkipList::build(items.clone());
+    let naive = NaiveIntervalList::build(items.clone());
+
+    println!("{BOOKINGS} bookings indexed");
+    println!("  IBS-tree: built in {ibs_build:?}, height {}, {} markers", ibs.height(), ibs.marker_count());
+    println!("  segment tree: built in {seg_build:?} (static)");
+
+    // Peak occupancy probe: every structure must agree.
+    let mut peak = (0, 0usize);
+    for minute in 0..1440 {
+        let n = ibs.stab_count(&minute);
+        if n > peak.1 {
+            peak = (minute, n);
+        }
+        let want = {
+            let mut v = naive.stab(&minute);
+            v.sort_unstable();
+            v
+        };
+        for (name, got) in [
+            ("ibs", StabIndex::stab(&ibs, &minute)),
+            ("segment", seg.stab(&minute)),
+            ("interval-tree", cit.stab(&minute)),
+            ("treap", treap.stab(&minute)),
+            ("skip-list", skip.stab(&minute)),
+        ] {
+            let mut got = got;
+            got.sort_unstable();
+            assert_eq!(got, want, "{name} diverged at minute {minute}");
+        }
+    }
+    println!("\nall six structures agree at every minute of the day");
+    println!("peak occupancy: {} bookings at minute {}", peak.1, peak.0);
+
+    // Cancellations arrive: only the dynamic structures keep up without
+    // a rebuild (the IBS-tree's reason for existing, §4.1).
+    let t0 = Instant::now();
+    let mut ibs2 = ibs.clone();
+    let mut treap2 = treap;
+    let mut skip2 = skip;
+    for i in (0..BOOKINGS).step_by(2) {
+        ibs2.remove(IntervalId(i)).unwrap();
+        DynamicStabIndex::remove(&mut treap2, IntervalId(i)).unwrap();
+        DynamicStabIndex::remove(&mut skip2, IntervalId(i)).unwrap();
+    }
+    println!(
+        "\ncancelled {} bookings dynamically in {:?} (IBS, treap, skip list)",
+        BOOKINGS / 2,
+        t0.elapsed()
+    );
+    let t0 = Instant::now();
+    let remaining: Vec<_> = (0..BOOKINGS)
+        .filter(|i| i % 2 == 1)
+        .map(|i| (IntervalId(i), booking(i)))
+        .collect();
+    let _seg2 = SegmentTree::build(remaining);
+    println!("segment tree needed a full rebuild: {:?}", t0.elapsed());
+
+    let noon = 720;
+    println!(
+        "\nbookings covering noon after cancellations: {}",
+        ibs2.stab_count(&noon)
+    );
+}

@@ -1,0 +1,72 @@
+//! Quickstart: the paper's predicate-matching pipeline end to end.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use predmatch::prelude::*;
+
+fn main() {
+    // 1. A database with the paper's EMP relation (§1).
+    let mut db = Database::new();
+    db.create_relation(
+        Schema::builder("emp")
+            .attr("name", AttrType::Str)
+            .attr("age", AttrType::Int)
+            .attr("salary", AttrType::Int)
+            .attr("dept", AttrType::Str)
+            .build(),
+    )
+    .expect("fresh relation");
+
+    // 2. The four example predicates from the paper's introduction.
+    let sources = [
+        "emp.salary < 20000 and emp.age > 50",
+        "20000 <= emp.salary <= 30000",
+        r#"emp.dept = "Salesperson""#,
+        r#"isodd(emp.age) and emp.dept = "Shoe""#,
+    ];
+
+    // 3. Register them in the Figure 1 predicate index.
+    let mut index = PredicateIndex::new();
+    let mut ids = Vec::new();
+    for src in sources {
+        let pred = parse_predicate(src).expect("valid predicate source");
+        let id = index.insert(pred, db.catalog()).expect("registers cleanly");
+        println!("registered {id}: {src}");
+        ids.push(id);
+    }
+
+    // 4. Insert tuples; each insert is matched against all predicates.
+    let people: [(&str, i64, i64, &str); 4] = [
+        ("al", 61, 12_000, "Shoe"),
+        ("bo", 30, 25_000, "Salesperson"),
+        ("cy", 53, 19_000, "Toys"),
+        ("di", 41, 99_000, "Shoe"),
+    ];
+    println!();
+    for (name, age, salary, dept) in people {
+        let tuple = db
+            .insert(
+                "emp",
+                vec![
+                    Value::str(name),
+                    Value::Int(age),
+                    Value::Int(salary),
+                    Value::str(dept),
+                ],
+            )
+            .expect("typed tuple");
+        let matches = index.match_tuple("emp", &tuple);
+        println!("{name:>3} {tuple} matches {matches:?}");
+    }
+
+    // 5. The IBS-tree is also usable directly as a dynamic interval
+    //    index (conclusion: "useful anywhere an index for intervals is
+    //    required which must be dynamically updatable").
+    let mut tree: IbsTree<i64> = IbsTree::new();
+    tree.insert(predmatch::interval::IntervalId(0), Interval::closed(9, 19))
+        .unwrap();
+    tree.insert(predmatch::interval::IntervalId(1), Interval::at_most(17))
+        .unwrap();
+    println!("\nIBS-tree stab at 10 -> {:?}", tree.stab(&10));
+    println!("IBS-tree height {}, markers {}", tree.height(), tree.marker_count());
+}

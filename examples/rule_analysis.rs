@@ -1,0 +1,116 @@
+//! Rule-base analysis with interval-overlap queries and index
+//! introspection: "which rules could ever fire for salaries in the
+//! 20k–30k band?", "how is the index laid out?".
+//!
+//! Point stabs answer *matching* (the paper's problem); the
+//! `stab_interval` extension answers *coverage* questions a rule-base
+//! administrator asks, and `PredicateIndex::stats` exposes the Figure 1
+//! structure for capacity planning.
+//!
+//! Run with `cargo run --example rule_analysis`.
+
+use predmatch::ibs::IbsTree;
+use predmatch::interval::{Interval, IntervalId};
+use predmatch::predindex::Matcher;
+use predmatch::prelude::*;
+
+fn main() {
+    let mut db = Database::new();
+    db.create_relation(
+        Schema::builder("emp")
+            .attr("age", AttrType::Int)
+            .attr("salary", AttrType::Int)
+            .build(),
+    )
+    .unwrap();
+
+    // A small rule base over salaries and ages.
+    let sources = [
+        "emp.salary < 15000",
+        "15000 <= emp.salary < 25000",
+        "25000 <= emp.salary < 40000",
+        "emp.salary >= 40000",
+        "emp.salary = 22000",
+        "emp.age > 60 and emp.salary < 30000",
+        "isodd(emp.age)",
+    ];
+    let mut index = PredicateIndex::new();
+    for s in sources {
+        index
+            .insert(parse_predicate(s).unwrap(), db.catalog())
+            .unwrap();
+    }
+
+    // Structure introspection (Figure 1 live).
+    println!("{}", index.stats());
+
+    // Coverage analysis: rebuild the salary clauses in a standalone
+    // IBS-tree and ask which predicates' salary ranges intersect the
+    // 20k..30k band.
+    let mut salary_tree: IbsTree<i64> = IbsTree::new();
+    for (i, s) in sources.iter().enumerate() {
+        let p = parse_predicate(s).unwrap();
+        for c in p.clauses() {
+            if let predmatch::predicate::Clause::Range { attr, interval } = c {
+                if attr == "salary" {
+                    // Extract the i64 payload of the Value interval.
+                    let get = |b: Option<&Value>| match b {
+                        Some(Value::Int(v)) => Some(*v),
+                        _ => None,
+                    };
+                    let lo = get(interval.lo().value());
+                    let hi = get(interval.hi().value());
+                    let iv = match (lo, hi) {
+                        (Some(a), Some(b)) if a == b => Interval::point(a),
+                        (Some(a), Some(b)) => {
+                            let lo = if interval.lo().is_inclusive() {
+                                predmatch::interval::Lower::Inclusive(a)
+                            } else {
+                                predmatch::interval::Lower::Exclusive(a)
+                            };
+                            let hi = if interval.hi().is_inclusive() {
+                                predmatch::interval::Upper::Inclusive(b)
+                            } else {
+                                predmatch::interval::Upper::Exclusive(b)
+                            };
+                            Interval::new(lo, hi).unwrap()
+                        }
+                        (Some(a), None) => {
+                            if interval.lo().is_inclusive() {
+                                Interval::at_least(a)
+                            } else {
+                                Interval::greater_than(a)
+                            }
+                        }
+                        (None, Some(b)) => {
+                            if interval.hi().is_inclusive() {
+                                Interval::at_most(b)
+                            } else {
+                                Interval::less_than(b)
+                            }
+                        }
+                        (None, None) => continue,
+                    };
+                    salary_tree.insert(IntervalId(i as u32), iv).unwrap();
+                }
+            }
+        }
+    }
+
+    let band = Interval::closed_open(20_000i64, 30_000);
+    let mut hits = salary_tree.stab_interval(&band);
+    hits.sort();
+    println!("salary predicates overlapping [20000, 30000):");
+    for id in hits {
+        println!("  #{}: {}", id.0, sources[id.index()]);
+    }
+
+    // Sanity: a concrete tuple in the band matches a subset of those.
+    let t = db
+        .insert("emp", vec![Value::Int(65), Value::Int(22_000)])
+        .unwrap();
+    println!("\ntuple (age 65, salary 22000) matches:");
+    for id in index.match_tuple("emp", &t) {
+        println!("  #{}: {}", id.0, sources[id.index()]);
+    }
+}

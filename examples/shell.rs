@@ -1,0 +1,231 @@
+//! An interactive predicate-matching shell: define relations, register
+//! rule predicates, insert tuples, and watch the Figure 1 index match
+//! them — the paper's system as a toy console.
+//!
+//! ```text
+//! cargo run --example shell            # interactive
+//! cargo run --example shell -- --demo  # scripted demo
+//! echo 'help' | cargo run --example shell
+//! ```
+//!
+//! Commands:
+//! ```text
+//! relation <name> <attr>:<type> ...     create a relation (types: int, float, str, bool)
+//! predicate <condition>                 register a predicate (disjunctions split)
+//! insert <relation> <value> ...         insert a tuple and show matches
+//! drop <id>                             remove a predicate by id
+//! stats                                 show the index structure
+//! list                                  list registered predicates
+//! help                                  this text
+//! quit
+//! ```
+
+use predmatch::predicate::parse_predicates;
+use predmatch::predindex::Matcher;
+use predmatch::prelude::*;
+use std::io::{self, BufRead, Write};
+
+struct Shell {
+    db: Database,
+    index: PredicateIndex,
+    sources: Vec<(PredicateIdWrap, String)>,
+}
+
+type PredicateIdWrap = predmatch::predindex::PredicateId;
+
+impl Shell {
+    fn new() -> Self {
+        Shell {
+            db: Database::new(),
+            index: PredicateIndex::new(),
+            sources: Vec::new(),
+        }
+    }
+
+    fn exec(&mut self, line: &str) -> Result<String, String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(String::new());
+        }
+        let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match cmd {
+            "relation" => self.cmd_relation(rest),
+            "predicate" => self.cmd_predicate(rest),
+            "insert" => self.cmd_insert(rest),
+            "drop" => self.cmd_drop(rest),
+            "stats" => Ok(self.index.stats().to_string()),
+            "list" => Ok(self
+                .sources
+                .iter()
+                .map(|(id, s)| format!("  {id}: {s}"))
+                .collect::<Vec<_>>()
+                .join("\n")),
+            "help" => Ok("commands: relation, predicate, insert, drop, stats, list, help, quit"
+                .to_string()),
+            other => Err(format!("unknown command {other:?} (try 'help')")),
+        }
+    }
+
+    fn cmd_relation(&mut self, rest: &str) -> Result<String, String> {
+        let mut parts = rest.split_whitespace();
+        let name = parts.next().ok_or("usage: relation <name> <attr>:<type> ...")?;
+        let mut b = Schema::builder(name);
+        let mut arity = 0;
+        for spec in parts {
+            let (attr, ty) = spec
+                .split_once(':')
+                .ok_or_else(|| format!("bad attribute spec {spec:?} (want name:type)"))?;
+            let ty = match ty {
+                "int" => AttrType::Int,
+                "float" => AttrType::Float,
+                "str" => AttrType::Str,
+                "bool" => AttrType::Bool,
+                other => return Err(format!("unknown type {other:?}")),
+            };
+            b = b.attr(attr, ty);
+            arity += 1;
+        }
+        if arity == 0 {
+            return Err("a relation needs at least one attribute".into());
+        }
+        self.db
+            .create_relation(b.build())
+            .map_err(|e| e.to_string())?;
+        Ok(format!("created relation {name} ({arity} attributes)"))
+    }
+
+    fn cmd_predicate(&mut self, rest: &str) -> Result<String, String> {
+        let preds = parse_predicates(rest).map_err(|e| e.to_string())?;
+        let mut out = Vec::new();
+        for p in preds {
+            let id = self
+                .index
+                .insert(p.clone(), self.db.catalog())
+                .map_err(|e| e.to_string())?;
+            let rendered = p.to_source().unwrap_or_else(|| p.to_string());
+            out.push(format!("registered {id}: {rendered}"));
+            self.sources.push((id, rendered));
+        }
+        Ok(out.join("\n"))
+    }
+
+    fn cmd_insert(&mut self, rest: &str) -> Result<String, String> {
+        let mut parts = rest.split_whitespace();
+        let rel_name = parts.next().ok_or("usage: insert <relation> <value> ...")?;
+        let schema = self
+            .db
+            .catalog()
+            .relation(rel_name)
+            .ok_or_else(|| format!("no relation {rel_name:?}"))?
+            .schema()
+            .clone();
+        let raw: Vec<&str> = parts.collect();
+        if raw.len() != schema.arity() {
+            return Err(format!(
+                "{rel_name} takes {} values, got {}",
+                schema.arity(),
+                raw.len()
+            ));
+        }
+        let mut values = Vec::with_capacity(raw.len());
+        for (spec, attr) in raw.iter().zip(schema.attributes()) {
+            let v = match attr.ty {
+                AttrType::Int => Value::Int(spec.parse().map_err(|e| format!("{e}"))?),
+                AttrType::Float => Value::Float(spec.parse().map_err(|e| format!("{e}"))?),
+                AttrType::Bool => Value::Bool(spec.parse().map_err(|e| format!("{e}"))?),
+                AttrType::Str => Value::str(spec.trim_matches('"')),
+            };
+            values.push(v);
+        }
+        let tuple = self.db.insert(rel_name, values).map_err(|e| e.to_string())?;
+        let matches = self.index.match_tuple(rel_name, &tuple);
+        if matches.is_empty() {
+            Ok(format!("inserted {tuple}; no predicates match"))
+        } else {
+            let lines: Vec<String> = matches
+                .iter()
+                .map(|m| {
+                    let src = self
+                        .sources
+                        .iter()
+                        .find(|(id, _)| id == m)
+                        .map(|(_, s)| s.as_str())
+                        .unwrap_or("?");
+                    format!("  {m}: {src}")
+                })
+                .collect();
+            Ok(format!("inserted {tuple}; matches:\n{}", lines.join("\n")))
+        }
+    }
+
+    fn cmd_drop(&mut self, rest: &str) -> Result<String, String> {
+        let raw: u32 = rest
+            .trim()
+            .trim_start_matches('#')
+            .parse()
+            .map_err(|_| "usage: drop <id>".to_string())?;
+        let id = predmatch::interval::IntervalId(raw);
+        match self.index.remove(id) {
+            Some(_) => {
+                self.sources.retain(|(i, _)| *i != id);
+                Ok(format!("dropped {id}"))
+            }
+            None => Err(format!("no predicate {id}")),
+        }
+    }
+}
+
+const DEMO: &str = r#"
+relation emp name:str age:int salary:int dept:str
+predicate emp.salary < 20000 and emp.age > 50
+predicate 20000 <= emp.salary <= 30000
+predicate emp.dept = "Shoe" or emp.dept = "Hat"
+insert emp al 61 12000 Shoe
+insert emp bo 30 25000 Sales
+insert emp cy 45 90000 Hat
+stats
+list
+drop 0
+insert emp di 70 5000 Toys
+"#;
+
+fn main() {
+    let demo = std::env::args().any(|a| a == "--demo");
+    let mut shell = Shell::new();
+
+    if demo {
+        for line in DEMO.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            println!("> {line}");
+            match shell.exec(line) {
+                Ok(out) if !out.is_empty() => println!("{out}"),
+                Ok(_) => {}
+                Err(e) => println!("error: {e}"),
+            }
+        }
+        return;
+    }
+
+    println!("predmatch shell — 'help' for commands, 'quit' to exit");
+    let stdin = io::stdin();
+    let mut out = io::stdout();
+    loop {
+        print!("> ");
+        out.flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        match shell.exec(line) {
+            Ok(o) if !o.is_empty() => println!("{o}"),
+            Ok(_) => {}
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! The grocery-store stock-reordering application from §3 of the paper,
+//! implemented both ways the paper contrasts:
+//!
+//! * **rule-per-item** (the anti-pattern): one reorder rule for every
+//!   item, each testing `stock.level < <that item's threshold>` — tens of
+//!   thousands of rules;
+//! * **data-driven** (the recommended design): the threshold is a field
+//!   of the ITEMS relation and a *single* rule compares the two fields.
+//!
+//! "This second implementation is clearly preferable" — the example
+//! shows both give the same reorders, and how many predicates each
+//! design puts in the index.
+//!
+//! Run with `cargo run --release --example stock_reorder`.
+
+use predmatch::prelude::*;
+use std::time::Instant;
+
+const ITEMS: usize = 2_000;
+
+/// Deterministic pseudo-random threshold per item.
+fn threshold(item: usize) -> i64 {
+    (item as i64 * 37 + 11) % 90 + 10
+}
+
+fn item_db() -> Database {
+    let mut db = Database::new();
+    db.create_relation(
+        Schema::builder("stock")
+            .attr("item", AttrType::Int)
+            .attr("level", AttrType::Int)
+            .attr("threshold", AttrType::Int)
+            .build(),
+    )
+    .unwrap();
+    db
+}
+
+/// Design A: one rule per item. Every stock update is matched against
+/// ITEMS predicates (all on the same two attributes).
+fn rule_per_item() -> RuleEngine {
+    let mut engine = RuleEngine::new(item_db());
+    for item in 0..ITEMS {
+        engine
+            .add_rule(
+                Rule::builder(format!("reorder-{item}"))
+                    .when(&format!(
+                        "stock.item = {item} and stock.level < {}",
+                        threshold(item)
+                    ))
+                    .unwrap()
+                    .then(Action::log("reorder"))
+                    .build(),
+            )
+            .unwrap();
+    }
+    engine
+}
+
+/// Design B: the threshold lives in the data; one rule with an opaque
+/// comparison between two fields of the same tuple stands in for the
+/// paper's "single rule which compares the current stock level to the
+/// re-order stock level".
+fn data_driven() -> RuleEngine {
+    let mut engine = RuleEngine::new(item_db());
+    engine
+        .add_rule(
+            Rule::builder("reorder")
+                // level < 100 is the indexable guard (levels are always
+                // below 100 when a reorder can trigger); the exact
+                // field-to-field comparison runs in the action.
+                .when("stock.level < 100")
+                .unwrap()
+                .then(Action::callback(|ctx| {
+                    let t = ctx.event.current().expect("insert/update");
+                    let (level, threshold) = (t.get(1).clone(), t.get(2).clone());
+                    if level < threshold {
+                        ctx.log(format!("[reorder] reorder: stock{t}"));
+                    }
+                }))
+                .build(),
+        )
+        .unwrap();
+    engine
+}
+
+fn run(label: &str, mut engine: RuleEngine) -> usize {
+    let start = Instant::now();
+    for item in 0..ITEMS {
+        // Each item's stock arrives; a third dips below its threshold.
+        let level = match item % 3 {
+            0 => threshold(item) - 5,
+            _ => threshold(item) + 40,
+        };
+        engine
+            .insert(
+                "stock",
+                vec![
+                    Value::Int(item as i64),
+                    Value::Int(level),
+                    Value::Int(threshold(item)),
+                ],
+            )
+            .unwrap();
+    }
+    let reorders = engine
+        .log()
+        .iter()
+        .filter(|l| l.contains("reorder"))
+        .count();
+    println!(
+        "{label:>14}: {reorders} reorders, {} rules, {:?} for {ITEMS} stock updates",
+        engine.rule_count(),
+        start.elapsed()
+    );
+    reorders
+}
+
+fn main() {
+    println!("stock reordering for {ITEMS} items, two designs (paper §3):\n");
+    let a = run("rule-per-item", rule_per_item());
+    let b = run("data-driven", data_driven());
+    assert_eq!(a, b, "both designs must order the same restocks");
+    println!("\nidentical reorder decisions; the data-driven design keeps the");
+    println!("rule base (and the predicate index) constant-size as the catalog grows.");
+}

@@ -1,0 +1,129 @@
+//! The paper's running example, end to end: the seven intervals of
+//! Figure 2 behave identically in every interval structure, and the
+//! equivalent predicates behave identically in every matcher.
+
+use predmatch::altindex::{
+    BulkBuild, CenteredIntervalTree, IntervalSkipList, IntervalTreap, NaiveIntervalList,
+    SegmentTree, StabIndex,
+};
+use predmatch::predindex::SequentialMatcher;
+use predmatch::prelude::*;
+use predmatch::interval::IntervalId;
+
+/// Figure 2's interval set (A–G).
+fn figure2() -> Vec<(IntervalId, Interval<i64>)> {
+    vec![
+        (IntervalId(0), Interval::closed(9, 19)),     // A
+        (IntervalId(1), Interval::closed(2, 7)),      // B
+        (IntervalId(2), Interval::closed_open(1, 3)), // C [1,3)
+        (IntervalId(3), Interval::closed(17, 20)),    // D
+        (IntervalId(4), Interval::closed(7, 12)),     // E
+        (IntervalId(5), Interval::point(18)),         // F
+        (IntervalId(6), Interval::at_most(17)),       // G (-inf,17]
+    ]
+}
+
+#[test]
+fn every_structure_reports_figure2_identically() {
+    let items = figure2();
+    let ibs: IbsTree<i64> = BulkBuild::build(items.clone());
+    let seg = SegmentTree::build(items.clone());
+    let cit = CenteredIntervalTree::build(items.clone());
+    let treap = IntervalTreap::build(items.clone());
+    let skip = IntervalSkipList::build(items.clone());
+    let naive = NaiveIntervalList::build(items.clone());
+
+    for x in -3..25 {
+        let mut want: Vec<IntervalId> = items
+            .iter()
+            .filter(|(_, iv)| iv.contains(&x))
+            .map(|(id, _)| *id)
+            .collect();
+        want.sort();
+        for (name, mut got) in [
+            ("ibs", StabIndex::stab(&ibs, &x)),
+            ("segment", seg.stab(&x)),
+            ("interval-tree", cit.stab(&x)),
+            ("treap", treap.stab(&x)),
+            ("skip-list", skip.stab(&x)),
+            ("naive", naive.stab(&x)),
+        ] {
+            got.sort();
+            assert_eq!(got, want, "{name} at {x}");
+        }
+    }
+}
+
+#[test]
+fn figure2_as_salary_predicates() {
+    // The same seven intervals phrased as salary predicates (in $1000s)
+    // and pushed through the full scheme.
+    let mut db = Database::new();
+    db.create_relation(
+        Schema::builder("emp")
+            .attr("name", AttrType::Str)
+            .attr("salary", AttrType::Int)
+            .build(),
+    )
+    .unwrap();
+    let sources = [
+        "9 <= emp.salary <= 19",                  // A
+        "2 <= emp.salary <= 7",                   // B
+        "1 <= emp.salary < 3",                    // C
+        "17 <= emp.salary <= 20",                 // D
+        "7 <= emp.salary <= 12",                  // E
+        "emp.salary = 18",                        // F
+        "emp.salary <= 17",                       // G
+    ];
+    let mut index = PredicateIndex::new();
+    let mut oracle = SequentialMatcher::new();
+    for s in sources {
+        let p = parse_predicate(s).unwrap();
+        index.insert(p.clone(), db.catalog()).unwrap();
+        oracle.insert(p, db.catalog()).unwrap();
+    }
+    for salary in -3i64..25 {
+        let t = db
+            .insert("emp", vec![Value::str("x"), Value::Int(salary)])
+            .unwrap();
+        assert_eq!(
+            index.match_tuple("emp", &t),
+            oracle.match_tuple("emp", &t),
+            "salary {salary}"
+        );
+    }
+    // Spot values from the figure: 18 hits A, D, F.
+    let t = db
+        .insert("emp", vec![Value::str("spot"), Value::Int(18)])
+        .unwrap();
+    let hits = index.match_tuple("emp", &t);
+    assert_eq!(
+        hits,
+        vec![
+            predmatch::predindex::PredicateId(0),
+            predmatch::predindex::PredicateId(3),
+            predmatch::predindex::PredicateId(5)
+        ]
+    );
+}
+
+#[test]
+fn dynamic_removal_tracks_the_figure() {
+    let mut ibs: IbsTree<i64> = IbsTree::new();
+    for (id, iv) in figure2() {
+        ibs.insert(id, iv).unwrap();
+    }
+    // Remove G (the open-ended interval) and re-check a few points.
+    ibs.remove(IntervalId(6)).unwrap();
+    let mut at2 = ibs.stab(&2);
+    at2.sort();
+    assert_eq!(at2, vec![IntervalId(1), IntervalId(2)]); // B, C
+    assert_eq!(ibs.stab(&0), vec![]);
+    // Remove everything; the tree must be fully reclaimed.
+    for i in 0..6 {
+        ibs.remove(IntervalId(i)).unwrap();
+    }
+    assert!(ibs.is_empty());
+    assert_eq!(ibs.node_count(), 0);
+    assert_eq!(ibs.marker_count(), 0);
+}

@@ -1,0 +1,107 @@
+//! §5.1's analytical claims, asserted as tests:
+//!
+//! * disjoint intervals place Θ(N) markers,
+//! * heavily-overlapping intervals stay within O(N log N) markers,
+//! * search path work is logarithmic in N (measured structurally via
+//!   tree height rather than wall time, which would flake in CI).
+
+use predmatch::ibs::{BalanceMode, IbsTree};
+use predmatch::interval::{Interval, IntervalId};
+
+fn build(items: impl IntoIterator<Item = (u32, Interval<i64>)>, mode: BalanceMode) -> IbsTree<i64> {
+    let mut t = IbsTree::with_mode(mode);
+    for (i, iv) in items {
+        t.insert(IntervalId(i), iv).unwrap();
+    }
+    t
+}
+
+#[test]
+fn disjoint_markers_are_linear() {
+    for n in [256u32, 1024, 4096] {
+        let t = build(
+            (0..n).map(|i| (i, Interval::closed(i as i64 * 10, i as i64 * 10 + 6))),
+            BalanceMode::Avl,
+        );
+        let per = t.marker_count() as f64 / n as f64;
+        assert!(
+            per <= 4.0,
+            "disjoint N={n}: {per} markers per interval (expected O(1))"
+        );
+    }
+}
+
+#[test]
+fn nested_markers_are_at_most_n_log_n() {
+    for n in [256u32, 1024, 4096] {
+        let t = build(
+            (0..n).map(|i| (i, Interval::closed(-(i as i64), i as i64))),
+            BalanceMode::Avl,
+        );
+        let markers = t.marker_count() as f64;
+        let bound = 3.0 * (n as f64) * (n as f64).log2();
+        assert!(
+            markers <= bound,
+            "nested N={n}: {markers} markers exceeds 3·N·log2(N) = {bound}"
+        );
+        // And the growth really is super-linear: well above the disjoint
+        // case's constant per-interval count.
+        assert!(
+            markers / n as f64 > 6.0,
+            "nested N={n}: markers unexpectedly linear"
+        );
+    }
+}
+
+#[test]
+fn balanced_height_is_logarithmic_even_for_sorted_input() {
+    let n = 8_192u32;
+    let t = build(
+        (0..n).map(|i| (i, Interval::point(i as i64))),
+        BalanceMode::Avl,
+    );
+    // AVL bound: 1.44 log2(N + 2).
+    let bound = (1.44 * ((n + 2) as f64).log2()).ceil() as u32 + 1;
+    assert!(
+        t.height() <= bound,
+        "height {} exceeds AVL bound {bound}",
+        t.height()
+    );
+}
+
+#[test]
+fn unbalanced_random_order_is_near_logarithmic() {
+    // The paper's justification for skipping balancing in its
+    // measurements: random insertion order keeps a BST shallow.
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let n = 8_192u32;
+    let mut keys: Vec<i64> = (0..n as i64).collect();
+    keys.shuffle(&mut rand::rngs::StdRng::seed_from_u64(3));
+    let t = build(
+        keys.iter()
+            .enumerate()
+            .map(|(i, &k)| (i as u32, Interval::point(k))),
+        BalanceMode::None,
+    );
+    // Random BSTs average ~2.99 log2(N); allow generous slack.
+    assert!(
+        t.height() <= 4 * ((n as f64).log2() as u32),
+        "random-order unbalanced height {} looks degenerate",
+        t.height()
+    );
+}
+
+#[test]
+fn search_output_sensitivity() {
+    // O(log N + L): with L = N (query inside every interval) the result
+    // must still be complete; with L = 0 it must be empty.
+    let n = 4_096u32;
+    let t = build(
+        (0..n).map(|i| (i, Interval::closed(-(i as i64) - 1, i as i64 + 1))),
+        BalanceMode::Avl,
+    );
+    assert_eq!(t.stab(&0).len(), n as usize);
+    assert_eq!(t.stab(&(n as i64 * 2)).len(), 0);
+    assert_eq!(t.stab_count(&0), n as usize);
+}

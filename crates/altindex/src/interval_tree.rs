@@ -114,15 +114,11 @@ impl<K: Ord + Clone> CenteredIntervalTree<K> {
             "median effective endpoint is contained in its own interval"
         );
 
-        let mut by_lo: Vec<(Lower<K>, IntervalId)> = here
-            .iter()
-            .map(|(id, iv)| (iv.lo().clone(), *id))
-            .collect();
+        let mut by_lo: Vec<(Lower<K>, IntervalId)> =
+            here.iter().map(|(id, iv)| (iv.lo().clone(), *id)).collect();
         by_lo.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
-        let mut by_hi: Vec<(Upper<K>, IntervalId)> = here
-            .iter()
-            .map(|(id, iv)| (iv.hi().clone(), *id))
-            .collect();
+        let mut by_hi: Vec<(Upper<K>, IntervalId)> =
+            here.iter().map(|(id, iv)| (iv.hi().clone(), *id)).collect();
         by_hi.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
 
         Some(Box::new(Node {

@@ -28,10 +28,7 @@ impl<K: Ord + Clone> NaiveIntervalList<K> {
 
     /// The interval stored under `id`.
     pub fn get(&self, id: IntervalId) -> Option<&Interval<K>> {
-        self.items
-            .iter()
-            .find(|(i, _)| *i == id)
-            .map(|(_, iv)| iv)
+        self.items.iter().find(|(i, _)| *i == id).map(|(_, iv)| iv)
     }
 }
 

@@ -66,7 +66,15 @@ impl<K: Ord + Clone> SegmentTree<K> {
     }
 
     /// Canonical range insertion (recursive on the implicit tree).
-    fn insert_range(&mut self, node: usize, n_lo: usize, n_hi: usize, lo: usize, hi: usize, id: IntervalId) {
+    fn insert_range(
+        &mut self,
+        node: usize,
+        n_lo: usize,
+        n_hi: usize,
+        lo: usize,
+        hi: usize,
+        id: IntervalId,
+    ) {
         if hi < n_lo || n_hi < lo {
             return;
         }

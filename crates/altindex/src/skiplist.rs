@@ -368,9 +368,7 @@ impl<K: Ord + Clone> IntervalSkipList<K> {
                 let span_hi = self.value_of(next).cloned();
                 if iv.covers_open_range(span_lo.as_ref(), span_hi.as_ref()) {
                     self.add_edge_mark(cur, level, id);
-                } else if level > 0
-                    && iv.overlaps_open_range(span_lo.as_ref(), span_hi.as_ref())
-                {
+                } else if level > 0 && iv.overlaps_open_range(span_lo.as_ref(), span_hi.as_ref()) {
                     work.push((level - 1, cur, next));
                 }
                 if next == until {
@@ -398,7 +396,14 @@ impl<K: Ord + Clone + std::fmt::Debug> IntervalSkipList<K> {
         };
         for (l, set) in self.head_marks.iter().enumerate() {
             for id in set.iter() {
-                note(id, Place::Edge { src: NIL, level: l as u8 }, &mut scanned);
+                note(
+                    id,
+                    Place::Edge {
+                        src: NIL,
+                        level: l as u8,
+                    },
+                    &mut scanned,
+                );
             }
         }
         for (ix, n) in self.nodes.iter().enumerate() {
@@ -407,7 +412,10 @@ impl<K: Ord + Clone + std::fmt::Debug> IntervalSkipList<K> {
                 for id in set.iter() {
                     note(
                         id,
-                        Place::Edge { src: ix as NodeIx, level: l as u8 },
+                        Place::Edge {
+                            src: ix as NodeIx,
+                            level: l as u8,
+                        },
                         &mut scanned,
                     );
                 }
@@ -485,9 +493,7 @@ impl<K: Ord + Clone + std::fmt::Debug> IntervalSkipList<K> {
             let expected: Vec<u32> = self
                 .intervals
                 .iter()
-                .filter(|(_, iv)| {
-                    iv.covers_open_range(self.value_of(cur), self.value_of(next))
-                })
+                .filter(|(_, iv)| iv.covers_open_range(self.value_of(cur), self.value_of(next)))
                 .map(|(&id, _)| id)
                 .collect();
             let mut c: Vec<u32> = collected.iter().map(|i| i.0).collect();
@@ -746,11 +752,7 @@ mod tests {
         // Cross-check against definition.
         for x in [-5, 0, 50, 100, 199, 230, 500] {
             let got = l.stab(&x).len();
-            let want = l
-                .intervals
-                .values()
-                .filter(|iv| iv.contains(&x))
-                .count();
+            let want = l.intervals.values().filter(|iv| iv.contains(&x)).count();
             assert_eq!(got, want, "at {x}");
         }
     }

@@ -89,7 +89,12 @@ impl<K: Ord + Clone> IntervalTreap<K> {
         node.max_hi = max_hi;
     }
 
-    fn key_cmp(a_lo: &Lower<K>, a_id: IntervalId, b_lo: &Lower<K>, b_id: IntervalId) -> std::cmp::Ordering {
+    fn key_cmp(
+        a_lo: &Lower<K>,
+        a_id: IntervalId,
+        b_lo: &Lower<K>,
+        b_id: IntervalId,
+    ) -> std::cmp::Ordering {
         a_lo.cmp(b_lo).then(a_id.cmp(&b_id))
     }
 
@@ -161,9 +166,7 @@ impl<K: Ord + Clone> IntervalTreap<K> {
             return (None, false);
         };
         match Self::key_cmp(lo, id, &node.lo, node.id) {
-            std::cmp::Ordering::Equal => {
-                (Self::join(node.left.take(), node.right.take()), true)
-            }
+            std::cmp::Ordering::Equal => (Self::join(node.left.take(), node.right.take()), true),
             std::cmp::Ordering::Less => {
                 let (l, found) = Self::remove_node(node.left.take(), lo, id);
                 node.left = l;

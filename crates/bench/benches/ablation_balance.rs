@@ -31,8 +31,7 @@ fn ablation(c: &mut Criterion) {
     let queries = FigureWorkload { n, a: 0.5, seed: 4 }.queries(1024);
 
     for (order, items) in [("random", &random), ("sorted", &sorted)] {
-        for (mode_name, mode) in [("unbalanced", BalanceMode::None), ("avl", BalanceMode::Avl)]
-        {
+        for (mode_name, mode) in [("unbalanced", BalanceMode::None), ("avl", BalanceMode::Avl)] {
             group.bench_with_input(
                 BenchmarkId::new(format!("insert/{order}"), mode_name),
                 items,
@@ -70,7 +69,6 @@ fn ablation(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 /// Short statistical config: the full sweep has ~110 points; default
 /// Criterion settings (100 samples x 5 s) would take hours for no extra

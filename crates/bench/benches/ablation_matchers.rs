@@ -63,7 +63,6 @@ fn bench_matchers(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Short statistical config: the full sweep has ~110 points; default
 /// Criterion settings (100 samples x 5 s) would take hours for no extra
 /// decision value at these effect sizes.

@@ -1,0 +1,99 @@
+//! Ablation D: sequential vs sharded batch matching.
+//!
+//! Compares the paper's [`PredicateIndex`] driven one tuple at a time
+//! against [`ShardedPredicateIndex::match_batch_threads`] at 1/2/4/8
+//! workers, on two shapes:
+//!
+//! * the §5.2 scenario (one relation — every tuple lands on one shard,
+//!   so any speedup comes purely from concurrent readers on that
+//!   shard's `RwLock`), and
+//! * the same shape spread over 8 relations (tuples fan out across
+//!   shards, the intended deployment of the sharded front-end).
+//!
+//! The `sharded/batch@1` row isolates the front-end's fixed overhead
+//! (lock acquisition, shard grouping) from the threading win.
+//!
+//! Reading the numbers: worker threads only buy wall-clock on a
+//! multi-core host — on a single hardware thread the `batch@N` rows
+//! can at best tie `sequential` (they time-slice one core, paying spawn
+//! overhead). `batch@1` should always be within noise of `sequential`;
+//! on the multi-relation shape it typically wins even single-core,
+//! because grouping a batch by shard improves locality.
+
+use bench::scheme::SchemeWorkload;
+use bench::workload::BatchWorkload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use predindex::{Matcher, PredicateIndex, ShardedPredicateIndex};
+use relation::Tuple;
+use std::hint::black_box;
+
+/// Tuples per batch: sized like a bulk load / queue drain, large enough
+/// that per-batch thread-spawn cost amortizes.
+const BATCH: usize = 4096;
+
+fn bench_shape(c: &mut Criterion, label: &str, relations: usize) {
+    let w = BatchWorkload {
+        relations,
+        scheme: SchemeWorkload::default(),
+    };
+    let db = w.database();
+    let preds = w.predicates();
+
+    let mut seq = PredicateIndex::new();
+    let sharded = ShardedPredicateIndex::new();
+    for p in &preds {
+        seq.insert(p.clone(), db.catalog())
+            .expect("valid predicate");
+        sharded
+            .insert_shared(p.clone(), db.catalog())
+            .expect("valid predicate");
+    }
+
+    let batch = w.batch(BATCH);
+    let refs: Vec<(&str, &Tuple)> = batch.iter().map(|(r, t)| (r.as_str(), t)).collect();
+
+    let mut group = c.benchmark_group(label);
+    group.throughput(Throughput::Elements(BATCH as u64));
+
+    // The baseline retains every tuple's match set, exactly what
+    // `match_batch` returns — a discard-and-reuse loop would be a
+    // different (weaker) contract.
+    group.bench_function(BenchmarkId::new("sequential", BATCH), |b| {
+        b.iter(|| {
+            let out: Vec<Vec<predindex::PredicateId>> = refs
+                .iter()
+                .map(|(rel, t)| seq.match_tuple(rel, t))
+                .collect();
+            black_box(out)
+        })
+    });
+
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new(format!("batch@{threads}"), BATCH), |b| {
+            b.iter(|| black_box(sharded.match_batch_threads(&refs, threads)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sharding(c: &mut Criterion) {
+    // §5.2: one relation, 200 predicates, one shard takes all traffic.
+    bench_shape(c, "sharding_1rel_scheme52", 1);
+    // Spread: 8 relations x 200 predicates across the shards.
+    bench_shape(c, "sharding_8rel", 8);
+}
+
+/// Short statistical config, matching the other ablations.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_sharding
+}
+criterion_main!(benches);

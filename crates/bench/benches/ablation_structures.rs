@@ -36,7 +36,11 @@ fn rtree_1d(items: &[(IntervalId, Interval<i64>)]) -> RTree {
 fn bench_structures(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_structures");
     for &n in &[100usize, 1000, 10_000] {
-        let w = FigureWorkload { n, a: 0.5, seed: 11 };
+        let w = FigureWorkload {
+            n,
+            a: 0.5,
+            seed: 11,
+        };
         let items = w.intervals();
         let queries = w.queries(1024);
         group.throughput(Throughput::Elements(queries.len() as u64));
@@ -88,7 +92,6 @@ fn bench_structures(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 /// Short statistical config: the full sweep has ~110 points; default
 /// Criterion settings (100 samples x 5 s) would take hours for no extra

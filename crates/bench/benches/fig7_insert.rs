@@ -48,7 +48,6 @@ fn fig7(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Short statistical config: the full sweep has ~110 points; default
 /// Criterion settings (100 samples x 5 s) would take hours for no extra
 /// decision value at these effect sizes.

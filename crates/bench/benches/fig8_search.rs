@@ -39,7 +39,6 @@ fn fig8(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Short statistical config: the full sweep has ~110 points; default
 /// Criterion settings (100 samples x 5 s) would take hours for no extra
 /// decision value at these effect sizes.

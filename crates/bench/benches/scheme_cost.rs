@@ -20,7 +20,9 @@ fn scheme_cost(c: &mut Criterion) {
         let db = w.database();
         let mut index = PredicateIndex::new();
         for p in w.predicates() {
-            index.insert(p, db.catalog()).expect("valid scenario predicate");
+            index
+                .insert(p, db.catalog())
+                .expect("valid scenario predicate");
         }
         let tuples = w.tuples(512);
         group.throughput(Throughput::Elements(tuples.len() as u64));
@@ -43,7 +45,6 @@ fn scheme_cost(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 /// Short statistical config: the full sweep has ~110 points; default
 /// Criterion settings (100 samples x 5 s) would take hours for no extra

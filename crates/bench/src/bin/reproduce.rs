@@ -226,7 +226,11 @@ fn scaling() {
         "N", "search", "insert", "delete"
     );
     for n in [1_000usize, 2_000, 4_000, 8_000, 16_000, 32_000] {
-        let w = FigureWorkload { n, a: 0.5, seed: 13 };
+        let w = FigureWorkload {
+            n,
+            a: 0.5,
+            seed: 13,
+        };
         let items = w.intervals();
         let queries = w.queries(4096);
 
@@ -280,11 +284,23 @@ fn skew() {
         "workload", "search", "markers/N", "height", "avg hits"
     );
     let n = 2_000usize;
-    let uniform = FigureWorkload { n, a: 0.0, seed: 21 };
-    let clustered = ClusteredWorkload { n, hot_frac: 0.8, seed: 21 };
+    let uniform = FigureWorkload {
+        n,
+        a: 0.0,
+        seed: 21,
+    };
+    let clustered = ClusteredWorkload {
+        n,
+        hot_frac: 0.8,
+        seed: 21,
+    };
     for (name, items, queries) in [
         ("uniform", uniform.intervals(), uniform.queries(4096)),
-        ("clustered 80/20", clustered.intervals(), clustered.queries(4096)),
+        (
+            "clustered 80/20",
+            clustered.intervals(),
+            clustered.queries(4096),
+        ),
     ] {
         let mut t: IbsTree<i64> = IbsTree::new();
         for (id, iv) in &items {
@@ -322,7 +338,12 @@ fn balance() {
     let n = 1_000usize;
     let random = FigureWorkload { n, a: 0.5, seed: 4 }.intervals();
     let sorted: Vec<(IntervalId, Interval<i64>)> = (0..n as u32)
-        .map(|i| (IntervalId(i), Interval::closed(i as i64 * 11, i as i64 * 11 + 6)))
+        .map(|i| {
+            (
+                IntervalId(i),
+                Interval::closed(i as i64 * 11, i as i64 * 11 + 6),
+            )
+        })
         .collect();
     let queries = FigureWorkload { n, a: 0.5, seed: 4 }.queries(4096);
     println!(
@@ -330,8 +351,7 @@ fn balance() {
         "workload/mode", "insert", "search", "height"
     );
     for (order, items) in [("random", &random), ("sorted", &sorted)] {
-        for (mode_name, mode) in [("unbalanced", BalanceMode::None), ("avl", BalanceMode::Avl)]
-        {
+        for (mode_name, mode) in [("unbalanced", BalanceMode::None), ("avl", BalanceMode::Avl)] {
             let t_ins = median_ns_per_op(5, n, || {
                 let mut t = IbsTree::with_mode(mode);
                 for (id, iv) in items {
@@ -371,7 +391,11 @@ fn structures() {
         "N", "ibs", "segment", "int-tree", "treap", "skiplist", "naive"
     );
     for n in [100usize, 1_000, 10_000] {
-        let w = FigureWorkload { n, a: 0.5, seed: 11 };
+        let w = FigureWorkload {
+            n,
+            a: 0.5,
+            seed: 11,
+        };
         let items = w.intervals();
         let queries = w.queries(4096);
         let ibs: IbsTree<i64> = BulkBuild::build(items.clone());
@@ -413,7 +437,11 @@ fn structures() {
         "N", "ibs", "treap", "skiplist", "seg(rebuild)"
     );
     for n in [100usize, 1_000, 10_000] {
-        let w = FigureWorkload { n, a: 0.5, seed: 12 };
+        let w = FigureWorkload {
+            n,
+            a: 0.5,
+            seed: 12,
+        };
         let items = w.intervals();
         let t_ibs = median_ns_per_op(5, 2 * n, || {
             let mut t: IbsTree<i64> = IbsTree::new();

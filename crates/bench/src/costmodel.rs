@@ -60,9 +60,8 @@ impl CostBreakdown {
 pub fn evaluate(w: &SchemeWorkload, c: &CostConstants) -> CostBreakdown {
     let n = w.predicates as f64;
     let attrs_searched = w.predicated_attrs as f64;
-    let search_ms = c.hash_ms
-        + attrs_searched * c.ibs_search_ms
-        + (1.0 - w.indexable_frac) * c.seq_test_ms * n;
+    let search_ms =
+        c.hash_ms + attrs_searched * c.ibs_search_ms + (1.0 - w.indexable_frac) * c.seq_test_ms * n;
     let partial_matches = n * w.clause_selectivity;
     let residual_ms = partial_matches * c.full_test_ms;
     CostBreakdown {
@@ -89,8 +88,7 @@ pub fn measure_constants(w: &SchemeWorkload) -> CostConstants {
     });
 
     // IBS search over ~N/predicated_attrs predicates on one attribute.
-    let per_tree = (w.predicates as f64 * w.indexable_frac
-        / w.predicated_attrs as f64) as usize;
+    let per_tree = (w.predicates as f64 * w.indexable_frac / w.predicated_attrs as f64) as usize;
     let fig = crate::workload::FigureWorkload {
         n: per_tree.max(1),
         a: 0.0,
@@ -146,7 +144,9 @@ pub fn measure_end_to_end(w: &SchemeWorkload) -> f64 {
     let db = w.database();
     let mut index = PredicateIndex::new();
     for p in w.predicates() {
-        index.insert(p, db.catalog()).expect("valid scenario predicate");
+        index
+            .insert(p, db.catalog())
+            .expect("valid scenario predicate");
     }
     let tuples = w.tuples(2_048);
     let mut out = Vec::with_capacity(64);
@@ -169,7 +169,11 @@ mod tests {
         let w = SchemeWorkload::default();
         let c = evaluate(&w, &PAPER_CONSTANTS);
         // Search: 0.1 + 5×0.13 + 0.1×0.02×200 = 0.1 + 0.65 + 0.4 = 1.15.
-        assert!((c.search_ms - 1.15).abs() < 1e-9, "search = {}", c.search_ms);
+        assert!(
+            (c.search_ms - 1.15).abs() < 1e-9,
+            "search = {}",
+            c.search_ms
+        );
         // Residual: 200×0.1×0.05 = 1.0.
         assert!((c.residual_ms - 1.0).abs() < 1e-9);
         // Total ≈ 2.1 ms (the paper rounds 1.15 down to 1.1).

@@ -80,10 +80,7 @@ impl SchemeWorkload {
                         let lo = rng.gen_range(1..=DOMAIN - width);
                         Clause::Range {
                             attr: format!("a{attr}"),
-                            interval: Interval::closed(
-                                Value::Int(lo),
-                                Value::Int(lo + width),
-                            ),
+                            interval: Interval::closed(Value::Int(lo), Value::Int(lo + width)),
                         }
                     };
                     let c1 = clause(&mut rng, first);

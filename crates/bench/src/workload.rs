@@ -9,9 +9,13 @@
 //! randomly from a uniform distribution of integers between 1 and
 //! 1,000."
 
+use crate::scheme::SchemeWorkload;
 use interval::{Interval, IntervalId};
+use predicate::Predicate;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use relation::{AttrType, Database, Schema, Tuple, Value};
 
 /// Key domain bounds from the paper.
 pub const DOMAIN_LO: i64 = 1;
@@ -112,6 +116,86 @@ impl ClusteredWorkload {
     }
 }
 
+/// Batch-matching workload for the sharded-index ablation: `relations`
+/// relations (named `r0..`), each carrying a §5.2-shaped predicate set,
+/// and batches of `(relation, tuple)` pairs interleaved across them in
+/// random order — the shape of an event queue drained between rule
+/// firings. With `relations = 1` this degenerates to the paper's
+/// single-relation §5.2 scenario (every tuple hits one shard, so any
+/// speedup comes purely from concurrent readers on that shard's lock).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchWorkload {
+    /// Number of relations the batch spreads across.
+    pub relations: usize,
+    /// Per-relation predicate-set shape (§5.2 defaults).
+    pub scheme: SchemeWorkload,
+}
+
+impl BatchWorkload {
+    /// The §5.2 scenario spread over `relations` relations.
+    pub fn new(relations: usize) -> Self {
+        BatchWorkload {
+            relations: relations.max(1),
+            scheme: SchemeWorkload::default(),
+        }
+    }
+
+    /// Name of relation `i`.
+    pub fn relation_name(i: usize) -> String {
+        format!("r{i}")
+    }
+
+    /// Builds the database: `relations` copies of the scenario schema.
+    pub fn database(&self) -> Database {
+        let mut db = Database::new();
+        for i in 0..self.relations {
+            let mut b = Schema::builder(Self::relation_name(i));
+            for a in 0..self.scheme.attrs {
+                b = b.attr(format!("a{a}"), AttrType::Int);
+            }
+            db.create_relation(b.build()).expect("fresh relation");
+        }
+        db
+    }
+
+    /// The full predicate set: one §5.2-shaped set per relation, each
+    /// drawn from its own seed so the sets differ.
+    pub fn predicates(&self) -> Vec<Predicate> {
+        (0..self.relations)
+            .flat_map(|i| {
+                let scheme = SchemeWorkload {
+                    seed: self.scheme.seed.wrapping_add(i as u64),
+                    ..self.scheme
+                };
+                let name = Self::relation_name(i);
+                scheme
+                    .predicates()
+                    .into_iter()
+                    .map(move |p| Predicate::new(&name, p.clauses().to_vec()))
+            })
+            .collect()
+    }
+
+    /// A batch of `count` `(relation name, tuple)` pairs: tuples from
+    /// the scenario domain, spread evenly over the relations, shuffled
+    /// so shard access is interleaved rather than run-length sorted.
+    pub fn batch(&self, count: usize) -> Vec<(String, Tuple)> {
+        let mut rng = StdRng::seed_from_u64(self.scheme.seed ^ 0xba7c);
+        let mut out: Vec<(String, Tuple)> = (0..count)
+            .map(|i| {
+                let tuple = Tuple::new(
+                    (0..self.scheme.attrs)
+                        .map(|_| Value::Int(rng.gen_range(1..=crate::scheme::DOMAIN)))
+                        .collect(),
+                );
+                (Self::relation_name(i % self.relations), tuple)
+            })
+            .collect();
+        out.shuffle(&mut rng);
+        out
+    }
+}
+
 /// A non-overlapping interval set of size `n` (the §5.1 O(N)-marker best
 /// case: disjoint intervals).
 pub fn disjoint_intervals(n: usize) -> Vec<(IntervalId, Interval<i64>)> {
@@ -141,12 +225,12 @@ mod tests {
     #[test]
     fn fractions_respected() {
         for (a, lo, hi) in [(0.0, 0, 0), (0.5, 350, 650), (1.0, 1000, 1000)] {
-            let w = FigureWorkload { n: 1000, a, seed: 1 };
-            let points = w
-                .intervals()
-                .iter()
-                .filter(|(_, iv)| iv.is_point())
-                .count();
+            let w = FigureWorkload {
+                n: 1000,
+                a,
+                seed: 1,
+            };
+            let points = w.intervals().iter().filter(|(_, iv)| iv.is_point()).count();
             assert!(
                 (lo..=hi).contains(&points),
                 "a={a}: {points} points outside [{lo}, {hi}]"
@@ -156,16 +240,28 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let w = FigureWorkload { n: 50, a: 0.5, seed: 9 };
+        let w = FigureWorkload {
+            n: 50,
+            a: 0.5,
+            seed: 9,
+        };
         assert_eq!(w.intervals(), w.intervals());
         assert_eq!(w.queries(10), w.queries(10));
-        let other = FigureWorkload { n: 50, a: 0.5, seed: 10 };
+        let other = FigureWorkload {
+            n: 50,
+            a: 0.5,
+            seed: 10,
+        };
         assert_ne!(w.intervals(), other.intervals());
     }
 
     #[test]
     fn endpoints_in_domain() {
-        let w = FigureWorkload { n: 500, a: 0.3, seed: 2 };
+        let w = FigureWorkload {
+            n: 500,
+            a: 0.3,
+            seed: 2,
+        };
         for (_, iv) in w.intervals() {
             let lo = iv.lo().value().copied().unwrap();
             let hi = iv.hi().value().copied().unwrap();
@@ -177,7 +273,11 @@ mod tests {
 
     #[test]
     fn clustered_respects_hot_fraction() {
-        let w = ClusteredWorkload { n: 2000, hot_frac: 0.8, seed: 3 };
+        let w = ClusteredWorkload {
+            n: 2000,
+            hot_frac: 0.8,
+            seed: 3,
+        };
         let hot = w
             .intervals()
             .iter()
@@ -188,6 +288,37 @@ mod tests {
             .count();
         assert!((1_400..=1_800).contains(&hot), "hot = {hot}");
         assert_eq!(w.intervals(), w.intervals(), "deterministic");
+    }
+
+    #[test]
+    fn batch_workload_shape() {
+        use predindex::{Matcher, PredicateIndex, ShardedPredicateIndex};
+
+        let w = BatchWorkload::new(4);
+        let db = w.database();
+        let preds = w.predicates();
+        assert_eq!(preds.len(), 4 * w.scheme.predicates);
+
+        let mut seq = PredicateIndex::new();
+        let sharded = ShardedPredicateIndex::new();
+        for p in preds {
+            seq.insert(p.clone(), db.catalog()).unwrap();
+            sharded.insert_shared(p, db.catalog()).unwrap();
+        }
+
+        let batch = w.batch(200);
+        assert_eq!(batch.len(), 200);
+        // Evenly spread across the four relations.
+        for i in 0..4 {
+            let name = BatchWorkload::relation_name(i);
+            assert_eq!(batch.iter().filter(|(r, _)| *r == name).count(), 50);
+        }
+        assert_eq!(w.batch(200), batch, "deterministic per seed");
+
+        // The sharded batch path agrees with sequential matching.
+        let refs: Vec<(&str, &Tuple)> = batch.iter().map(|(r, t)| (r.as_str(), t)).collect();
+        let expect: Vec<_> = refs.iter().map(|(r, t)| seq.match_tuple(r, t)).collect();
+        assert_eq!(sharded.match_batch_threads(&refs, 4), expect);
     }
 
     #[test]

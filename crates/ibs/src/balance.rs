@@ -121,13 +121,13 @@ mod tests {
         // Insertion order fixes the shape: 20 root, 10 left, 30 right,
         // 5 / 15 under 10.
         let data: &[(u32, Interval<i32>)] = &[
-            (0, Interval::closed(20, 30)),  // creates 20, 30
-            (1, Interval::closed(5, 15)),   // creates 5 under... (descends)
-            (2, Interval::closed(10, 15)),  // creates 10, 15
-            (3, Interval::closed(5, 30)),   // spans nearly everything
+            (0, Interval::closed(20, 30)), // creates 20, 30
+            (1, Interval::closed(5, 15)),  // creates 5 under... (descends)
+            (2, Interval::closed(10, 15)), // creates 10, 15
+            (3, Interval::closed(5, 30)),  // spans nearly everything
             (4, Interval::point(10)),
-            (5, Interval::at_most(15)),     // open-ended below
-            (6, Interval::at_least(10)),    // open-ended above
+            (5, Interval::at_most(15)),  // open-ended below
+            (6, Interval::at_least(10)), // open-ended above
             (7, Interval::closed(15, 20)),
         ];
         for (i, iv) in data {

@@ -56,28 +56,29 @@ impl<K: Ord + Clone + Debug> IbsTree<K> {
                 scanned.entry(id.0).or_default().push((nid, Slot::Greater));
             }
         }
-        let normalize = |m: &HashMap<u32, Vec<(NodeId, Slot)>>| -> HashMap<u32, HashSet<(u32, u8)>> {
-            m.iter()
-                .filter(|(_, v)| !v.is_empty())
-                .map(|(&id, v)| {
-                    (
-                        id,
-                        v.iter()
-                            .map(|&(n, s)| {
-                                (
-                                    n.0,
-                                    match s {
-                                        Slot::Less => 0u8,
-                                        Slot::Eq => 1,
-                                        Slot::Greater => 2,
-                                    },
-                                )
-                            })
-                            .collect(),
-                    )
-                })
-                .collect()
-        };
+        let normalize =
+            |m: &HashMap<u32, Vec<(NodeId, Slot)>>| -> HashMap<u32, HashSet<(u32, u8)>> {
+                m.iter()
+                    .filter(|(_, v)| !v.is_empty())
+                    .map(|(&id, v)| {
+                        (
+                            id,
+                            v.iter()
+                                .map(|&(n, s)| {
+                                    (
+                                        n.0,
+                                        match s {
+                                            Slot::Less => 0u8,
+                                            Slot::Eq => 1,
+                                            Slot::Greater => 2,
+                                        },
+                                    )
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect()
+            };
         let from_scan = normalize(&scanned);
         let from_registry = normalize(&self.placements);
         if from_scan != from_registry {
@@ -240,7 +241,12 @@ impl<K: Ord + Clone + Debug> IbsTree<K> {
             // Completeness at null positions: each gap's collected set
             // must equal the intervals covering the whole gap.
             for (child, gap_lo, gap_hi, slot) in [
-                (n.left, f.lo_fence.clone(), Some(n.value.clone()), Slot::Less),
+                (
+                    n.left,
+                    f.lo_fence.clone(),
+                    Some(n.value.clone()),
+                    Slot::Less,
+                ),
                 (
                     n.right,
                     Some(n.value.clone()),
@@ -258,9 +264,7 @@ impl<K: Ord + Clone + Debug> IbsTree<K> {
                     let expected: HashSet<u32> = self
                         .intervals
                         .iter()
-                        .filter(|(_, iv)| {
-                            iv.covers_open_range(gap_lo.as_ref(), gap_hi.as_ref())
-                        })
+                        .filter(|(_, iv)| iv.covers_open_range(gap_lo.as_ref(), gap_hi.as_ref()))
                         .map(|(&id, _)| id)
                         .collect();
                     let mut got: HashSet<u32> = inherited.iter().map(|i| i.0).collect();
@@ -341,10 +345,7 @@ impl<K: Ord + Clone + Debug> IbsTree<K> {
                     None => return Err(format!("hi owner {id} is not a live interval")),
                     Some(iv) => {
                         if iv.hi().value() != Some(&node.value) {
-                            return Err(format!(
-                                "hi owner {id} does not end at {:?}",
-                                node.value
-                            ));
+                            return Err(format!("hi owner {id} does not end at {:?}", node.value));
                         }
                     }
                 }

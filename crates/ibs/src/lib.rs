@@ -270,8 +270,11 @@ mod tests {
         for round in 0..20u32 {
             for i in 0..30u32 {
                 let k = ((i * 37 + round * 11) % 100) as i32;
-                t.insert(id(round * 100 + i), Interval::closed(k, k + ((i % 7) as i32)))
-                    .unwrap();
+                t.insert(
+                    id(round * 100 + i),
+                    Interval::closed(k, k + ((i % 7) as i32)),
+                )
+                .unwrap();
             }
             t.assert_invariants();
             for i in 0..15u32 {

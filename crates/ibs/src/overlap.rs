@@ -200,13 +200,7 @@ mod tests {
         t.insert(id(0), Interval::at_most(5)).unwrap();
         t.insert(id(1), Interval::at_least(100)).unwrap();
         t.insert(id(2), Interval::unbounded()).unwrap();
-        assert_eq!(
-            sorted(t.stab_interval(&Interval::less_than(0))),
-            vec![0, 2]
-        );
-        assert_eq!(
-            sorted(t.stab_interval(&Interval::at_least(50))),
-            vec![1, 2]
-        );
+        assert_eq!(sorted(t.stab_interval(&Interval::less_than(0))), vec![0, 2]);
+        assert_eq!(sorted(t.stab_interval(&Interval::at_least(50))), vec![1, 2]);
     }
 }

@@ -164,9 +164,7 @@ impl<K: Ord + Clone> IbsTree<K> {
 
     /// Iterates all `(id, interval)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (IntervalId, &Interval<K>)> {
-        self.intervals
-            .iter()
-            .map(|(&id, iv)| (IntervalId(id), iv))
+        self.intervals.iter().map(|(&id, iv)| (IntervalId(id), iv))
     }
 
     // ------------------------------------------------------------------
@@ -386,8 +384,7 @@ impl<K: Ord + Clone> IbsTree<K> {
         }
         let x = cur;
 
-        let two_children =
-            !self.arena[x].left.is_null() && !self.arena[x].right.is_null();
+        let two_children = !self.arena[x].left.is_null() && !self.arena[x].right.is_null();
 
         // Collect the repair set T and strip its marks.
         let mut repair: Vec<IntervalId> = Vec::new();
@@ -443,9 +440,7 @@ impl<K: Ord + Clone> IbsTree<K> {
         } else {
             self.arena[spliced].left
         };
-        debug_assert!(
-            self.arena[spliced].left.is_null() || self.arena[spliced].right.is_null()
-        );
+        debug_assert!(self.arena[spliced].left.is_null() || self.arena[spliced].right.is_null());
         match path.last().copied() {
             None => self.root = child,
             Some((parent, went_left)) => {

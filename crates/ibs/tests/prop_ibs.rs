@@ -213,7 +213,8 @@ fn drain_to_empty() {
     let n = 300u32;
     for i in 0..n {
         let a = (i as i32 * 13) % 500;
-        tree.insert(IntervalId(i), Interval::closed(a, a + 200)).unwrap();
+        tree.insert(IntervalId(i), Interval::closed(a, a + 200))
+            .unwrap();
     }
     tree.assert_invariants();
     let mut ids: Vec<u32> = (0..n).collect();
@@ -230,8 +231,91 @@ fn drain_to_empty() {
     assert_eq!(tree.marker_count(), 0);
 }
 
+/// A churn step: structural mutation or a read, so that stabs are
+/// interleaved *between* mutations rather than replayed after each one.
+#[derive(Debug, Clone)]
+enum ChurnOp {
+    Insert(Interval<i32>),
+    /// Remove the k-th live interval (mod current size).
+    Remove(usize),
+    Stab(i32),
+    StabInterval(Interval<i32>),
+}
+
+fn arb_churn_ops(max_key: i32, len: usize) -> impl Strategy<Value = Vec<ChurnOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => arb_interval(max_key).prop_map(ChurnOp::Insert),
+            2 => (0usize..64).prop_map(ChurnOp::Remove),
+            2 => (-1..=max_key + 1).prop_map(ChurnOp::Stab),
+            1 => arb_interval(max_key).prop_map(ChurnOp::StabInterval),
+        ],
+        1..len,
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Mode-differential churn: the same interleaved insert/remove/stab
+    /// sequence drives an AVL-balanced tree and an unbalanced tree in
+    /// lockstep. Balancing is an implementation detail — every read must
+    /// agree between the two modes (and with the `Vec` oracle), and both
+    /// trees must hold every structural invariant after every op.
+    #[test]
+    fn churn_avl_agrees_with_unbalanced(ops in arb_churn_ops(25, 60)) {
+        let mut avl: IbsTree<i32> = IbsTree::with_mode(BalanceMode::Avl);
+        let mut flat: IbsTree<i32> = IbsTree::with_mode(BalanceMode::None);
+        let mut oracle: Vec<(IntervalId, Interval<i32>)> = Vec::new();
+        let mut next = 0u32;
+
+        for op in ops {
+            match op {
+                ChurnOp::Insert(iv) => {
+                    let id = IntervalId(next);
+                    next += 1;
+                    avl.insert(id, iv.clone()).expect("fresh id (avl)");
+                    flat.insert(id, iv.clone()).expect("fresh id (flat)");
+                    oracle.push((id, iv));
+                }
+                ChurnOp::Remove(k) => {
+                    if oracle.is_empty() {
+                        continue;
+                    }
+                    let (id, iv) = oracle.remove(k % oracle.len());
+                    prop_assert_eq!(avl.remove(id).expect("live id (avl)"), iv.clone());
+                    prop_assert_eq!(flat.remove(id).expect("live id (flat)"), iv);
+                }
+                ChurnOp::Stab(x) => {
+                    let mut a = avl.stab(&x);
+                    let mut f = flat.stab(&x);
+                    a.sort_unstable();
+                    f.sort_unstable();
+                    let mut want: Vec<IntervalId> = oracle
+                        .iter()
+                        .filter(|(_, iv)| iv.contains(&x))
+                        .map(|&(id, _)| id)
+                        .collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(&a, &f, "stab({}) diverged between modes", x);
+                    prop_assert_eq!(a, want, "stab({}) diverged from oracle", x);
+                    prop_assert_eq!(avl.stab_count(&x), flat.stab_count(&x));
+                }
+                ChurnOp::StabInterval(q) => {
+                    let mut a = avl.stab_interval(&q);
+                    let mut f = flat.stab_interval(&q);
+                    a.sort_unstable();
+                    f.sort_unstable();
+                    prop_assert_eq!(a, f, "stab_interval({}) diverged between modes", q);
+                }
+            }
+            // Every structural invariant, in both modes, after every op.
+            avl.assert_invariants();
+            flat.assert_invariants();
+            prop_assert_eq!(avl.len(), oracle.len());
+            prop_assert_eq!(flat.len(), oracle.len());
+        }
+    }
 
     /// Interval-overlap queries agree with the naive definition on
     /// arbitrary stored sets and arbitrary query intervals.

@@ -89,9 +89,12 @@ fn avl_delete_rebalancing_chain() {
 #[test]
 fn extreme_keys() {
     let mut t = IbsTree::new();
-    t.insert(id(0), Interval::closed(i64::MIN, i64::MIN + 1)).unwrap();
-    t.insert(id(1), Interval::closed(i64::MAX - 1, i64::MAX)).unwrap();
-    t.insert(id(2), Interval::closed(i64::MIN, i64::MAX)).unwrap();
+    t.insert(id(0), Interval::closed(i64::MIN, i64::MIN + 1))
+        .unwrap();
+    t.insert(id(1), Interval::closed(i64::MAX - 1, i64::MAX))
+        .unwrap();
+    t.insert(id(2), Interval::closed(i64::MIN, i64::MAX))
+        .unwrap();
     t.insert(id(3), Interval::point(0)).unwrap();
     t.assert_invariants();
     let mut hits = t.stab(&i64::MIN);

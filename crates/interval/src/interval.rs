@@ -65,14 +65,12 @@ impl<K: Ord + Clone> Interval<K> {
     /// `[a, b]`. Panics if `a > b` (programmer error in literals; use
     /// [`Interval::new`] for data-driven construction).
     pub fn closed(a: K, b: K) -> Self {
-        Self::new(Lower::Inclusive(a), Upper::Inclusive(b))
-            .expect("closed(a, b) requires a <= b")
+        Self::new(Lower::Inclusive(a), Upper::Inclusive(b)).expect("closed(a, b) requires a <= b")
     }
 
     /// `(a, b)`. Panics if empty.
     pub fn open(a: K, b: K) -> Self {
-        Self::new(Lower::Exclusive(a), Upper::Exclusive(b))
-            .expect("open(a, b) requires a < b")
+        Self::new(Lower::Exclusive(a), Upper::Exclusive(b)).expect("open(a, b) requires a < b")
     }
 
     /// `[a, b)`. Panics if empty.
@@ -323,7 +321,10 @@ mod tests {
             Interval::closed(1, 5).intersect(&Interval::closed(5, 9)),
             Some(Interval::point(5))
         );
-        assert_eq!(Interval::closed(1, 4).intersect(&Interval::closed(5, 9)), None);
+        assert_eq!(
+            Interval::closed(1, 4).intersect(&Interval::closed(5, 9)),
+            None
+        );
         assert_eq!(
             Interval::closed_open(1, 5).intersect(&Interval::closed(5, 9)),
             None

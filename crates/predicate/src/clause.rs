@@ -80,12 +80,22 @@ impl PartialEq for Clause {
     fn eq(&self, other: &Self) -> bool {
         match (self, other) {
             (
-                Clause::Range { attr: a1, interval: i1 },
-                Clause::Range { attr: a2, interval: i2 },
+                Clause::Range {
+                    attr: a1,
+                    interval: i1,
+                },
+                Clause::Range {
+                    attr: a2,
+                    interval: i2,
+                },
             ) => a1 == a2 && i1 == i2,
             (
-                Clause::Func { name: n1, attr: a1, .. },
-                Clause::Func { name: n2, attr: a2, .. },
+                Clause::Func {
+                    name: n1, attr: a1, ..
+                },
+                Clause::Func {
+                    name: n2, attr: a2, ..
+                },
             ) => n1 == n2 && a1 == a2,
             _ => false,
         }

@@ -30,8 +30,14 @@ impl Default for FunctionRegistry {
         let mut r = FunctionRegistry {
             funcs: HashMap::new(),
         };
-        r.register("isodd", |v| matches!(v, Value::Int(i) if i.rem_euclid(2) == 1));
-        r.register("iseven", |v| matches!(v, Value::Int(i) if i.rem_euclid(2) == 0));
+        r.register(
+            "isodd",
+            |v| matches!(v, Value::Int(i) if i.rem_euclid(2) == 1),
+        );
+        r.register(
+            "iseven",
+            |v| matches!(v, Value::Int(i) if i.rem_euclid(2) == 0),
+        );
         r.register("ispositive", |v| match v {
             Value::Int(i) => *i > 0,
             Value::Float(f) => *f > 0.0,

@@ -147,9 +147,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &input[start..i];
@@ -164,7 +162,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
             _ => {
                 return Err(LexError {
                     pos: i,
-                    message: format!("unexpected character {:?}", input[i..].chars().next().unwrap()),
+                    message: format!(
+                        "unexpected character {:?}",
+                        input[i..].chars().next().unwrap()
+                    ),
                 })
             }
         }

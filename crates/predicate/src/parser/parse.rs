@@ -32,7 +32,10 @@ pub enum ParseError {
     /// Tokenizer failure.
     Lex(LexError),
     /// Unexpected token (or end of input).
-    Unexpected { got: Option<String>, expected: String },
+    Unexpected {
+        got: Option<String>,
+        expected: String,
+    },
     /// A comparison between two literals or two attributes.
     BadComparison(String),
     /// A chained comparison with inconsistent operator directions.
@@ -92,9 +95,17 @@ enum Leaf {
         interval: Option<Interval<Value>>,
     },
     /// Function clause.
-    Func { rel: String, attr: String, name: String },
+    Func {
+        rel: String,
+        attr: String,
+        name: String,
+    },
     /// `attr != c`, expanded to `< c or > c` during DNF.
-    NotEqual { rel: String, attr: String, value: Value },
+    NotEqual {
+        rel: String,
+        attr: String,
+        value: Value,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -126,10 +137,7 @@ pub fn parse_dnf(input: &str, funcs: &FunctionRegistry) -> Result<Vec<Predicate>
 }
 
 /// Parses `input` as a single conjunctive predicate (no `or`, no `!=`).
-pub fn parse_conjunct(
-    input: &str,
-    funcs: &FunctionRegistry,
-) -> Result<Predicate, ParseError> {
+pub fn parse_conjunct(input: &str, funcs: &FunctionRegistry) -> Result<Predicate, ParseError> {
     let mut preds = parse_dnf(input, funcs)?;
     if preds.len() != 1 {
         return Err(ParseError::DisjunctionNotAllowed);
@@ -181,7 +189,11 @@ fn build_predicate(leaves: Vec<Leaf>, funcs: &FunctionRegistry) -> Result<Predic
     let mut satisfiable = true;
     for leaf in leaves {
         let (rel, clause) = match leaf {
-            Leaf::Range { rel, attr, interval } => match interval {
+            Leaf::Range {
+                rel,
+                attr,
+                interval,
+            } => match interval {
                 Some(iv) => (rel, Some(Clause::Range { attr, interval: iv })),
                 None => {
                     satisfiable = false;
@@ -384,13 +396,9 @@ impl Parser {
         // Normalize to attr-on-the-left.
         let (rel, attr, op, lit) = match (a, b) {
             (Operand::Attr { rel, attr }, Operand::Literal(v)) => (rel, attr, op, v),
-            (Operand::Literal(v), Operand::Attr { rel, attr }) => {
-                (rel, attr, flip(op), v)
-            }
+            (Operand::Literal(v), Operand::Attr { rel, attr }) => (rel, attr, flip(op), v),
             (Operand::Literal(_), Operand::Literal(_)) => {
-                return Err(ParseError::BadComparison(
-                    "both sides are literals".into(),
-                ))
+                return Err(ParseError::BadComparison("both sides are literals".into()))
             }
             (Operand::Attr { .. }, Operand::Attr { .. }) => {
                 return Err(ParseError::BadComparison(
@@ -469,9 +477,7 @@ impl Parser {
             Interval::new(lower, upper).ok()
         };
         let interval = match (&op_lo, &op_hi) {
-            (Token::Lt | Token::Le, Token::Lt | Token::Le) => {
-                make(lo_lit, &op_lo, hi_lit, &op_hi)
-            }
+            (Token::Lt | Token::Le, Token::Lt | Token::Le) => make(lo_lit, &op_lo, hi_lit, &op_hi),
             (Token::Gt | Token::Ge, Token::Gt | Token::Ge) => {
                 // c1 >= attr >= c2 reads downward: flip to c2 <= attr <= c1.
                 make(hi_lit, &flip(op_hi), lo_lit, &flip(op_lo))

@@ -31,7 +31,10 @@ impl Predicate {
             match clause {
                 Clause::Range { attr, interval } => {
                     let existing = merged.iter_mut().find_map(|c| match c {
-                        Clause::Range { attr: a, interval: iv } if *a == attr => Some(iv),
+                        Clause::Range {
+                            attr: a,
+                            interval: iv,
+                        } if *a == attr => Some(iv),
                         _ => None,
                     });
                     match existing {
@@ -147,12 +150,13 @@ impl Predicate {
         let mut bound = Vec::with_capacity(self.clauses.len());
         for clause in &self.clauses {
             let attr_name = clause.attr();
-            let attr_ix = schema
-                .attr_index(attr_name)
-                .ok_or_else(|| BindError::NoSuchAttribute {
-                    relation: self.relation.clone(),
-                    attr: attr_name.to_string(),
-                })?;
+            let attr_ix =
+                schema
+                    .attr_index(attr_name)
+                    .ok_or_else(|| BindError::NoSuchAttribute {
+                        relation: self.relation.clone(),
+                        attr: attr_name.to_string(),
+                    })?;
             let ty = schema.attributes()[attr_ix].ty;
             match clause {
                 Clause::Range { interval, .. } => {
@@ -248,7 +252,10 @@ impl fmt::Display for BindError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BindError::WrongRelation { predicate, schema } => {
-                write!(f, "predicate on {predicate:?} bound against schema {schema:?}")
+                write!(
+                    f,
+                    "predicate on {predicate:?} bound against schema {schema:?}"
+                )
             }
             BindError::NoSuchAttribute { relation, attr } => {
                 write!(f, "relation {relation:?} has no attribute {attr:?}")
@@ -288,11 +295,19 @@ impl BoundClause {
         }
     }
 
-    /// Evaluates the clause against a tuple.
+    /// Evaluates the clause against a tuple. A clause over an attribute
+    /// the tuple does not carry (arity shorter than the bound schema,
+    /// e.g. a projected tuple) holds for no value, so it is `false`
+    /// rather than a panic.
     pub fn test(&self, tuple: &Tuple) -> bool {
         match self {
-            BoundClause::Range { attr, interval } => interval.contains(tuple.get(*attr)),
-            BoundClause::Func { attr, func, .. } => func(tuple.get(*attr)),
+            BoundClause::Range { attr, interval } => tuple
+                .values()
+                .get(*attr)
+                .is_some_and(|v| interval.contains(v)),
+            BoundClause::Func { attr, func, .. } => {
+                tuple.values().get(*attr).is_some_and(|v| func(v))
+            }
         }
     }
 }

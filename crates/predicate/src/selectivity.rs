@@ -13,12 +13,10 @@ use relation::{default_selectivity, Catalog};
 /// Estimated fraction of tuples a bound clause admits.
 pub fn clause_selectivity(catalog: &Catalog, relation: &str, clause: &BoundClause) -> f64 {
     match clause {
-        BoundClause::Range { attr, interval } => {
-            match catalog.column_stats(relation, *attr) {
-                Some(stats) => stats.selectivity(interval),
-                None => default_selectivity(interval),
-            }
-        }
+        BoundClause::Range { attr, interval } => match catalog.column_stats(relation, *attr) {
+            Some(stats) => stats.selectivity(interval),
+            None => default_selectivity(interval),
+        },
         // Nothing is known about opaque functions; assume they filter
         // like a one-sided range. They are never indexed anyway.
         BoundClause::Func { .. } => relation::stats::defaults::OPEN_RANGE,
@@ -28,10 +26,7 @@ pub fn clause_selectivity(catalog: &Catalog, relation: &str, clause: &BoundClaus
 /// The position of the most selective *indexable* clause of a predicate,
 /// or `None` if every clause is an opaque function (the predicate then
 /// goes to the non-indexable list of Figure 1).
-pub fn most_selective_indexable(
-    catalog: &Catalog,
-    pred: &BoundPredicate,
-) -> Option<usize> {
+pub fn most_selective_indexable(catalog: &Catalog, pred: &BoundPredicate) -> Option<usize> {
     pred.clauses()
         .iter()
         .enumerate()

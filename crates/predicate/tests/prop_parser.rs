@@ -107,7 +107,9 @@ impl Expr {
     fn eval(&self, t: &Tuple) -> bool {
         match self {
             Expr::Cmp { attr, op, k } => {
-                let Value::Int(v) = t.get(*attr) else { unreachable!() };
+                let Value::Int(v) = t.get(*attr) else {
+                    unreachable!()
+                };
                 match op {
                     0 => v < k,
                     1 => v <= k,
@@ -135,17 +137,11 @@ impl Expr {
 }
 
 fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = (0usize..3, 0u8..6, 0i64..40).prop_map(|(attr, op, k)| Expr::Cmp {
-        attr,
-        op,
-        k,
-    });
+    let leaf = (0usize..3, 0u8..6, 0i64..40).prop_map(|(attr, op, k)| Expr::Cmp { attr, op, k });
     leaf.prop_recursive(3, 12, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
         ]
     })
 }

@@ -101,7 +101,11 @@ impl Matcher for PhysicalLockingMatcher {
                     BoundClause::Range { attr, interval }
                         if self.indexed_attrs.contains(&(relation.clone(), *attr)) =>
                     {
-                        Some((*attr, interval.clone(), clause_selectivity(catalog, &relation, c)))
+                        Some((
+                            *attr,
+                            interval.clone(),
+                            clause_selectivity(catalog, &relation, c),
+                        ))
                     }
                     _ => None,
                 })
@@ -112,7 +116,10 @@ impl Matcher for PhysicalLockingMatcher {
                         .entry((relation.clone(), attr))
                         .or_default()
                         .insert(id, interval);
-                    Lock::Index { relation: relation.clone(), attr }
+                    Lock::Index {
+                        relation: relation.clone(),
+                        attr,
+                    }
                 }
                 None => {
                     self.relation_locks
@@ -155,8 +162,13 @@ impl Matcher for PhysicalLockingMatcher {
         // system tests the tuple against the predicate".
         let mut out = Vec::new();
         for ((rel, attr), table) in &self.lock_tables {
+            // Skip attributes the tuple doesn't carry (short arity): a
+            // lock on a missing attribute cannot conflict, and the
+            // residual full_match below agrees.
             if rel == relation {
-                table.stab_into(tuple.get(*attr), &mut out);
+                if let Some(value) = tuple.values().get(*attr) {
+                    table.stab_into(value, &mut out);
+                }
             }
         }
         if let Some(rl) = self.relation_locks.get(relation) {

@@ -91,6 +91,12 @@ impl Matcher for RTreeMatcher {
                 .get_mut(stored.bound.relation())
                 .expect("indexed relation exists");
             tree.remove(id).expect("indexed rect exists");
+            // Drop the tree once empty: its dimensionality is frozen at
+            // creation, and the relation may come back with a different
+            // schema arity.
+            if tree.is_empty() {
+                self.by_relation.remove(stored.bound.relation());
+            }
         }
         Some(stored.source)
     }
@@ -99,7 +105,18 @@ impl Matcher for RTreeMatcher {
         let Some(tree) = self.by_relation.get(relation) else {
             return Vec::new();
         };
-        let point: Vec<f64> = tuple.values().iter().map(|v| clamp(v.as_f64_lossy())).collect();
+        let mut point: Vec<f64> = tuple
+            .values()
+            .iter()
+            .map(|v| clamp(v.as_f64_lossy()))
+            .collect();
+        // Tuples shorter than the schema (projections) still stab: pad
+        // missing dimensions with an in-world value so predicates without
+        // a clause there (full-world extent) stay candidates. Predicates
+        // *with* a clause on a missing attribute may be pruned here, which
+        // is sound — the residual test rejects them anyway. Extra values
+        // beyond the schema carry no rect dimension, so truncate.
+        point.resize(tree.dims(), 0.0);
         let mut out = tree.stab(&point);
         out.retain(|&id| self.store.full_match(id, tuple));
         out.sort_unstable();

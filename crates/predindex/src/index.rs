@@ -19,6 +19,11 @@
 //! one is placed in the IBS-tree (selectivity estimates are obtained
 //! from the query optimizer)"; everything else is verified by the
 //! residual test against the `PREDICATES` table.
+//!
+//! The building blocks here — [`RelationIndex`], [`Placement`], the
+//! residual filter — are shared with the concurrent front-end in
+//! [`crate::sharded`], which partitions the same structure by relation
+//! so the two matchers stay semantically identical by construction.
 
 use crate::matcher::{IndexError, Matcher, PredicateId, PredicateStore, StoredPredicate};
 use ibs::{BalanceMode, IbsTree};
@@ -30,13 +35,63 @@ use relation::{Catalog, Tuple, Value};
 
 /// Where a registered predicate physically lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Location {
+pub(crate) enum Location {
     /// In the IBS-tree of this attribute (by schema position).
     Tree { attr: usize },
     /// On the relation's non-indexable list.
     NonIndexable,
     /// Nowhere: the predicate is unsatisfiable and can never match.
     Unsatisfiable,
+}
+
+/// The placement decision for a freshly bound predicate: [`Location`]
+/// plus the interval that goes into the tree, when there is one.
+pub(crate) enum Placement {
+    Tree {
+        attr: usize,
+        interval: Interval<Value>,
+    },
+    NonIndexable,
+    Unsatisfiable,
+}
+
+/// Decides where a bound predicate belongs: the most selective
+/// indexable clause's tree, the non-indexable list, or nowhere.
+pub(crate) fn place(catalog: &Catalog, stored: &StoredPredicate) -> Placement {
+    if !stored.bound.is_satisfiable() {
+        return Placement::Unsatisfiable;
+    }
+    match most_selective_indexable(catalog, &stored.bound) {
+        Some(cix) => {
+            let BoundClause::Range { attr, interval } = &stored.bound.clauses()[cix] else {
+                unreachable!("most_selective_indexable returns range clauses")
+            };
+            Placement::Tree {
+                attr: *attr,
+                interval: interval.clone(),
+            }
+        }
+        None => Placement::NonIndexable,
+    }
+}
+
+/// The residual test (Figure 1's last stage): keeps only ids whose full
+/// conjunction holds, then sorts the tail for deterministic output.
+pub(crate) fn residual_filter(
+    store: &PredicateStore,
+    tuple: &Tuple,
+    out: &mut Vec<PredicateId>,
+    from: usize,
+) {
+    let mut keep = from;
+    for i in from..out.len() {
+        if store.full_match(out[i], tuple) {
+            out.swap(keep, i);
+            keep += 1;
+        }
+    }
+    out.truncate(keep);
+    out[from..].sort_unstable();
 }
 
 /// Second-level index for one relation.
@@ -49,11 +104,68 @@ pub(crate) struct RelationIndex {
 }
 
 impl RelationIndex {
+    /// Indexes `interval` under `attr`, creating the tree on first use.
+    pub(crate) fn insert_tree(
+        &mut self,
+        attr: usize,
+        id: PredicateId,
+        interval: Interval<Value>,
+        mode: BalanceMode,
+    ) {
+        self.attr_trees
+            .entry(attr)
+            .or_insert_with(|| IbsTree::with_mode(mode))
+            .insert(id, interval)
+            .expect("fresh predicate id");
+    }
+
+    /// Appends to the non-indexable list.
+    pub(crate) fn push_non_indexable(&mut self, id: PredicateId) {
+        self.non_indexable.push(id);
+    }
+
+    /// Removes an indexed interval, dropping the tree when it empties.
+    pub(crate) fn remove_tree(&mut self, attr: usize, id: PredicateId) {
+        let tree = self.attr_trees.get_mut(&attr).expect("indexed tree exists");
+        tree.remove(id).expect("indexed interval exists");
+        if tree.is_empty() {
+            self.attr_trees.remove(&attr);
+        }
+    }
+
+    /// Removes from the non-indexable list.
+    pub(crate) fn remove_non_indexable(&mut self, id: PredicateId) {
+        self.non_indexable.retain(|&p| p != id);
+    }
+
+    /// Partial match: stabs every per-attribute IBS-tree with the
+    /// tuple's value for that attribute, then sweeps the non-indexable
+    /// list. Each predicate lives in exactly one place, so no
+    /// deduplication is needed. Attributes beyond the tuple's arity are
+    /// skipped — a clause on a missing attribute cannot hold, and the
+    /// residual test agrees (see `BoundClause::test`).
+    pub(crate) fn collect_partial(&self, tuple: &Tuple, out: &mut Vec<PredicateId>) {
+        for (&attr, tree) in &self.attr_trees {
+            if let Some(value) = tuple.values().get(attr) {
+                tree.stab_into(value, out);
+            }
+        }
+        out.extend_from_slice(&self.non_indexable);
+    }
+
     /// Iterates `(attribute index, tree)` pairs (stats support).
-    pub(crate) fn attr_trees_iter(
-        &self,
-    ) -> impl Iterator<Item = (usize, &IbsTree<Value>)> {
+    pub(crate) fn attr_trees_iter(&self) -> impl Iterator<Item = (usize, &IbsTree<Value>)> {
         self.attr_trees.iter().map(|(&a, t)| (a, t))
+    }
+
+    /// Number of attribute trees (stats support).
+    pub(crate) fn tree_count(&self) -> usize {
+        self.attr_trees.len()
+    }
+
+    /// Total markers across this relation's trees (§5.1 space metric).
+    pub(crate) fn marker_count(&self) -> usize {
+        self.attr_trees.values().map(|t| t.marker_count()).sum()
     }
 
     /// Length of the non-indexable list (stats support).
@@ -128,47 +240,24 @@ impl PredicateIndex {
         let Some(ri) = self.relations.get(relation) else {
             return;
         };
-        // Partial match: stab every per-attribute IBS-tree with the
-        // tuple's value for that attribute, then sweep the non-indexable
-        // list. Each predicate lives in exactly one place, so no
-        // deduplication is needed.
-        for (&attr, tree) in &ri.attr_trees {
-            tree.stab_into(tuple.get(attr), out);
-        }
-        out.extend_from_slice(&ri.non_indexable);
-        // Residual test against PREDICATES.
-        let store = &self.store;
-        let mut keep = from;
-        for i in from..out.len() {
-            if store.full_match(out[i], tuple) {
-                out.swap(keep, i);
-                keep += 1;
-            }
-        }
-        out.truncate(keep);
-        out[from..].sort_unstable();
+        ri.collect_partial(tuple, out);
+        residual_filter(&self.store, tuple, out, from);
     }
 
     /// Number of per-attribute IBS-trees across all relations (for
     /// diagnostics and the §5.2 cost model).
     pub fn attribute_tree_count(&self) -> usize {
-        self.relations.values().map(|r| r.attr_trees.len()).sum()
+        self.relations.values().map(|r| r.tree_count()).sum()
     }
 
     /// Iterates `(relation name, relation index)` pairs (stats support).
-    pub(crate) fn relations_iter(
-        &self,
-    ) -> impl Iterator<Item = (&str, &RelationIndex)> {
+    pub(crate) fn relations_iter(&self) -> impl Iterator<Item = (&str, &RelationIndex)> {
         self.relations.iter().map(|(k, v)| (k.as_str(), v))
     }
 
     /// Total markers across all IBS-trees (§5.1 space metric).
     pub fn marker_count(&self) -> usize {
-        self.relations
-            .values()
-            .flat_map(|r| r.attr_trees.values())
-            .map(|t| t.marker_count())
-            .sum()
+        self.relations.values().map(|r| r.marker_count()).sum()
     }
 }
 
@@ -177,32 +266,22 @@ impl Matcher for PredicateIndex {
         let (id, stored) = self.store.register(pred, catalog)?;
         let relation = stored.bound.relation().to_string();
         // Decide the placement with the store borrow, mutate after.
-        let chosen: Option<Option<(usize, Interval<Value>)>> = if !stored.bound.is_satisfiable()
-        {
-            None
-        } else {
-            Some(
-                most_selective_indexable(catalog, &stored.bound).map(|cix| {
-                    let BoundClause::Range { attr, interval } = &stored.bound.clauses()[cix]
-                    else {
-                        unreachable!("most_selective_indexable returns range clauses")
-                    };
-                    (*attr, interval.clone())
-                }),
-            )
-        };
-        let location = match chosen {
-            None => Location::Unsatisfiable,
-            Some(Some((attr, interval))) => {
-                self.index_clause(&relation, attr, id, interval);
-                Location::Tree { attr }
-            }
-            Some(None) => {
+        let placement = place(catalog, stored);
+        let mode = self.mode;
+        let location = match placement {
+            Placement::Unsatisfiable => Location::Unsatisfiable,
+            Placement::Tree { attr, interval } => {
                 self.relations
                     .entry(relation.clone())
                     .or_default()
-                    .non_indexable
-                    .push(id);
+                    .insert_tree(attr, id, interval, mode);
+                Location::Tree { attr }
+            }
+            Placement::NonIndexable => {
+                self.relations
+                    .entry(relation.clone())
+                    .or_default()
+                    .push_non_indexable(id);
                 Location::NonIndexable
             }
         };
@@ -218,22 +297,16 @@ impl Matcher for PredicateIndex {
             .expect("stored predicate must have a location");
         match location {
             Location::Tree { attr } => {
-                let ri = self
-                    .relations
+                self.relations
                     .get_mut(&relation)
-                    .expect("indexed relation exists");
-                let tree = ri.attr_trees.get_mut(&attr).expect("indexed tree exists");
-                tree.remove(id).expect("indexed interval exists");
-                if tree.is_empty() {
-                    ri.attr_trees.remove(&attr);
-                }
+                    .expect("indexed relation exists")
+                    .remove_tree(attr, id);
             }
             Location::NonIndexable => {
-                let ri = self
-                    .relations
+                self.relations
                     .get_mut(&relation)
-                    .expect("indexed relation exists");
-                ri.non_indexable.retain(|&p| p != id);
+                    .expect("indexed relation exists")
+                    .remove_non_indexable(id);
             }
             Location::Unsatisfiable => {}
         }
@@ -252,25 +325,5 @@ impl Matcher for PredicateIndex {
 
     fn strategy(&self) -> &'static str {
         "ibs-index"
-    }
-}
-
-impl PredicateIndex {
-    fn index_clause(
-        &mut self,
-        relation: &str,
-        attr: usize,
-        id: PredicateId,
-        interval: Interval<Value>,
-    ) {
-        let mode = self.mode;
-        let tree = self
-            .relations
-            .entry(relation.to_string())
-            .or_default()
-            .attr_trees
-            .entry(attr)
-            .or_insert_with(|| IbsTree::with_mode(mode));
-        tree.insert(id, interval).expect("fresh predicate id");
     }
 }

@@ -2,26 +2,31 @@
 //!
 //! [`PredicateIndex`] is the contribution: hash on relation name, one
 //! IBS-tree per attribute with indexable clauses, a non-indexable list,
-//! and the `PREDICATES` residual test (Figure 1). The
-//! [`baselines`] module holds the four strategies §2 reviews —
-//! sequential search, OPS5-style hash + sequential, simulated physical
-//! locking, and R-tree multi-dimensional indexing — all behind the same
-//! [`Matcher`] trait so they can be swapped, differential-tested, and
-//! benchmarked.
+//! and the `PREDICATES` residual test (Figure 1).
+//! [`ShardedPredicateIndex`] is the concurrent front-end over the same
+//! structure: state partitioned by relation name behind per-shard
+//! reader–writer locks, with batch matching fanned out across scoped
+//! threads. The [`baselines`] module holds the four strategies §2
+//! reviews — sequential search, OPS5-style hash + sequential, simulated
+//! physical locking, and R-tree multi-dimensional indexing — all behind
+//! the same [`Matcher`] trait so they can be swapped,
+//! differential-tested, and benchmarked.
 
 pub mod baselines;
 mod index;
 mod matcher;
 mod memory;
+mod sharded;
 mod stats;
 
 pub use baselines::{
     HashSequentialMatcher, PhysicalLockingMatcher, RTreeMatcher, SequentialMatcher,
 };
 pub use index::PredicateIndex;
-pub use memory::MatchMemory;
-pub use stats::{IndexStats, RelationStats, TreeStats};
 pub use matcher::{IndexError, Matcher, PredicateId, PredicateStore, StoredPredicate};
+pub use memory::MatchMemory;
+pub use sharded::{ShardedPredicateIndex, DEFAULT_SHARDS};
+pub use stats::{IndexStats, RelationStats, ShardStats, TreeStats};
 
 #[cfg(test)]
 mod tests {
@@ -50,7 +55,13 @@ mod tests {
         db
     }
 
-    fn emp_tuple(db: &mut Database, name: &str, age: i64, salary: i64, dept: &str) -> relation::Tuple {
+    fn emp_tuple(
+        db: &mut Database,
+        name: &str,
+        age: i64,
+        salary: i64,
+        dept: &str,
+    ) -> relation::Tuple {
         db.insert(
             "emp",
             vec![
@@ -211,14 +222,16 @@ mod tests {
         // relation-level lock (the degenerate case).
         let mut m = PhysicalLockingMatcher::new();
         for src in ["emp.age > 30", "emp.salary < 500", r#"emp.dept = "Shoe""#] {
-            m.insert(parse_predicate(src).unwrap(), db.catalog()).unwrap();
+            m.insert(parse_predicate(src).unwrap(), db.catalog())
+                .unwrap();
         }
         assert_eq!(m.relation_lock_count(), 3);
 
         // With an index on age, the age predicate gets an interval lock.
         let mut m = PhysicalLockingMatcher::with_indexed_attrs(db.catalog(), [("emp", "age")]);
         for src in ["emp.age > 30", "emp.salary < 500"] {
-            m.insert(parse_predicate(src).unwrap(), db.catalog()).unwrap();
+            m.insert(parse_predicate(src).unwrap(), db.catalog())
+                .unwrap();
         }
         assert_eq!(m.relation_lock_count(), 1);
         let t = emp_tuple(&mut db, "w", 40, 100, "d");

@@ -70,6 +70,23 @@ pub struct StoredPredicate {
     pub bound: BoundPredicate,
 }
 
+impl StoredPredicate {
+    /// Binds `pred` against the catalog without storing it anywhere.
+    /// Matchers that allocate ids themselves (e.g. the sharded index,
+    /// which draws from an atomic counter only after binding succeeds)
+    /// bind first, then [`PredicateStore::insert_bound`].
+    pub fn bind(pred: Predicate, catalog: &Catalog) -> Result<StoredPredicate, IndexError> {
+        let rel = catalog
+            .relation(pred.relation())
+            .ok_or_else(|| IndexError::NoSuchRelation(pred.relation().to_string()))?;
+        let bound = pred.bind(rel.schema())?;
+        Ok(StoredPredicate {
+            source: pred,
+            bound,
+        })
+    }
+}
+
 /// The `PREDICATES` side table shared by every matcher implementation:
 /// "a main-memory table called PREDICATES that holds the predicates.
 /// When a partial match between a tuple t and a predicate P is found, P
@@ -92,20 +109,19 @@ impl PredicateStore {
         pred: Predicate,
         catalog: &Catalog,
     ) -> Result<(PredicateId, &StoredPredicate), IndexError> {
-        let rel = catalog
-            .relation(pred.relation())
-            .ok_or_else(|| IndexError::NoSuchRelation(pred.relation().to_string()))?;
-        let bound = pred.bind(rel.schema())?;
+        let stored = StoredPredicate::bind(pred, catalog)?;
         let id = PredicateId(self.next);
         self.next += 1;
-        self.preds.insert(
-            id.0,
-            StoredPredicate {
-                source: pred,
-                bound,
-            },
-        );
+        self.preds.insert(id.0, stored);
         Ok((id, &self.preds[&id.0]))
+    }
+
+    /// Stores an already-bound predicate under a caller-assigned id.
+    /// Used by matchers that partition one logical store across several
+    /// physical ones but still hand out globally unique ids.
+    pub fn insert_bound(&mut self, id: PredicateId, stored: StoredPredicate) -> &StoredPredicate {
+        self.preds.insert(id.0, stored);
+        &self.preds[&id.0]
     }
 
     /// Removes a stored predicate.

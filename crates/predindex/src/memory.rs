@@ -36,7 +36,11 @@ impl MatchMemory {
     /// entering and leaving predicates are both maintained.
     pub fn apply(&mut self, index: &PredicateIndex, event: &TupleEvent) {
         match event {
-            TupleEvent::Inserted { relation, id, tuple } => {
+            TupleEvent::Inserted {
+                relation,
+                id,
+                tuple,
+            } => {
                 for pid in index.match_tuple(relation, tuple) {
                     self.matches.entry(pid.0).or_default().insert(*id);
                 }
@@ -56,7 +60,11 @@ impl MatchMemory {
                     self.matches.entry(pid.0).or_default().insert(*id);
                 }
             }
-            TupleEvent::Deleted { relation, id, tuple } => {
+            TupleEvent::Deleted {
+                relation,
+                id,
+                tuple,
+            } => {
                 for pid in index.match_tuple(relation, tuple) {
                     if let Some(set) = self.matches.get_mut(&pid.0) {
                         set.remove(id);

@@ -1,0 +1,540 @@
+//! A concurrent, batch-capable front-end over the paper's predicate
+//! index.
+//!
+//! [`ShardedPredicateIndex`] partitions the Figure 1 structure by the
+//! same key the paper hashes on — the relation name. Each shard owns a
+//! disjoint set of relations: their [`RelationIndex`]es (per-attribute
+//! IBS-trees + non-indexable list) and the slice of the `PREDICATES`
+//! store for predicates over those relations, all behind one
+//! [`RwLock`]. The matching path takes only read locks, so any number
+//! of tuples can be matched concurrently — including against the *same*
+//! relation, since an `RwLock` admits parallel readers. Registration
+//! and removal write-lock exactly one shard, so predicate churn on one
+//! relation never blocks matching on another.
+//!
+//! Ids are drawn from a process-wide atomic counter *after* binding
+//! succeeds, which keeps the assignment sequence identical to
+//! [`PredicateIndex`](crate::PredicateIndex) under single-threaded use —
+//! the differential tests rely on that.
+//!
+//! [`match_batch`](ShardedPredicateIndex::match_batch) fans a slice of
+//! `(relation, tuple)` pairs out across scoped worker threads. Each
+//! worker takes a contiguous chunk of the batch (so results land in
+//! caller order with no scatter step), sorts its chunk by shard, and
+//! holds each shard's read lock across the whole run of tuples headed
+//! there — one lock acquisition per shard per worker, not per tuple.
+
+use crate::index::{place, residual_filter, Location, Placement, RelationIndex};
+use crate::matcher::{IndexError, Matcher, PredicateId, PredicateStore, StoredPredicate};
+use ibs::BalanceMode;
+use predicate::Predicate;
+use relation::fx::FnvHashMap;
+use relation::{Catalog, Tuple};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::RwLock;
+
+/// Default shard count; rounded up to a power of two internally.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// One shard: a disjoint set of relations plus the predicates bound to
+/// them. The three maps mirror `PredicateIndex`'s fields exactly.
+#[derive(Debug, Default)]
+struct Shard {
+    relations: FnvHashMap<String, RelationIndex>,
+    store: PredicateStore,
+    locations: FnvHashMap<u32, (String, Location)>,
+}
+
+impl Shard {
+    /// The sequential `match_tuple_into`, scoped to this shard.
+    fn match_into(&self, relation: &str, tuple: &Tuple, out: &mut Vec<PredicateId>) {
+        let from = out.len();
+        let Some(ri) = self.relations.get(relation) else {
+            return;
+        };
+        ri.collect_partial(tuple, out);
+        residual_filter(&self.store, tuple, out, from);
+    }
+
+    fn insert_bound(
+        &mut self,
+        id: PredicateId,
+        stored: StoredPredicate,
+        catalog: &Catalog,
+        mode: BalanceMode,
+    ) {
+        let relation = stored.bound.relation().to_string();
+        let placement = place(catalog, &stored);
+        self.store.insert_bound(id, stored);
+        let location = match placement {
+            Placement::Unsatisfiable => Location::Unsatisfiable,
+            Placement::Tree { attr, interval } => {
+                self.relations
+                    .entry(relation.clone())
+                    .or_default()
+                    .insert_tree(attr, id, interval, mode);
+                Location::Tree { attr }
+            }
+            Placement::NonIndexable => {
+                self.relations
+                    .entry(relation.clone())
+                    .or_default()
+                    .push_non_indexable(id);
+                Location::NonIndexable
+            }
+        };
+        self.locations.insert(id.0, (relation, location));
+    }
+
+    fn remove(&mut self, id: PredicateId) -> Option<Predicate> {
+        let stored = self.store.unregister(id)?;
+        let (relation, location) = self
+            .locations
+            .remove(&id.0)
+            .expect("stored predicate must have a location");
+        match location {
+            Location::Tree { attr } => {
+                self.relations
+                    .get_mut(&relation)
+                    .expect("indexed relation exists")
+                    .remove_tree(attr, id);
+            }
+            Location::NonIndexable => {
+                self.relations
+                    .get_mut(&relation)
+                    .expect("indexed relation exists")
+                    .remove_non_indexable(id);
+            }
+            Location::Unsatisfiable => {}
+        }
+        Some(stored.source)
+    }
+}
+
+/// FNV-1a over the relation name — the same function the per-shard maps
+/// key with, reused as the shard selector (the Figure 1 hash step).
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in name.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A sharded, thread-safe [`PredicateIndex`](crate::PredicateIndex)
+/// front-end. Semantically identical to the sequential index — same
+/// placement logic, same residual test, same id sequence — but state is
+/// partitioned by relation name behind per-shard reader–writer locks,
+/// and batches of tuples can be matched on several threads at once.
+///
+/// ```
+/// use predindex::{Matcher, ShardedPredicateIndex};
+/// use predicate::parse_predicate;
+/// use relation::{AttrType, Database, Schema, Value};
+///
+/// let mut db = Database::new();
+/// db.create_relation(
+///     Schema::builder("emp").attr("age", AttrType::Int).build(),
+/// )
+/// .unwrap();
+///
+/// let index = ShardedPredicateIndex::new();
+/// let id = index
+///     .insert_shared(parse_predicate("emp.age > 50").unwrap(), db.catalog())
+///     .unwrap();
+///
+/// let old = db.insert("emp", vec![Value::Int(61)]).unwrap();
+/// let young = db.insert("emp", vec![Value::Int(30)]).unwrap();
+/// let batch = [("emp", &old), ("emp", &young)];
+/// assert_eq!(index.match_batch(&batch), vec![vec![id], vec![]]);
+/// ```
+#[derive(Debug)]
+pub struct ShardedPredicateIndex {
+    shards: Box<[RwLock<Shard>]>,
+    /// Power-of-two mask selecting a shard from the relation-name hash.
+    mask: usize,
+    next_id: AtomicU32,
+    mode: BalanceMode,
+}
+
+impl Default for ShardedPredicateIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardedPredicateIndex {
+    /// [`DEFAULT_SHARDS`] shards of AVL-balanced IBS-trees.
+    pub fn new() -> Self {
+        Self::with_shards_and_mode(DEFAULT_SHARDS, BalanceMode::Avl)
+    }
+
+    /// Default shard count with explicit tree balancing.
+    pub fn with_mode(mode: BalanceMode) -> Self {
+        Self::with_shards_and_mode(DEFAULT_SHARDS, mode)
+    }
+
+    /// Explicit shard count (rounded up to a power of two, minimum 1).
+    pub fn with_shards(shards: usize) -> Self {
+        Self::with_shards_and_mode(shards, BalanceMode::Avl)
+    }
+
+    /// Explicit shard count and tree balancing.
+    pub fn with_shards_and_mode(shards: usize, mode: BalanceMode) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        ShardedPredicateIndex {
+            shards: (0..n).map(|_| RwLock::new(Shard::default())).collect(),
+            mask: n - 1,
+            next_id: AtomicU32::new(0),
+            mode,
+        }
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    #[inline]
+    fn shard_of(&self, relation: &str) -> usize {
+        fnv1a(relation) as usize & self.mask
+    }
+
+    /// Registers a predicate through a shared reference: binds against
+    /// the catalog, draws a fresh id, and write-locks only the owning
+    /// shard. Safe to call concurrently with matching and with inserts
+    /// on other relations.
+    pub fn insert_shared(
+        &self,
+        pred: Predicate,
+        catalog: &Catalog,
+    ) -> Result<PredicateId, IndexError> {
+        let stored = StoredPredicate::bind(pred, catalog)?;
+        let sid = self.shard_of(stored.bound.relation());
+        let mut shard = self.shards[sid].write().expect("shard lock poisoned");
+        // Allocate under the shard lock so the single-threaded id
+        // sequence is exactly PredicateIndex's (0, 1, 2, ...).
+        let id = PredicateId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        shard.insert_bound(id, stored, catalog, self.mode);
+        Ok(id)
+    }
+
+    /// Unregisters a predicate through a shared reference. The owning
+    /// shard is found by probing with read locks; only that shard is
+    /// write-locked.
+    pub fn remove_shared(&self, id: PredicateId) -> Option<Predicate> {
+        for lock in self.shards.iter() {
+            let owns = lock
+                .read()
+                .expect("shard lock poisoned")
+                .locations
+                .contains_key(&id.0);
+            if owns {
+                // Re-probe under the write lock: a concurrent remover
+                // may have won the race between the two acquisitions.
+                if let Some(p) = lock.write().expect("shard lock poisoned").remove(id) {
+                    return Some(p);
+                }
+            }
+        }
+        None
+    }
+
+    /// Matching ids appended into a caller-owned buffer (hot path).
+    /// Takes a single shard's read lock; never blocks other readers.
+    pub fn match_tuple_into(&self, relation: &str, tuple: &Tuple, out: &mut Vec<PredicateId>) {
+        let shard = self.shards[self.shard_of(relation)]
+            .read()
+            .expect("shard lock poisoned");
+        shard.match_into(relation, tuple, out);
+    }
+
+    /// Matches every `(relation, tuple)` pair, fanning out across up to
+    /// [`std::thread::available_parallelism`] scoped threads. Result `i`
+    /// is exactly `self.match_tuple(batch[i].0, batch[i].1)`.
+    pub fn match_batch(&self, batch: &[(&str, &Tuple)]) -> Vec<Vec<PredicateId>> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.match_batch_threads(batch, threads)
+    }
+
+    /// [`match_batch`](Self::match_batch) with an explicit worker count
+    /// (the bench ablation's knob). `threads <= 1` matches inline on the
+    /// calling thread, still batching lock acquisitions per shard.
+    pub fn match_batch_threads(
+        &self,
+        batch: &[(&str, &Tuple)],
+        threads: usize,
+    ) -> Vec<Vec<PredicateId>> {
+        let mut out: Vec<Vec<PredicateId>> = batch.iter().map(|_| Vec::new()).collect();
+        let threads = threads.clamp(1, batch.len().max(1));
+        if threads == 1 {
+            self.match_chunk(batch, &mut out);
+            return out;
+        }
+        let chunk = batch.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (items, outs) in batch.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                scope.spawn(move || self.match_chunk(items, outs));
+            }
+        });
+        out
+    }
+
+    /// Matches one contiguous chunk, grouping by shard so each shard's
+    /// read lock is taken once per run of tuples rather than per tuple.
+    fn match_chunk(&self, items: &[(&str, &Tuple)], out: &mut [Vec<PredicateId>]) {
+        debug_assert_eq!(items.len(), out.len());
+        if items.is_empty() {
+            return;
+        }
+        // Hash each relation name once.
+        let sids: Vec<u32> = items.iter().map(|(r, _)| self.shard_of(r) as u32).collect();
+
+        // Fast path — the whole chunk hits one shard (always true with
+        // one shard configured; the common case for single-relation
+        // workloads like §5.2): one lock, no grouping pass.
+        if sids.iter().all(|&s| s == sids[0]) {
+            let shard = self.shards[sids[0] as usize]
+                .read()
+                .expect("shard lock poisoned");
+            for ((relation, tuple), slot) in items.iter().zip(out.iter_mut()) {
+                shard.match_into(relation, tuple, slot);
+            }
+            return;
+        }
+
+        let mut order: Vec<u32> = (0..items.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| sids[i as usize]);
+        let mut at = 0;
+        while at < order.len() {
+            let sid = sids[order[at] as usize];
+            let shard = self.shards[sid as usize]
+                .read()
+                .expect("shard lock poisoned");
+            while at < order.len() {
+                let i = order[at] as usize;
+                if sids[i] != sid {
+                    break;
+                }
+                let (relation, tuple) = items[i];
+                shard.match_into(relation, tuple, &mut out[i]);
+                at += 1;
+            }
+        }
+    }
+
+    /// Number of per-attribute IBS-trees across all shards.
+    pub fn attribute_tree_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .expect("shard lock poisoned")
+                    .relations
+                    .values()
+                    .map(|r| r.tree_count())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Total markers across all IBS-trees (§5.1 space metric).
+    pub fn marker_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .expect("shard lock poisoned")
+                    .relations
+                    .values()
+                    .map(|r| r.marker_count())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Snapshots per-shard and per-relation structure; see
+    /// [`crate::stats::ShardStats`].
+    pub(crate) fn with_shards_read<T>(
+        &self,
+        mut f: impl FnMut(usize, &FnvHashMap<String, RelationIndex>, &PredicateStore) -> T,
+    ) -> Vec<T> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let shard = s.read().expect("shard lock poisoned");
+                f(i, &shard.relations, &shard.store)
+            })
+            .collect()
+    }
+}
+
+impl Matcher for ShardedPredicateIndex {
+    fn insert(&mut self, pred: Predicate, catalog: &Catalog) -> Result<PredicateId, IndexError> {
+        self.insert_shared(pred, catalog)
+    }
+
+    fn remove(&mut self, id: PredicateId) -> Option<Predicate> {
+        self.remove_shared(id)
+    }
+
+    fn match_tuple(&self, relation: &str, tuple: &Tuple) -> Vec<PredicateId> {
+        let mut out = Vec::new();
+        self.match_tuple_into(relation, tuple, &mut out);
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").store.len())
+            .sum()
+    }
+
+    fn strategy(&self) -> &'static str {
+        "sharded-ibs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PredicateIndex;
+    use predicate::parse_predicate;
+    use relation::{AttrType, Database, Schema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        for name in ["emp", "dept", "proj", "acct"] {
+            db.create_relation(
+                Schema::builder(name)
+                    .attr("a", AttrType::Int)
+                    .attr("b", AttrType::Int)
+                    .build(),
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn ids_match_sequential_index() {
+        let db = db();
+        let mut seq = PredicateIndex::new();
+        let sharded = ShardedPredicateIndex::new();
+        for (rel, lo) in [("emp", 1), ("dept", 5), ("proj", 9), ("emp", 2)] {
+            let src = format!("{rel}.a > {lo}");
+            let p = parse_predicate(&src).unwrap();
+            let a = seq.insert(p.clone(), db.catalog()).unwrap();
+            let b = sharded.insert_shared(p, db.catalog()).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn batch_agrees_with_per_tuple_calls() {
+        let mut db = db();
+        let sharded = ShardedPredicateIndex::with_shards(4);
+        for rel in ["emp", "dept", "proj", "acct"] {
+            for lo in [10, 20, 30] {
+                sharded
+                    .insert_shared(
+                        parse_predicate(&format!("{rel}.a > {lo}")).unwrap(),
+                        db.catalog(),
+                    )
+                    .unwrap();
+            }
+        }
+        let mut tuples = Vec::new();
+        for i in 0..40i64 {
+            let rel = ["emp", "dept", "proj", "acct"][(i % 4) as usize];
+            let t = db.insert(rel, vec![Value::Int(i), Value::Int(0)]).unwrap();
+            tuples.push((rel, t));
+        }
+        let batch: Vec<(&str, &Tuple)> = tuples.iter().map(|(r, t)| (*r, t)).collect();
+        let expect: Vec<Vec<PredicateId>> = batch
+            .iter()
+            .map(|(r, t)| sharded.match_tuple(r, t))
+            .collect();
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(sharded.match_batch_threads(&batch, threads), expect);
+        }
+        assert_eq!(sharded.match_batch(&batch), expect);
+    }
+
+    #[test]
+    fn concurrent_insert_match_remove() {
+        let mut db = db();
+        let mut tuples = Vec::new();
+        for i in 0..16i64 {
+            tuples.push(
+                db.insert("emp", vec![Value::Int(i), Value::Int(0)])
+                    .unwrap(),
+            );
+        }
+        let sharded = ShardedPredicateIndex::with_shards(2);
+        let catalog = db.catalog();
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let sharded = &sharded;
+                let tuples = &tuples;
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let id = sharded
+                            .insert_shared(
+                                parse_predicate(&format!("emp.a > {}", w * 100 + i)).unwrap(),
+                                catalog,
+                            )
+                            .unwrap();
+                        for t in tuples {
+                            std::hint::black_box(sharded.match_tuple("emp", t));
+                        }
+                        if i % 2 == 0 {
+                            assert!(sharded.remove_shared(id).is_some());
+                        }
+                    }
+                });
+            }
+        });
+        // Each worker kept the odd-i half of its 50 inserts.
+        assert_eq!(Matcher::len(&sharded), 4 * 25);
+    }
+
+    #[test]
+    fn single_shard_still_correct() {
+        let mut db = db();
+        let sharded = ShardedPredicateIndex::with_shards(1);
+        let id = sharded
+            .insert_shared(parse_predicate("emp.a > 5").unwrap(), db.catalog())
+            .unwrap();
+        let hit = db
+            .insert("emp", vec![Value::Int(9), Value::Int(0)])
+            .unwrap();
+        let miss = db
+            .insert("emp", vec![Value::Int(1), Value::Int(0)])
+            .unwrap();
+        let batch = [("emp", &hit), ("emp", &miss), ("dept", &hit)];
+        assert_eq!(
+            sharded.match_batch_threads(&batch, 3),
+            vec![vec![id], vec![], vec![]]
+        );
+    }
+
+    #[test]
+    fn remove_shared_is_none_for_unknown() {
+        let sharded = ShardedPredicateIndex::new();
+        assert!(sharded.remove_shared(PredicateId(7)).is_none());
+        assert!(Matcher::is_empty(&sharded));
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(ShardedPredicateIndex::with_shards(0).shard_count(), 1);
+        assert_eq!(ShardedPredicateIndex::with_shards(3).shard_count(), 4);
+        assert_eq!(ShardedPredicateIndex::with_shards(16).shard_count(), 16);
+    }
+}

@@ -1,8 +1,11 @@
-//! Introspection over a [`PredicateIndex`]: the Figure 1 structure as
-//! live diagnostics. Useful for operators ("why is matching slow on
-//! this relation?") and for the benchmark harness's space reporting.
+//! Introspection over a [`PredicateIndex`] or
+//! [`ShardedPredicateIndex`]: the Figure 1 structure as live
+//! diagnostics. Useful for operators ("why is matching slow on this
+//! relation?", "are my shards balanced?") and for the benchmark
+//! harness's space reporting.
 
 use crate::index::PredicateIndex;
+use crate::sharded::ShardedPredicateIndex;
 use std::fmt;
 
 /// Per-attribute-tree diagnostics.
@@ -67,11 +70,7 @@ impl fmt::Display for IndexStats {
             self.total_markers()
         )?;
         for r in &self.relations {
-            writeln!(
-                f,
-                "  {} ({} non-indexable)",
-                r.relation, r.non_indexable
-            )?;
+            writeln!(f, "  {} ({} non-indexable)", r.relation, r.non_indexable)?;
             for t in &r.trees {
                 writeln!(
                     f,
@@ -84,29 +83,90 @@ impl fmt::Display for IndexStats {
     }
 }
 
+/// Per-shard diagnostics for a [`ShardedPredicateIndex`]: which
+/// relations a shard owns and how much structure sits behind its lock.
+/// A heavily skewed `predicates` distribution means most write traffic
+/// contends on one lock (reads still scale: `RwLock` admits parallel
+/// readers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard number (`0..shard_count`).
+    pub shard: usize,
+    /// Predicates stored in this shard (including unsatisfiable ones).
+    pub predicates: usize,
+    /// Relations hashed to this shard, sorted by name.
+    pub relations: Vec<RelationStats>,
+}
+
+impl fmt::Display for ShardStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard {}: {} predicates, {} relations",
+            self.shard,
+            self.predicates,
+            self.relations.len()
+        )
+    }
+}
+
+fn relation_stats(name: &str, ri: &crate::index::RelationIndex) -> RelationStats {
+    let mut trees: Vec<TreeStats> = ri
+        .attr_trees_iter()
+        .map(|(attr, tree)| TreeStats {
+            attr,
+            intervals: tree.len(),
+            nodes: tree.node_count(),
+            markers: tree.marker_count(),
+            height: tree.height(),
+        })
+        .collect();
+    trees.sort_by_key(|t| t.attr);
+    RelationStats {
+        relation: name.to_string(),
+        trees,
+        non_indexable: ri.non_indexable_len(),
+    }
+}
+
+impl ShardedPredicateIndex {
+    /// Per-shard structure snapshot (lock-occupancy diagnostics).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.with_shards_read(|shard, relations, store| {
+            let mut rels: Vec<RelationStats> = relations
+                .iter()
+                .map(|(name, ri)| relation_stats(name, ri))
+                .collect();
+            rels.sort_by(|a, b| a.relation.cmp(&b.relation));
+            ShardStats {
+                shard,
+                predicates: store.len(),
+                relations: rels,
+            }
+        })
+    }
+
+    /// Whole-index snapshot in the same shape as
+    /// [`PredicateIndex::stats`], merging all shards.
+    pub fn stats(&self) -> IndexStats {
+        let per_shard = self.shard_stats();
+        let predicates = per_shard.iter().map(|s| s.predicates).sum();
+        let mut relations: Vec<RelationStats> =
+            per_shard.into_iter().flat_map(|s| s.relations).collect();
+        relations.sort_by(|a, b| a.relation.cmp(&b.relation));
+        IndexStats {
+            relations,
+            predicates,
+        }
+    }
+}
+
 impl PredicateIndex {
     /// Snapshots the index structure.
     pub fn stats(&self) -> IndexStats {
         let mut relations: Vec<RelationStats> = self
             .relations_iter()
-            .map(|(name, ri)| {
-                let mut trees: Vec<TreeStats> = ri
-                    .attr_trees_iter()
-                    .map(|(attr, tree)| TreeStats {
-                        attr,
-                        intervals: tree.len(),
-                        nodes: tree.node_count(),
-                        markers: tree.marker_count(),
-                        height: tree.height(),
-                    })
-                    .collect();
-                trees.sort_by_key(|t| t.attr);
-                RelationStats {
-                    relation: name.to_string(),
-                    trees,
-                    non_indexable: ri.non_indexable_len(),
-                }
-            })
+            .map(|(name, ri)| relation_stats(name, ri))
             .collect();
         relations.sort_by(|a, b| a.relation.cmp(&b.relation));
         IndexStats {
@@ -163,6 +223,41 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("4 predicates"));
         assert!(text.contains("emp (1 non-indexable)"));
+    }
+
+    #[test]
+    fn sharded_stats_merge_shards() {
+        let mut db = Database::new();
+        for name in ["emp", "dept", "proj"] {
+            db.create_relation(Schema::builder(name).attr("a", AttrType::Int).build())
+                .unwrap();
+        }
+        let sharded = crate::ShardedPredicateIndex::with_shards(4);
+        for (rel, lo) in [("emp", 1), ("emp", 2), ("dept", 3), ("proj", 4)] {
+            sharded
+                .insert_shared(
+                    parse_predicate(&format!("{rel}.a > {lo}")).unwrap(),
+                    db.catalog(),
+                )
+                .unwrap();
+        }
+
+        let per_shard = sharded.shard_stats();
+        assert_eq!(per_shard.len(), 4);
+        assert_eq!(per_shard.iter().map(|s| s.predicates).sum::<usize>(), 4);
+        assert!(per_shard[0].to_string().starts_with("shard 0:"));
+
+        let merged = sharded.stats();
+        assert_eq!(merged.predicates, 4);
+        assert_eq!(
+            merged
+                .relations
+                .iter()
+                .map(|r| r.relation.as_str())
+                .collect::<Vec<_>>(),
+            vec!["dept", "emp", "proj"],
+        );
+        assert_eq!(merged.total_trees(), 3);
     }
 
     #[test]

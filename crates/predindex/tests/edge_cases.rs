@@ -1,0 +1,199 @@
+//! Regression tests for boundary conditions every matcher must survive:
+//! tuples shorter than the bound schema, double registration/removal,
+//! and matching after the relation is dropped from the catalog.
+
+use predicate::parse_predicate;
+use predindex::{
+    HashSequentialMatcher, Matcher, PhysicalLockingMatcher, PredicateId, PredicateIndex,
+    RTreeMatcher, SequentialMatcher, ShardedPredicateIndex,
+};
+use relation::{AttrType, Database, Schema, Tuple, Value};
+
+fn emp_db() -> Database {
+    let mut db = Database::new();
+    db.create_relation(
+        Schema::builder("emp")
+            .attr("age", AttrType::Int)
+            .attr("salary", AttrType::Int)
+            .attr("dept", AttrType::Str)
+            .build(),
+    )
+    .unwrap();
+    db
+}
+
+fn all_matchers() -> Vec<Box<dyn Matcher>> {
+    vec![
+        Box::new(PredicateIndex::new()),
+        Box::new(ShardedPredicateIndex::new()),
+        Box::new(SequentialMatcher::new()),
+        Box::new(HashSequentialMatcher::new()),
+        Box::new(PhysicalLockingMatcher::new()),
+        Box::new(RTreeMatcher::new()),
+    ]
+}
+
+/// A projected tuple (arity below the schema) must not panic any
+/// matcher. Predicates over attributes the tuple carries still match;
+/// predicates touching a missing attribute cannot.
+#[test]
+fn short_arity_tuple_matches_carried_attributes_only() {
+    let db = emp_db();
+    for mut m in all_matchers() {
+        let on_age = m
+            .insert(parse_predicate("emp.age > 50").unwrap(), db.catalog())
+            .unwrap();
+        let on_salary = m
+            .insert(parse_predicate("emp.salary < 100").unwrap(), db.catalog())
+            .unwrap();
+        let on_both = m
+            .insert(
+                parse_predicate("emp.age > 50 and emp.salary < 100").unwrap(),
+                db.catalog(),
+            )
+            .unwrap();
+        let on_dept = m
+            .insert(
+                parse_predicate(r#"emp.dept = "Shoe""#).unwrap(),
+                db.catalog(),
+            )
+            .unwrap();
+
+        // Only the age column survives the projection.
+        let short = Tuple::new(vec![Value::Int(61)]);
+        assert_eq!(
+            m.match_tuple("emp", &short),
+            vec![on_age],
+            "{}",
+            m.strategy()
+        );
+
+        // Empty tuple: nothing can hold.
+        let empty = Tuple::new(vec![]);
+        assert_eq!(m.match_tuple("emp", &empty), vec![], "{}", m.strategy());
+
+        // Full-arity control: all four still reachable.
+        let full = Tuple::new(vec![Value::Int(61), Value::Int(50), Value::str("Shoe")]);
+        assert_eq!(
+            m.match_tuple("emp", &full),
+            vec![on_age, on_salary, on_both, on_dept],
+            "{}",
+            m.strategy()
+        );
+    }
+}
+
+/// A non-indexable (opaque-function) clause over a missing attribute is
+/// the same story: skipped, not a panic.
+#[test]
+fn short_arity_tuple_with_func_clause() {
+    let db = emp_db();
+    for mut m in all_matchers() {
+        let id = m
+            .insert(parse_predicate("isodd(emp.salary)").unwrap(), db.catalog())
+            .unwrap();
+        let short = Tuple::new(vec![Value::Int(61)]);
+        assert_eq!(m.match_tuple("emp", &short), vec![], "{}", m.strategy());
+        let full = Tuple::new(vec![Value::Int(61), Value::Int(7), Value::str("d")]);
+        assert_eq!(m.match_tuple("emp", &full), vec![id], "{}", m.strategy());
+    }
+}
+
+/// The same predicate text registered twice yields two independent ids;
+/// removing one must leave the twin registered and matching, and
+/// removing an already-removed id is `None`, not a panic (exercises the
+/// shared-tree / shared-lock bookkeeping under duplicate intervals).
+#[test]
+fn duplicate_registration_removes_independently() {
+    let db = emp_db();
+    for mut m in all_matchers() {
+        let p = parse_predicate("emp.age > 50").unwrap();
+        let first = m.insert(p.clone(), db.catalog()).unwrap();
+        let second = m.insert(p, db.catalog()).unwrap();
+        assert_ne!(first, second, "{}", m.strategy());
+
+        let t = Tuple::new(vec![Value::Int(61), Value::Int(0), Value::str("d")]);
+        assert_eq!(
+            m.match_tuple("emp", &t),
+            vec![first, second],
+            "{}",
+            m.strategy()
+        );
+
+        assert!(m.remove(first).is_some(), "{}", m.strategy());
+        assert_eq!(m.match_tuple("emp", &t), vec![second], "{}", m.strategy());
+
+        // Double-remove of the same id: second call is None.
+        assert!(m.remove(first).is_none(), "{}", m.strategy());
+        assert_eq!(m.len(), 1, "{}", m.strategy());
+
+        assert!(m.remove(second).is_some(), "{}", m.strategy());
+        assert_eq!(m.match_tuple("emp", &t), vec![], "{}", m.strategy());
+        assert!(m.is_empty(), "{}", m.strategy());
+    }
+}
+
+/// Dropping a relation from the catalog after predicates were bound
+/// must not disturb the matcher: it bound at registration time and
+/// keeps matching against its own state, removal still works, and the
+/// relation name can be re-created with a different schema without
+/// colliding with the old registrations.
+#[test]
+fn matching_survives_relation_drop() {
+    let mut db = emp_db();
+    for mut m in all_matchers() {
+        let id = m
+            .insert(parse_predicate("emp.age > 50").unwrap(), db.catalog())
+            .unwrap();
+        db.drop_relation("emp").unwrap();
+
+        let t = Tuple::new(vec![Value::Int(61), Value::Int(0), Value::str("d")]);
+        assert_eq!(m.match_tuple("emp", &t), vec![id], "{}", m.strategy());
+
+        // New predicates against the dropped name are rejected...
+        assert!(
+            m.insert(parse_predicate("emp.age > 9").unwrap(), db.catalog())
+                .is_err(),
+            "{}",
+            m.strategy()
+        );
+        // ...and the old registration unwinds cleanly.
+        assert!(m.remove(id).is_some(), "{}", m.strategy());
+        assert_eq!(m.match_tuple("emp", &t), vec![], "{}", m.strategy());
+
+        // Re-create the name with a different shape; matching starts
+        // fresh against the new schema.
+        db.create_relation(Schema::builder("emp").attr("age", AttrType::Int).build())
+            .unwrap();
+        let id2 = m
+            .insert(parse_predicate("emp.age > 9").unwrap(), db.catalog())
+            .unwrap();
+        let t = Tuple::new(vec![Value::Int(10)]);
+        assert_eq!(m.match_tuple("emp", &t), vec![id2], "{}", m.strategy());
+        assert!(m.remove(id2).is_some(), "{}", m.strategy());
+
+        // Restore the 3-attribute schema for the next matcher in the loop.
+        db.drop_relation("emp").unwrap();
+        db.create_relation(
+            Schema::builder("emp")
+                .attr("age", AttrType::Int)
+                .attr("salary", AttrType::Int)
+                .attr("dept", AttrType::Str)
+                .build(),
+        )
+        .unwrap();
+    }
+}
+
+/// Ids from matchers never collide with foreign ids: removing an id the
+/// matcher never issued is always `None`, even when ids were issued.
+#[test]
+fn foreign_id_removal_is_none() {
+    let db = emp_db();
+    for mut m in all_matchers() {
+        m.insert(parse_predicate("emp.age > 1").unwrap(), db.catalog())
+            .unwrap();
+        assert!(m.remove(PredicateId(999)).is_none(), "{}", m.strategy());
+        assert_eq!(m.len(), 1, "{}", m.strategy());
+    }
+}

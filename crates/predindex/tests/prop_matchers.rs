@@ -6,14 +6,14 @@
 //! programs (including conjunctions, function clauses, shared
 //! attributes, inserts and removals), random tuples.
 
-use predindex::{
-    HashSequentialMatcher, Matcher, PhysicalLockingMatcher, PredicateIndex, PredicateId,
-    RTreeMatcher, SequentialMatcher,
-};
+use interval::{Interval, Lower, Upper};
 use predicate::{Clause, FunctionRegistry, Predicate};
+use predindex::{
+    HashSequentialMatcher, Matcher, PhysicalLockingMatcher, PredicateId, PredicateIndex,
+    RTreeMatcher, SequentialMatcher, ShardedPredicateIndex,
+};
 use proptest::prelude::*;
 use relation::{AttrType, Database, Schema, Tuple, Value};
-use interval::{Interval, Lower, Upper};
 
 const RELS: [&str; 2] = ["emp", "item"];
 const INT_ATTRS: [&str; 3] = ["a", "b", "c"];
@@ -123,6 +123,8 @@ proptest! {
                 [("emp", "a"), ("item", "b")],
             )),
             Box::new(RTreeMatcher::new()),
+            Box::new(ShardedPredicateIndex::new()),
+            Box::new(ShardedPredicateIndex::with_shards(1)),
         ];
 
         let mut ids: Vec<PredicateId> = Vec::new();
@@ -155,5 +157,48 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// The concurrent front-end against the paper's index: identical id
+    /// assignment, and the batch path (at several worker counts) returns
+    /// byte-identical match sets to per-tuple sequential matching.
+    #[test]
+    fn sharded_batch_matches_sequential_index(
+        preds in prop::collection::vec(arb_predicate(), 1..30),
+        removals in prop::collection::vec(0usize..30, 0..10),
+        tuples in prop::collection::vec(arb_tuple(), 1..40),
+        shards in 1usize..9,
+    ) {
+        let db = test_db();
+        let mut seq = PredicateIndex::new();
+        let sharded = ShardedPredicateIndex::with_shards(shards);
+
+        let mut ids: Vec<PredicateId> = Vec::new();
+        for p in &preds {
+            let a = seq.insert(p.clone(), db.catalog()).expect("valid predicate");
+            let b = sharded.insert_shared(p.clone(), db.catalog()).expect("valid predicate");
+            prop_assert_eq!(a, b, "id assignment must agree");
+            ids.push(a);
+        }
+        for &r in &removals {
+            if ids.is_empty() { break; }
+            let id = ids.remove(r % ids.len());
+            prop_assert!(seq.remove(id).is_some());
+            prop_assert!(sharded.remove_shared(id).is_some());
+        }
+
+        let batch: Vec<(&str, &Tuple)> =
+            tuples.iter().map(|(r, t)| (RELS[*r], t)).collect();
+        let expected: Vec<Vec<PredicateId>> = batch
+            .iter()
+            .map(|(r, t)| seq.match_tuple(r, t))
+            .collect();
+        for threads in [1usize, 2, 4, 8] {
+            prop_assert_eq!(
+                &sharded.match_batch_threads(&batch, threads), &expected,
+                "batch at {} threads diverged", threads
+            );
+        }
+        prop_assert_eq!(&sharded.match_batch(&batch), &expected);
     }
 }

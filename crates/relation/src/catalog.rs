@@ -61,6 +61,20 @@ impl Catalog {
         Ok(())
     }
 
+    /// Drops a relation, returning it, along with its column stats.
+    /// Predicates already registered against the relation are the
+    /// caller's concern: matchers bind at registration time and keep
+    /// matching against their own state, so dropping here neither
+    /// unregisters them nor invalidates in-flight matching.
+    pub fn drop_relation(&mut self, name: &str) -> Result<Relation, CatalogError> {
+        let rel = self
+            .relations
+            .remove(name)
+            .ok_or_else(|| CatalogError::NoSuchRelation(name.to_string()))?;
+        self.stats.retain(|(r, _), _| r != name);
+        Ok(rel)
+    }
+
     /// The relation called `name`.
     pub fn relation(&self, name: &str) -> Option<&Relation> {
         self.relations.get(name)
@@ -83,8 +97,7 @@ impl Catalog {
         self.stats.clear();
         for (name, rel) in &self.relations {
             for i in 0..rel.schema().arity() {
-                let column: Vec<Value> =
-                    rel.iter().map(|(_, t)| t.get(i).clone()).collect();
+                let column: Vec<Value> = rel.iter().map(|(_, t)| t.get(i).clone()).collect();
                 self.stats
                     .insert((name.clone(), i), ColumnStats::from_values(column));
             }
@@ -171,10 +184,19 @@ impl Database {
         self.catalog.create_relation(schema)
     }
 
+    /// Drops a relation (see [`Catalog::drop_relation`]).
+    pub fn drop_relation(&mut self, name: &str) -> Result<Relation, CatalogError> {
+        self.catalog.drop_relation(name)
+    }
+
     /// Inserts a tuple, returning a clone of what was stored (convenient
     /// for immediately matching it against predicates).
     pub fn insert(&mut self, relation: &str, values: Vec<Value>) -> Result<Tuple, CatalogError> {
-        Ok(self.insert_event(relation, values)?.current().unwrap().clone())
+        Ok(self
+            .insert_event(relation, values)?
+            .current()
+            .unwrap()
+            .clone())
     }
 
     /// Inserts a tuple and returns the full event.
@@ -283,6 +305,29 @@ mod tests {
         let ev = d.delete_event("emp", id).unwrap();
         assert!(ev.current().is_none());
         assert_eq!(ev.relation(), "emp");
+    }
+
+    #[test]
+    fn drop_relation_removes_state_and_stats() {
+        let mut d = db();
+        d.insert("emp", vec![Value::str("al"), Value::Int(30)])
+            .unwrap();
+        d.catalog_mut().analyze();
+        assert!(d.catalog().column_stats("emp", 1).is_some());
+
+        let rel = d.drop_relation("emp").unwrap();
+        assert_eq!(rel.schema().name(), "emp");
+        assert!(d.catalog().relation("emp").is_none());
+        assert!(d.catalog().column_stats("emp", 1).is_none());
+        assert!(matches!(
+            d.drop_relation("emp"),
+            Err(CatalogError::NoSuchRelation(_))
+        ));
+
+        // The name is reusable after the drop.
+        d.create_relation(Schema::builder("emp").attr("x", AttrType::Int).build())
+            .unwrap();
+        assert_eq!(d.catalog().relation("emp").unwrap().schema().arity(), 1);
     }
 
     #[test]

@@ -208,7 +208,9 @@ mod tests {
         let id = r.insert(vec![Value::str("al"), Value::Int(40)]).unwrap();
         assert_eq!(r.len(), 1);
         assert_eq!(r.get(id).unwrap().get(1), &Value::Int(40));
-        let old = r.update(id, vec![Value::str("al"), Value::Int(41)]).unwrap();
+        let old = r
+            .update(id, vec![Value::str("al"), Value::Int(41)])
+            .unwrap();
         assert_eq!(old.get(1), &Value::Int(40));
         assert_eq!(r.get(id).unwrap().get(1), &Value::Int(41));
         let gone = r.delete(id).unwrap();
@@ -222,7 +224,10 @@ mod tests {
         let mut r = emp();
         assert!(matches!(
             r.insert(vec![Value::str("al")]),
-            Err(RelationError::Arity { expected: 2, got: 1 })
+            Err(RelationError::Arity {
+                expected: 2,
+                got: 1
+            })
         ));
         assert!(matches!(
             r.insert(vec![Value::Int(1), Value::Int(2)]),

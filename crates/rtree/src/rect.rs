@@ -57,11 +57,7 @@ impl Rect {
 
     /// Hyper-volume (product of side lengths).
     pub fn area(&self) -> f64 {
-        self.lo
-            .iter()
-            .zip(&self.hi)
-            .map(|(a, b)| b - a)
-            .product()
+        self.lo.iter().zip(&self.hi).map(|(a, b)| b - a).product()
     }
 
     /// Does this rectangle contain the point `p` (boundaries included)?

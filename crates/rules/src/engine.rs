@@ -13,10 +13,9 @@
 //! processed"); §6 sketches the two-layer network that would sit on top.
 
 use crate::rule::{Action, DbOp, Rule, RuleContext, RuleId};
-use predindex::{IndexError, Matcher, PredicateId, PredicateIndex};
+use predindex::{IndexError, Matcher, PredicateId, ShardedPredicateIndex};
 use relation::fx::FnvHashMap;
-use relation::{CatalogError, Database, Schema, TupleEvent, TupleId, Value};
-use std::collections::VecDeque;
+use relation::{CatalogError, Database, Schema, Tuple, TupleEvent, TupleId, Value};
 use std::fmt;
 
 /// Errors from engine operations.
@@ -77,10 +76,12 @@ struct StoredRule {
 }
 
 /// The engine: a [`Database`] plus rules indexed by a
-/// [`PredicateIndex`].
+/// [`ShardedPredicateIndex`] — the concurrent front-end over the
+/// paper's index, so each recognize-act cycle batch-matches every event
+/// queued at that level across worker threads.
 pub struct RuleEngine {
     db: Database,
-    index: PredicateIndex,
+    index: ShardedPredicateIndex,
     rules: FnvHashMap<u32, StoredRule>,
     pred_to_rule: FnvHashMap<u32, u32>,
     next_rule: u32,
@@ -94,7 +95,7 @@ impl RuleEngine {
     pub fn new(db: Database) -> Self {
         RuleEngine {
             db,
-            index: PredicateIndex::new(),
+            index: ShardedPredicateIndex::new(),
             rules: FnvHashMap::default(),
             pred_to_rule: FnvHashMap::default(),
             next_rule: 0,
@@ -190,7 +191,9 @@ impl RuleEngine {
                 continue;
             };
             let schema = rel.schema();
-            let Ok(bound) = pred.bind(schema) else { continue };
+            let Ok(bound) = pred.bind(schema) else {
+                continue;
+            };
             for (tid, tuple) in bound.scan(rel) {
                 let key = (pred.relation().to_string(), tid);
                 if seen.contains(&key) {
@@ -268,51 +271,87 @@ impl RuleEngine {
         self.chain(ev)
     }
 
-    /// The recognize-act cycle: match the event, order the agenda, fire,
-    /// apply queued operations, repeat on their events.
-    fn chain(&mut self, first: TupleEvent) -> Result<FireReport, EngineError> {
-        let mut report = FireReport::default();
-        let mut events = VecDeque::new();
-        events.push_back(first);
+    /// Inserts a batch of tuples, then runs the rule chain over all of
+    /// them as one matching level. Firing order is exactly what
+    /// inserting them one at a time would produce (the chain is
+    /// breadth-first either way), but the matching stage runs once over
+    /// the whole batch, fanned out across worker threads — the bulk-load
+    /// path for trigger systems.
+    pub fn insert_batch(
+        &mut self,
+        relation: &str,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<FireReport, EngineError> {
+        let mut events = Vec::with_capacity(rows.len());
+        for values in rows {
+            events.push(self.db.insert_event(relation, values)?);
+        }
+        self.chain_level(events)
+    }
 
-        while let Some(event) = events.pop_front() {
-            report.ops_applied += 1;
+    /// The recognize-act cycle for a single seed event.
+    fn chain(&mut self, first: TupleEvent) -> Result<FireReport, EngineError> {
+        self.chain_level(vec![first])
+    }
+
+    /// The recognize-act cycle, level by level: batch-match every event
+    /// queued at this level in one [`ShardedPredicateIndex::match_batch`]
+    /// call, then walk the events in arrival order — agenda, fire, queue
+    /// the actions' database events for the next level. Equivalent to
+    /// the one-event-at-a-time FIFO loop (matching is pure and the rule
+    /// set cannot change mid-chain: firing only queues database
+    /// operations), but the matching stage parallelizes across the
+    /// batch.
+    fn chain_level(&mut self, mut level: Vec<TupleEvent>) -> Result<FireReport, EngineError> {
+        let mut report = FireReport::default();
+        while !level.is_empty() {
             // The tuple to match: the post-state for insert/update, the
             // removed tuple for delete (so cleanup rules can see it).
-            let tuple = match &event {
-                TupleEvent::Inserted { tuple, .. } => tuple,
-                TupleEvent::Updated { new, .. } => new,
-                TupleEvent::Deleted { tuple, .. } => tuple,
-            };
-            let matched = self.index.match_tuple(event.relation(), tuple);
+            let batch: Vec<(&str, &Tuple)> = level
+                .iter()
+                .map(|event| {
+                    let tuple = match event {
+                        TupleEvent::Inserted { tuple, .. } => tuple,
+                        TupleEvent::Updated { new, .. } => new,
+                        TupleEvent::Deleted { tuple, .. } => tuple,
+                    };
+                    (event.relation(), tuple)
+                })
+                .collect();
+            let matches = self.index.match_batch(&batch);
+            drop(batch);
 
-            // Build the agenda: one instantiation per *rule* (a rule
-            // whose DNF has several matching disjuncts still fires
-            // once), ordered by priority descending, then registration
-            // recency (newest first), OPS5-style.
-            let mut agenda: Vec<(i32, u32)> = Vec::new();
-            for pid in matched {
-                let rid = self.pred_to_rule[&pid.0];
-                let stored = &self.rules[&rid];
-                if !stored.rule.mask.accepts(&event) {
-                    continue;
+            let mut next: Vec<TupleEvent> = Vec::new();
+            for (event, matched) in level.iter().zip(matches) {
+                report.ops_applied += 1;
+
+                // Build the agenda: one instantiation per *rule* (a rule
+                // whose DNF has several matching disjuncts still fires
+                // once), ordered by priority descending, then
+                // registration recency (newest first), OPS5-style.
+                let mut agenda: Vec<(i32, u32)> = Vec::new();
+                for pid in matched {
+                    let rid = self.pred_to_rule[&pid.0];
+                    let stored = &self.rules[&rid];
+                    if !stored.rule.mask.accepts(event) {
+                        continue;
+                    }
+                    if !agenda.iter().any(|&(_, r)| r == rid) {
+                        agenda.push((stored.rule.priority, rid));
+                    }
                 }
-                if !agenda.iter().any(|&(_, r)| r == rid) {
-                    agenda.push((stored.rule.priority, rid));
+                agenda.sort_by(|a, b| b.0.cmp(&a.0).then(b.1.cmp(&a.1)));
+
+                for (_, rid) in agenda {
+                    if report.fired.len() >= self.firing_limit {
+                        return Err(EngineError::FiringLimit {
+                            limit: self.firing_limit,
+                        });
+                    }
+                    next.extend(self.fire_one(rid, event, &mut report)?);
                 }
             }
-            agenda.sort_by(|a, b| b.0.cmp(&a.0).then(b.1.cmp(&a.1)));
-
-            for (_, rid) in agenda {
-                if report.fired.len() >= self.firing_limit {
-                    return Err(EngineError::FiringLimit {
-                        limit: self.firing_limit,
-                    });
-                }
-                for ev in self.fire_one(rid, &event, &mut report)? {
-                    events.push_back(ev);
-                }
-            }
+            level = next;
         }
         Ok(report)
     }
@@ -360,9 +399,7 @@ impl RuleEngine {
         let mut out = Vec::with_capacity(ops.len());
         for op in ops {
             let ev = match op {
-                DbOp::Insert { relation, values } => {
-                    self.db.insert_event(&relation, values)?
-                }
+                DbOp::Insert { relation, values } => self.db.insert_event(&relation, values)?,
                 DbOp::UpdateCurrent { values } => {
                     let (rel, id) = current_target(event)?;
                     self.db.update_event(&rel, id, values)?
@@ -381,13 +418,14 @@ impl RuleEngine {
 /// The `(relation, tuple id)` a `*Current` operation applies to.
 fn current_target(event: &TupleEvent) -> Result<(String, TupleId), EngineError> {
     match event {
-        TupleEvent::Inserted { relation, id, .. }
-        | TupleEvent::Updated { relation, id, .. } => Ok((relation.clone(), *id)),
-        TupleEvent::Deleted { relation, .. } => Err(EngineError::Catalog(
-            CatalogError::NoSuchRelation(format!(
+        TupleEvent::Inserted { relation, id, .. } | TupleEvent::Updated { relation, id, .. } => {
+            Ok((relation.clone(), *id))
+        }
+        TupleEvent::Deleted { relation, .. } => {
+            Err(EngineError::Catalog(CatalogError::NoSuchRelation(format!(
                 "cannot modify the current tuple of a delete event on {relation}"
-            )),
-        )),
+            ))))
+        }
     }
 }
 

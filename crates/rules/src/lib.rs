@@ -3,7 +3,10 @@
 //! The application layer the paper's index exists for: production rules
 //! `if condition then action` over a main-memory database, with every
 //! tuple change matched against all rule conditions through the
-//! [`predindex::PredicateIndex`] discrimination network.
+//! Figure 1 discrimination network — served by
+//! [`predindex::ShardedPredicateIndex`], so each recognize-act cycle
+//! batch-matches all events queued at that level across worker threads
+//! (see [`RuleEngine::insert_batch`] for the bulk-load entry point).
 //!
 //! ```
 //! use rules::{Action, EventMask, Rule, RuleEngine};
@@ -110,7 +113,15 @@ mod tests {
         assert_eq!(ev.fired.len(), 0, "insert must not fire a delete rule");
 
         // Find the tuple id and delete it.
-        let id = e.db().catalog().relation("emp").unwrap().iter().next().unwrap().0;
+        let id = e
+            .db()
+            .catalog()
+            .relation("emp")
+            .unwrap()
+            .iter()
+            .next()
+            .unwrap()
+            .0;
         let ev = e.delete("emp", id).unwrap();
         assert_eq!(ev.fired.len(), 1);
         assert!(e.log()[0].contains("gone"));
@@ -173,7 +184,10 @@ mod tests {
         )
         .unwrap();
         let r = e
-            .insert("emp", vec![Value::str("e"), Value::Int(20), Value::Int(500)])
+            .insert(
+                "emp",
+                vec![Value::str("e"), Value::Int(20), Value::Int(500)],
+            )
             .unwrap();
         assert_eq!(r.fired.len(), 2, "both rules fire through the chain");
         assert_eq!(r.ops_applied, 2, "external insert + cascaded insert");
@@ -274,10 +288,7 @@ mod tests {
             .insert("emp", vec![Value::str("h"), Value::Int(5), Value::Int(5)])
             .unwrap();
         assert_eq!(r.fired.len(), 0);
-        assert!(matches!(
-            e.remove_rule(id),
-            Err(EngineError::NoSuchRule(_))
-        ));
+        assert!(matches!(e.remove_rule(id), Err(EngineError::NoSuchRule(_))));
     }
 
     #[test]
@@ -307,12 +318,8 @@ mod agenda_tests {
 
     fn engine() -> RuleEngine {
         let mut db = Database::new();
-        db.create_relation(
-            Schema::builder("t")
-                .attr("x", AttrType::Int)
-                .build(),
-        )
-        .unwrap();
+        db.create_relation(Schema::builder("t").attr("x", AttrType::Int).build())
+            .unwrap();
         RuleEngine::new(db)
     }
 
@@ -412,10 +419,8 @@ mod retroactive_tests {
                 .build(),
         )
         .unwrap();
-        db.create_relation(
-            Schema::builder("alerts").attr("who", AttrType::Str).build(),
-        )
-        .unwrap();
+        db.create_relation(Schema::builder("alerts").attr("who", AttrType::Str).build())
+            .unwrap();
         let mut e = RuleEngine::new(db);
         for (n, s) in [("al", 900), ("bo", 5_000), ("cy", 700), ("di", 80_000)] {
             e.insert("emp", vec![Value::str(n), Value::Int(s)]).unwrap();
@@ -439,7 +444,9 @@ mod retroactive_tests {
         assert_eq!(report.fired.len(), 2);
         assert_eq!(e.log().len(), 2);
         // And it keeps firing on future inserts.
-        let r = e.insert("emp", vec![Value::str("ed"), Value::Int(100)]).unwrap();
+        let r = e
+            .insert("emp", vec![Value::str("ed"), Value::Int(100)])
+            .unwrap();
         assert_eq!(r.fired.len(), 1);
     }
 
@@ -468,7 +475,10 @@ mod retroactive_tests {
         assert_eq!(report.fired.len(), 1, "only di matches the new rule");
         assert!(report.fired.iter().all(|(_, n)| n == "rich"));
         assert_eq!(
-            e.log().iter().filter(|l| l.contains("[everything]")).count(),
+            e.log()
+                .iter()
+                .filter(|l| l.contains("[everything]"))
+                .count(),
             0,
             "pre-existing rule re-fired during backfill"
         );
@@ -519,6 +529,127 @@ mod retroactive_tests {
             .unwrap();
         // al and cy match both disjuncts but fire once each.
         assert_eq!(report.fired.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+    use relation::{AttrType, Database, Schema, Value};
+
+    fn engine() -> RuleEngine {
+        let mut db = Database::new();
+        db.create_relation(Schema::builder("t").attr("x", AttrType::Int).build())
+            .unwrap();
+        db.create_relation(Schema::builder("log").attr("x", AttrType::Int).build())
+            .unwrap();
+        RuleEngine::new(db)
+    }
+
+    #[test]
+    fn insert_batch_fires_like_serial_inserts() {
+        let rule = |e: &mut RuleEngine| {
+            e.add_rule(
+                Rule::builder("pos")
+                    .when("t.x > 0")
+                    .unwrap()
+                    .then(Action::log("pos"))
+                    .build(),
+            )
+            .unwrap();
+            e.add_rule(
+                Rule::builder("big")
+                    .when("t.x > 5")
+                    .unwrap()
+                    .priority(9)
+                    .then(Action::log("big"))
+                    .build(),
+            )
+            .unwrap();
+        };
+        let rows: Vec<Vec<Value>> = (-3..10).map(|i| vec![Value::Int(i)]).collect();
+
+        let mut serial = engine();
+        rule(&mut serial);
+        let mut serial_fired = Vec::new();
+        for row in rows.clone() {
+            let r = serial.insert("t", vec![row[0].clone()]).unwrap();
+            serial_fired.extend(r.fired);
+        }
+
+        let mut batched = engine();
+        rule(&mut batched);
+        let r = batched.insert_batch("t", rows).unwrap();
+
+        assert_eq!(r.fired, serial_fired, "batch must fire in serial order");
+        assert_eq!(r.ops_applied, 13);
+        assert_eq!(batched.log(), serial.log());
+    }
+
+    #[test]
+    fn insert_batch_cascades_breadth_first() {
+        let mut e = engine();
+        // Every t-insert spawns a log-insert; log rules then fire.
+        e.add_rule(
+            Rule::builder("spawn")
+                .when("t.x >= 0")
+                .unwrap()
+                .then(Action::callback(|ctx| {
+                    let t = ctx.event.current().expect("insert").clone();
+                    ctx.queue(DbOp::Insert {
+                        relation: "log".into(),
+                        values: vec![t.get(0).clone()],
+                    });
+                }))
+                .build(),
+        )
+        .unwrap();
+        e.add_rule(
+            Rule::builder("seen")
+                .when("log.x >= 0")
+                .unwrap()
+                .then(Action::log("seen"))
+                .build(),
+        )
+        .unwrap();
+        let r = e
+            .insert_batch("t", (0..4).map(|i| vec![Value::Int(i)]).collect())
+            .unwrap();
+        // 4 spawns, then 4 seens — the spawns all precede the seens
+        // because cascaded events form the next matching level.
+        let names: Vec<&str> = r.fired.iter().map(|(_, n)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["spawn", "spawn", "spawn", "spawn", "seen", "seen", "seen", "seen"]
+        );
+        assert_eq!(r.ops_applied, 8);
+        assert_eq!(e.db().catalog().relation("log").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn insert_batch_respects_firing_limit() {
+        let mut e = engine();
+        e.set_firing_limit(3);
+        e.add_rule(
+            Rule::builder("any")
+                .when("t.x >= 0")
+                .unwrap()
+                .then(Action::log("x"))
+                .build(),
+        )
+        .unwrap();
+        let err = e
+            .insert_batch("t", (0..10).map(|i| vec![Value::Int(i)]).collect())
+            .unwrap_err();
+        assert!(matches!(err, EngineError::FiringLimit { limit: 3 }));
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut e = engine();
+        let r = e.insert_batch("t", Vec::new()).unwrap();
+        assert!(r.fired.is_empty());
+        assert_eq!(r.ops_applied, 0);
     }
 }
 

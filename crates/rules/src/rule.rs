@@ -56,7 +56,10 @@ impl EventMask {
 #[derive(Debug, Clone, PartialEq)]
 pub enum DbOp {
     /// Insert a tuple.
-    Insert { relation: String, values: Vec<Value> },
+    Insert {
+        relation: String,
+        values: Vec<Value>,
+    },
     /// Update the tuple the rule fired on (only valid for insert/update
     /// firings).
     UpdateCurrent { values: Vec<Value> },

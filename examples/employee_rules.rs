@@ -18,12 +18,8 @@ fn main() {
             .build(),
     )
     .unwrap();
-    db.create_relation(
-        Schema::builder("audit")
-            .attr("note", AttrType::Str)
-            .build(),
-    )
-    .unwrap();
+    db.create_relation(Schema::builder("audit").attr("note", AttrType::Str).build())
+        .unwrap();
 
     let mut engine = RuleEngine::new(db);
 

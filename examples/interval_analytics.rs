@@ -27,9 +27,8 @@ fn booking(i: u32) -> Interval<i32> {
 }
 
 fn main() {
-    let items: Vec<(IntervalId, Interval<i32>)> = (0..BOOKINGS)
-        .map(|i| (IntervalId(i), booking(i)))
-        .collect();
+    let items: Vec<(IntervalId, Interval<i32>)> =
+        (0..BOOKINGS).map(|i| (IntervalId(i), booking(i))).collect();
 
     // Dynamic structures build incrementally, static ones bulk-build.
     let t0 = Instant::now();
@@ -49,7 +48,11 @@ fn main() {
     let naive = NaiveIntervalList::build(items.clone());
 
     println!("{BOOKINGS} bookings indexed");
-    println!("  IBS-tree: built in {ibs_build:?}, height {}, {} markers", ibs.height(), ibs.marker_count());
+    println!(
+        "  IBS-tree: built in {ibs_build:?}, height {}, {} markers",
+        ibs.height(),
+        ibs.marker_count()
+    );
     println!("  segment tree: built in {seg_build:?} (static)");
 
     // Peak occupancy probe: every structure must agree.

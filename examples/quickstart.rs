@@ -68,5 +68,9 @@ fn main() {
     tree.insert(predmatch::interval::IntervalId(1), Interval::at_most(17))
         .unwrap();
     println!("\nIBS-tree stab at 10 -> {:?}", tree.stab(&10));
-    println!("IBS-tree height {}, markers {}", tree.height(), tree.marker_count());
+    println!(
+        "IBS-tree height {}, markers {}",
+        tree.height(),
+        tree.marker_count()
+    );
 }

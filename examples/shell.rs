@@ -60,15 +60,18 @@ impl Shell {
                 .map(|(id, s)| format!("  {id}: {s}"))
                 .collect::<Vec<_>>()
                 .join("\n")),
-            "help" => Ok("commands: relation, predicate, insert, drop, stats, list, help, quit"
-                .to_string()),
+            "help" => Ok(
+                "commands: relation, predicate, insert, drop, stats, list, help, quit".to_string(),
+            ),
             other => Err(format!("unknown command {other:?} (try 'help')")),
         }
     }
 
     fn cmd_relation(&mut self, rest: &str) -> Result<String, String> {
         let mut parts = rest.split_whitespace();
-        let name = parts.next().ok_or("usage: relation <name> <attr>:<type> ...")?;
+        let name = parts
+            .next()
+            .ok_or("usage: relation <name> <attr>:<type> ...")?;
         let mut b = Schema::builder(name);
         let mut arity = 0;
         for spec in parts {
@@ -137,7 +140,10 @@ impl Shell {
             };
             values.push(v);
         }
-        let tuple = self.db.insert(rel_name, values).map_err(|e| e.to_string())?;
+        let tuple = self
+            .db
+            .insert(rel_name, values)
+            .map_err(|e| e.to_string())?;
         let matches = self.index.match_tuple(rel_name, &tuple);
         if matches.is_empty() {
             Ok(format!("inserted {tuple}; no predicates match"))

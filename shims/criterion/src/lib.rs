@@ -1,0 +1,361 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach a registry, so this workspace
+//! vendors the subset of criterion's API its benches use: `Criterion`
+//! with the `sample_size` / `warm_up_time` / `measurement_time`
+//! builders, `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `Bencher::iter`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: after a warm-up period, each benchmark runs
+//! batches of iterations until the measurement time elapses (minimum
+//! `sample_size` batches) and reports mean and minimum per-iteration
+//! wall-clock time, plus throughput when configured. Output is plain
+//! text on stdout — no plots, no statistical machinery — which is all
+//! the repo's bench harness needs to rank alternatives.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Element/byte count for per-iteration throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A `function-name/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Joins a function name and a parameter display form.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A parameter-only id (upstream parity).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Timing loop driver passed to benchmark closures.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Filled in by `iter`: (total elapsed, iterations) per sample.
+    samples: Vec<(Duration, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` repeatedly; see the module docs for the model.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up clock expires, measuring a
+        // rough per-iteration cost to size measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.config.warm_up_time {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Aim for `sample_size` samples inside the measurement window.
+        let budget = self.config.measurement_time.as_secs_f64();
+        let per_sample = budget / self.config.sample_size.max(1) as f64;
+        let batch = (per_sample / per_iter.max(1e-9)).ceil().max(1.0) as u64;
+
+        let measure_start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples.push((t0.elapsed(), batch));
+            if self.samples.len() >= self.config.sample_size
+                || measure_start.elapsed() >= self.config.measurement_time
+            {
+                // Guarantee at least a handful of samples even when a
+                // single batch overruns the window.
+                if self.samples.len() >= 3.min(self.config.sample_size) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// The harness entry point (subset of upstream's builder).
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Sets the target number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Upstream parses CLI args here; the shim accepts and ignores them.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let config = self.config.clone();
+        run_one(&config, None, &id.name, None, f);
+        self
+    }
+
+    /// Upstream finalizes reports here; the shim has nothing to flush.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used for elements/s reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.config.sample_size = n;
+        self
+    }
+
+    /// Overrides the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.config.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks a closure that captures its input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        run_one(
+            &self.criterion.config,
+            Some(&self.name),
+            &id.name,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Benchmarks a closure over an explicit input reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher<'_>, &I),
+    {
+        let id = id.into();
+        run_one(
+            &self.criterion.config,
+            Some(&self.name),
+            &id.name,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (upstream emits summary reports here).
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(config: &Config, group: Option<&str>, id: &str, throughput: Option<Throughput>, f: F)
+where
+    F: FnOnce(&mut Bencher<'_>),
+{
+    let mut bencher = Bencher {
+        config,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if bencher.samples.is_empty() {
+        println!("{label:<56} (no samples: Bencher::iter never called)");
+        return;
+    }
+    let per_iter_ns = |(d, n): &(Duration, u64)| d.as_secs_f64() * 1e9 / *n as f64;
+    let mean = bencher.samples.iter().map(per_iter_ns).sum::<f64>() / bencher.samples.len() as f64;
+    let min = bencher
+        .samples
+        .iter()
+        .map(per_iter_ns)
+        .fold(f64::INFINITY, f64::min);
+    let thr = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 * 1e9 / mean)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.0} B/s", n as f64 * 1e9 / mean)
+        }
+        None => String::new(),
+    };
+    println!(
+        "{label:<56} mean {:>12} min {:>12}{thr}",
+        fmt_ns(mean),
+        fmt_ns(min)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Re-export so `criterion::black_box` call sites work; prefer
+/// `std::hint::black_box` in new code.
+pub use std::hint::black_box;
+
+/// Declares a group runner, with or without a custom config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_run_produces_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        let mut group = c.benchmark_group("shim_smoke");
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| 2 + 2));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("insert", 100);
+        assert_eq!(id.name, "insert/100");
+        let id = BenchmarkId::from_parameter(7);
+        assert_eq!(id.name, "7");
+    }
+}

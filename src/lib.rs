@@ -19,7 +19,10 @@
 //!   equality / opaque-function clauses), a textual parser, evaluation and
 //!   selectivity estimation.
 //! * [`predindex`] — the Figure 1 predicate-indexing scheme plus the §2
-//!   baseline matchers, all behind one [`predindex::Matcher`] trait.
+//!   baseline matchers, all behind one [`predindex::Matcher`] trait, and
+//!   [`predindex::ShardedPredicateIndex`], the concurrent batch-capable
+//!   front-end (state partitioned by relation name behind per-shard
+//!   reader–writer locks).
 //! * [`rules`] — a forward-chaining rule engine (triggers) built on top.
 //!
 //! ## Quickstart
@@ -66,7 +69,7 @@ pub mod prelude {
     pub use crate::ibs::{BalanceMode, IbsTree};
     pub use crate::interval::{Interval, IntervalId, Lower, Upper};
     pub use crate::predicate::{parse_predicate, Clause, Predicate};
-    pub use crate::predindex::{Matcher, PredicateIndex};
+    pub use crate::predindex::{Matcher, PredicateIndex, ShardedPredicateIndex};
     pub use crate::relation::{AttrType, Catalog, Database, Schema, Tuple, Value};
     pub use crate::rules::{Action, Rule, RuleEngine};
 }

@@ -41,7 +41,11 @@ fn memory_tracks_random_churn() {
         "m.a > 100 and m.b < 50",
     ]
     .iter()
-    .map(|s| index.insert(parse_predicate(s).unwrap(), db.catalog()).unwrap())
+    .map(|s| {
+        index
+            .insert(parse_predicate(s).unwrap(), db.catalog())
+            .unwrap()
+    })
     .collect();
 
     let mut mem = MatchMemory::new();

@@ -105,10 +105,7 @@ fn index_and_baselines_agree_on_a_realistic_workload() {
     let mut index = PredicateIndex::new();
     let mut seq = SequentialMatcher::new();
     let mut hash = HashSequentialMatcher::new();
-    let mut lock = PhysicalLockingMatcher::with_indexed_attrs(
-        db.catalog(),
-        [("emp", "salary")],
-    );
+    let mut lock = PhysicalLockingMatcher::with_indexed_attrs(db.catalog(), [("emp", "salary")]);
     let mut rt = RTreeMatcher::new();
     for s in &sources {
         let p = parse_predicate(s).unwrap();

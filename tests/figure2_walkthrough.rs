@@ -6,9 +6,9 @@ use predmatch::altindex::{
     BulkBuild, CenteredIntervalTree, IntervalSkipList, IntervalTreap, NaiveIntervalList,
     SegmentTree, StabIndex,
 };
+use predmatch::interval::IntervalId;
 use predmatch::predindex::SequentialMatcher;
 use predmatch::prelude::*;
-use predmatch::interval::IntervalId;
 
 /// Figure 2's interval set (A–G).
 fn figure2() -> Vec<(IntervalId, Interval<i64>)> {
@@ -67,13 +67,13 @@ fn figure2_as_salary_predicates() {
     )
     .unwrap();
     let sources = [
-        "9 <= emp.salary <= 19",                  // A
-        "2 <= emp.salary <= 7",                   // B
-        "1 <= emp.salary < 3",                    // C
-        "17 <= emp.salary <= 20",                 // D
-        "7 <= emp.salary <= 12",                  // E
-        "emp.salary = 18",                        // F
-        "emp.salary <= 17",                       // G
+        "9 <= emp.salary <= 19",  // A
+        "2 <= emp.salary <= 7",   // B
+        "1 <= emp.salary < 3",    // C
+        "17 <= emp.salary <= 20", // D
+        "7 <= emp.salary <= 12",  // E
+        "emp.salary = 18",        // F
+        "emp.salary <= 17",       // G
     ];
     let mut index = PredicateIndex::new();
     let mut oracle = SequentialMatcher::new();

@@ -1,0 +1,336 @@
+//! [`DurableRuleEngine`]: a [`RuleEngine`] whose every mutation is
+//! write-ahead logged, with periodic snapshots and log truncation.
+//!
+//! The protocol for each mutating call is log-then-apply: the logical
+//! record is appended (and synced, per [`SyncPolicy`]) *before* the
+//! in-memory engine executes it. A crash after the append replays the
+//! operation; a crash during the append leaves a torn frame the reader
+//! drops — either way the recovered state is a clean prefix of the
+//! operation history. Operations that fail inside the engine
+//! (duplicate relation, unknown tuple, firing limit) stay in the log
+//! and fail identically on replay, so the record stream never needs
+//! compensation records.
+
+use crate::record::{ActionSpec, Record, RuleSpec};
+use crate::recovery::{build_rule, replay, ActionRegistry, RecoverError, WAL_FILE};
+use crate::snapshot::{capture, write_snapshot, SnapshotError};
+use crate::wal::{SyncPolicy, Wal};
+use predicate::FunctionRegistry;
+use relation::{Relation, Schema, TupleId, Value};
+use rules::{EngineError, FireReport, Rule, RuleEngine, RuleId};
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Durability knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// When appended records reach stable storage.
+    pub sync: SyncPolicy,
+    /// Take a snapshot (and truncate the log) every this many logged
+    /// operations; `None` disables automatic snapshots (explicit
+    /// [`DurableRuleEngine::snapshot`] calls only).
+    pub snapshot_every: Option<u64>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            sync: SyncPolicy::Always,
+            snapshot_every: Some(1024),
+        }
+    }
+}
+
+/// Errors from the durable engine.
+#[derive(Debug)]
+pub enum DurableError {
+    /// Filesystem failure — the in-memory engine was *not* mutated.
+    Io(io::Error),
+    /// The operation was logged but the engine rejected it (the same
+    /// rejection replay will reproduce).
+    Engine(EngineError),
+    /// A rule condition failed to parse (nothing was logged).
+    Parse { condition: String, error: String },
+    /// A rule names an action the registry lacks (nothing was logged).
+    UnknownAction(String),
+    /// Snapshot capture failed.
+    Snapshot(SnapshotError),
+    /// Recovery failed while opening.
+    Recover(RecoverError),
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Io(e) => write!(f, "durable i/o: {e}"),
+            DurableError::Engine(e) => write!(f, "{e}"),
+            DurableError::Parse { condition, error } => {
+                write!(f, "condition {condition:?} failed to parse: {error}")
+            }
+            DurableError::UnknownAction(name) => {
+                write!(f, "action {name:?} is not registered")
+            }
+            DurableError::Snapshot(e) => write!(f, "{e}"),
+            DurableError::Recover(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<io::Error> for DurableError {
+    fn from(e: io::Error) -> Self {
+        DurableError::Io(e)
+    }
+}
+
+impl From<EngineError> for DurableError {
+    fn from(e: EngineError) -> Self {
+        DurableError::Engine(e)
+    }
+}
+
+impl From<SnapshotError> for DurableError {
+    fn from(e: SnapshotError) -> Self {
+        DurableError::Snapshot(e)
+    }
+}
+
+impl From<RecoverError> for DurableError {
+    fn from(e: RecoverError) -> Self {
+        match e {
+            RecoverError::Parse { condition, error } => DurableError::Parse { condition, error },
+            RecoverError::MissingAction(n) => DurableError::UnknownAction(n),
+            other => DurableError::Recover(other),
+        }
+    }
+}
+
+/// A rule engine with a durable home directory.
+pub struct DurableRuleEngine {
+    dir: PathBuf,
+    engine: RuleEngine,
+    wal: Wal,
+    specs: HashMap<u32, ActionSpec>,
+    funcs: FunctionRegistry,
+    actions: ActionRegistry,
+    opts: Options,
+    since_snapshot: u64,
+}
+
+impl DurableRuleEngine {
+    /// Opens (creating or recovering) the durable engine at `dir`.
+    ///
+    /// Recovery replays snapshot + log; custom predicate functions and
+    /// named actions used by persisted rules must already be in
+    /// `funcs` / `actions` or this fails rather than silently altering
+    /// rule semantics. A fresh snapshot is installed and the log
+    /// truncated before this returns, so startup cost is paid once,
+    /// not compounded across restarts.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        funcs: FunctionRegistry,
+        actions: ActionRegistry,
+        opts: Options,
+    ) -> Result<Self, DurableError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let recovered = replay(&dir, &funcs, &actions)?;
+        let snap = capture(
+            &recovered.engine,
+            &recovered.action_specs,
+            recovered.last_seq,
+        )?;
+        write_snapshot(&dir, &snap)?;
+        let wal = Wal::create(&dir.join(WAL_FILE), recovered.last_seq + 1, opts.sync)?;
+        Ok(DurableRuleEngine {
+            dir,
+            engine: recovered.engine,
+            wal,
+            specs: recovered.action_specs,
+            funcs,
+            actions,
+            opts,
+            since_snapshot: 0,
+        })
+    }
+
+    /// Read access to the wrapped engine (database, rules, log,
+    /// counters). There is deliberately no mutable access: every
+    /// mutation must flow through a logged entry point.
+    pub fn engine(&self) -> &RuleEngine {
+        &self.engine
+    }
+
+    /// The durable directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The sequence number the next logged operation will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.wal.next_seq()
+    }
+
+    /// Logs a record, applies the matching engine operation, and runs
+    /// the snapshot cadence. The record is on the log (though not
+    /// necessarily synced) before the engine sees the operation.
+    fn log_and<T>(
+        &mut self,
+        record: Record,
+        apply: impl FnOnce(&mut RuleEngine) -> Result<T, EngineError>,
+    ) -> Result<T, DurableError> {
+        self.wal.append(&record)?;
+        let out = apply(&mut self.engine).map_err(DurableError::Engine);
+        self.bump_snapshot_cadence()?;
+        out
+    }
+
+    /// Counts one logged operation against the snapshot cadence. Must
+    /// run only once all bookkeeping for the operation (notably
+    /// [`Self::specs`]) is in place, since it may capture a snapshot.
+    fn bump_snapshot_cadence(&mut self) -> Result<(), DurableError> {
+        self.since_snapshot += 1;
+        if let Some(every) = self.opts.snapshot_every {
+            if self.since_snapshot >= every.max(1) {
+                self.snapshot()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Creates a relation (logged).
+    pub fn create_relation(&mut self, schema: Schema) -> Result<(), DurableError> {
+        self.log_and(
+            Record::CreateRelation {
+                schema: schema.clone(),
+            },
+            |e| e.create_relation(schema),
+        )
+    }
+
+    /// Drops a relation and every rule condition on it (logged).
+    pub fn drop_relation(&mut self, name: &str) -> Result<Relation, DurableError> {
+        self.log_and(
+            Record::DropRelation {
+                name: name.to_string(),
+            },
+            |e| e.drop_relation(name),
+        )
+    }
+
+    /// Registers a rule from its durable spec (logged). The condition
+    /// is parsed and the action resolved *before* logging, so a spec
+    /// that cannot be replayed is never admitted to the log.
+    pub fn add_rule(&mut self, spec: RuleSpec) -> Result<RuleId, DurableError> {
+        let rule = build_rule(&spec, &self.funcs, &self.actions).map_err(DurableError::from)?;
+        let action_spec = spec.action.clone();
+        // Not `log_and`: the spec must be registered before the
+        // snapshot cadence runs, or capturing right after this very
+        // operation would see a callback rule with no named spec.
+        self.wal.append(&Record::AddRule { spec })?;
+        let out = self.engine.add_rule(rule).map_err(DurableError::Engine);
+        if let Ok(id) = &out {
+            self.specs.insert(id.0, action_spec);
+        }
+        self.bump_snapshot_cadence()?;
+        out
+    }
+
+    /// Unregisters a rule (logged).
+    pub fn remove_rule(&mut self, id: RuleId) -> Result<Rule, DurableError> {
+        let rule = self.log_and(Record::RemoveRule { id: id.0 }, |e| e.remove_rule(id))?;
+        self.specs.remove(&id.0);
+        Ok(rule)
+    }
+
+    /// Inserts a tuple and runs the rule chain (logged).
+    pub fn insert(
+        &mut self,
+        relation: &str,
+        values: Vec<Value>,
+    ) -> Result<FireReport, DurableError> {
+        self.log_and(
+            Record::Insert {
+                relation: relation.to_string(),
+                values: values.clone(),
+            },
+            |e| e.insert(relation, values),
+        )
+    }
+
+    /// Updates a tuple and runs the rule chain (logged).
+    pub fn update(
+        &mut self,
+        relation: &str,
+        id: TupleId,
+        values: Vec<Value>,
+    ) -> Result<FireReport, DurableError> {
+        self.log_and(
+            Record::Update {
+                relation: relation.to_string(),
+                id: id.0,
+                values: values.clone(),
+            },
+            |e| e.update(relation, id, values),
+        )
+    }
+
+    /// Deletes a tuple and runs the rule chain (logged).
+    pub fn delete(&mut self, relation: &str, id: TupleId) -> Result<FireReport, DurableError> {
+        self.log_and(
+            Record::Delete {
+                relation: relation.to_string(),
+                id: id.0,
+            },
+            |e| e.delete(relation, id),
+        )
+    }
+
+    /// Inserts a batch and runs the rule chain once over it (logged as
+    /// a single record).
+    pub fn insert_batch(
+        &mut self,
+        relation: &str,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<FireReport, DurableError> {
+        self.log_and(
+            Record::InsertBatch {
+                relation: relation.to_string(),
+                rows: rows.clone(),
+            },
+            |e| e.insert_batch(relation, rows),
+        )
+    }
+
+    /// Changes the firing limit. Limit changes are not logged records;
+    /// the new value is persisted by forcing a snapshot immediately,
+    /// so replay of any later record runs under the right limit.
+    pub fn set_firing_limit(&mut self, limit: usize) -> Result<(), DurableError> {
+        self.engine.set_firing_limit(limit);
+        self.snapshot()
+    }
+
+    /// Takes a snapshot now and truncates the log. On return the
+    /// snapshot file covers every operation ever applied, and the WAL
+    /// is empty.
+    pub fn snapshot(&mut self) -> Result<(), DurableError> {
+        let last = self.wal.next_seq() - 1;
+        let snap = capture(&self.engine, &self.specs, last)?;
+        write_snapshot(&self.dir, &snap)?;
+        // Only truncate the log after the snapshot rename is durable;
+        // a crash between the two leaves a stale log whose records
+        // replay skips by sequence number.
+        self.wal = Wal::create(&self.dir.join(WAL_FILE), last + 1, self.opts.sync)?;
+        self.since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Forces all appended log records to stable storage (group-commit
+    /// flush point under [`SyncPolicy::EveryN`] / [`SyncPolicy::Manual`]).
+    pub fn sync(&mut self) -> Result<(), DurableError> {
+        self.wal.sync()?;
+        Ok(())
+    }
+}

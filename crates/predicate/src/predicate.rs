@@ -82,13 +82,13 @@ impl Predicate {
     /// Renders the predicate back to parseable source text (the inverse
     /// of [`crate::parse_predicate`], up to clause normalization).
     /// Returns `None` for unsatisfiable predicates, which have no
-    /// clause-level representation.
+    /// clause-level representation, and for constants with no literal
+    /// spelling (non-finite floats).
     pub fn to_source(&self) -> Option<String> {
         use interval::{Lower, Upper};
         if !self.satisfiable {
             return None;
         }
-        let lit = |v: &Value| v.to_string(); // Display quotes strings
         let mut parts = Vec::with_capacity(self.clauses.len());
         for c in &self.clauses {
             match c {
@@ -102,27 +102,27 @@ impl Predicate {
                         // source-level spelling.
                         (Lower::Unbounded, Upper::Unbounded) => return None,
                         (Lower::Unbounded, Upper::Inclusive(v)) => {
-                            format!("{a} <= {}", lit(v))
+                            format!("{a} <= {}", source_literal(v)?)
                         }
                         (Lower::Unbounded, Upper::Exclusive(v)) => {
-                            format!("{a} < {}", lit(v))
+                            format!("{a} < {}", source_literal(v)?)
                         }
                         (Lower::Inclusive(v), Upper::Unbounded) => {
-                            format!("{a} >= {}", lit(v))
+                            format!("{a} >= {}", source_literal(v)?)
                         }
                         (Lower::Exclusive(v), Upper::Unbounded) => {
-                            format!("{a} > {}", lit(v))
+                            format!("{a} > {}", source_literal(v)?)
                         }
                         (Lower::Inclusive(l), Upper::Inclusive(h)) if l == h => {
-                            format!("{a} = {}", lit(l))
+                            format!("{a} = {}", source_literal(l)?)
                         }
                         (lo, hi) => {
                             let lop = if lo.is_inclusive() { "<=" } else { "<" };
                             let hop = if hi.is_inclusive() { "<=" } else { "<" };
                             format!(
                                 "{} {lop} {a} {hop} {}",
-                                lit(lo.value().expect("bounded")),
-                                lit(hi.value().expect("bounded"))
+                                source_literal(lo.value().expect("bounded"))?,
+                                source_literal(hi.value().expect("bounded"))?
                             )
                         }
                     };
@@ -205,6 +205,38 @@ impl Predicate {
             clauses: bound,
             satisfiable: self.satisfiable,
         })
+    }
+}
+
+/// Renders a constant so the lexer reads back the *same* [`Value`].
+/// `Value`'s `Display` is not that inverse on two counts, both of which
+/// used to break the recovery round-trip:
+///
+/// * floats print through `{}`, so `Float(7.0)` became `"7"` and
+///   re-parsed as `Int(7)` — `{:?}` always keeps a `.` or an exponent;
+///   non-finite floats have no literal spelling at all, hence `Option`;
+/// * strings print through Rust's `{:?}`, which escapes control and
+///   non-ASCII characters (`\n`, `\u{e9}`) the lexer does not know.
+///   The lexer understands exactly two escapes, `\"` and `\\`, and
+///   copies every other character verbatim — so that is precisely what
+///   gets emitted here.
+fn source_literal(v: &Value) -> Option<String> {
+    match v {
+        Value::Bool(b) => Some(b.to_string()),
+        Value::Int(i) => Some(i.to_string()),
+        Value::Float(x) => x.is_finite().then(|| format!("{x:?}")),
+        Value::Str(s) => {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for ch in s.chars() {
+                if ch == '"' || ch == '\\' {
+                    out.push('\\');
+                }
+                out.push(ch);
+            }
+            out.push('"');
+            Some(out)
+        }
     }
 }
 
@@ -508,6 +540,56 @@ mod tests {
         let p = Predicate::new("emp", vec![]);
         let b = p.bind(&emp_schema()).unwrap();
         assert!(b.matches(&tuple("x", 0, 0.0)));
+    }
+
+    #[test]
+    fn to_source_keeps_float_literals_float() {
+        // Regression: `Display` prints `Float(7.0)` as `7`, which
+        // re-parsed as `Int(7)` — a typed round-trip failure the
+        // recovery path would inherit.
+        let p = Predicate::new(
+            "emp",
+            vec![Clause::Range {
+                attr: "salary".into(),
+                interval: Interval::point(Value::Float(7.0)),
+            }],
+        );
+        assert_eq!(p.to_source().unwrap(), "emp.salary = 7.0");
+        let reparsed = crate::parse_predicate(&p.to_source().unwrap()).unwrap();
+        assert_eq!(reparsed, p);
+    }
+
+    #[test]
+    fn to_source_escapes_only_what_the_lexer_reads() {
+        // Strings with control/unicode characters must not go through
+        // Rust's `{:?}` escaping (the lexer knows only `\"` and `\\`).
+        for s in ["new\nline", "héllo", "q\"uote", "back\\slash", "\t éß\""] {
+            let p = Predicate::new(
+                "emp",
+                vec![Clause::Range {
+                    attr: "name".into(),
+                    interval: Interval::point(Value::str(s)),
+                }],
+            );
+            let src = p.to_source().unwrap();
+            let reparsed = crate::parse_predicate(&src)
+                .unwrap_or_else(|e| panic!("reparse of {src:?} failed: {e}"));
+            assert_eq!(reparsed, p, "via {src:?}");
+        }
+    }
+
+    #[test]
+    fn to_source_refuses_non_finite_floats() {
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let p = Predicate::new(
+                "emp",
+                vec![Clause::Range {
+                    attr: "salary".into(),
+                    interval: Interval::at_most(Value::Float(x)),
+                }],
+            );
+            assert_eq!(p.to_source(), None, "{x} has no literal spelling");
+        }
     }
 
     #[test]

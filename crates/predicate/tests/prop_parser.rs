@@ -95,6 +95,158 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Typed round trip: every clause form (point / one-sided / two-sided
+// ranges with every inclusive/exclusive bound combination, plus opaque
+// function clauses) over every value type (int, float, string, bool)
+// must survive `to_source` → parse *structurally* — the recovery path
+// re-hydrates predicates from rendered source, so evaluation-only
+// equivalence is not enough.
+// ---------------------------------------------------------------------
+
+fn typed_schema() -> Schema {
+    Schema::builder("rel")
+        .attr("ai", AttrType::Int)
+        .attr("f", AttrType::Float)
+        .attr("s", AttrType::Str)
+        .attr("flag", AttrType::Bool)
+        .build()
+}
+
+/// Constants of one attribute's type. Strings draw from an alphabet
+/// that exercises the lexer's escapes (`"`/`\`) and raw multi-byte and
+/// control characters; floats include integral values like `7.0`, the
+/// literal the old renderer corrupted to an int.
+fn arb_typed_value(attr: usize) -> BoxedStrategy<Value> {
+    match attr {
+        0 => (-40i64..40).prop_map(Value::Int).boxed(),
+        1 => (-160i64..160)
+            .prop_map(|q| Value::Float(q as f64 / 4.0))
+            .boxed(),
+        2 => prop::collection::vec(
+            prop_oneof![
+                Just('a'),
+                Just('b'),
+                Just('"'),
+                Just('\\'),
+                Just('é'),
+                Just('\n'),
+                Just('z'),
+            ],
+            0..5,
+        )
+        .prop_map(|cs| Value::str(cs.into_iter().collect::<String>()))
+        .boxed(),
+        _ => any::<bool>().prop_map(Value::Bool).boxed(),
+    }
+}
+
+fn arb_typed_clause() -> impl Strategy<Value = Clause> {
+    let attrs = ["ai", "f", "s", "flag"];
+    // The shim has no `prop_flat_map`, so draw candidate constants for
+    // every type up front and pick the pair matching `attr`.
+    (
+        0usize..4,
+        (-40i64..40, -40i64..40),
+        (-160i64..160, -160i64..160),
+        (arb_typed_value(2), arb_typed_value(2)),
+        any::<(bool, bool)>(),
+        any::<(bool, bool)>(),
+        0u8..7,
+    )
+        .prop_filter_map(
+            "well-formed clause",
+            move |(attr, (ix, iy), (qx, qy), (sx, sy), (bx, by), (li, hi), kind)| {
+                let (x, y) = match attr {
+                    0 => (Value::Int(ix), Value::Int(iy)),
+                    1 => (Value::Float(qx as f64 / 4.0), Value::Float(qy as f64 / 4.0)),
+                    2 => (sx, sy),
+                    _ => (Value::Bool(bx), Value::Bool(by)),
+                };
+                let (x, y) = if x <= y { (x, y) } else { (y, x) };
+                let interval = match kind {
+                    0 => Interval::point(x),
+                    1 => Interval::at_least(x),
+                    2 => Interval::greater_than(x),
+                    3 => Interval::at_most(x),
+                    4 => Interval::less_than(x),
+                    5 => {
+                        // An opaque function clause on a type-appropriate
+                        // attribute (all four are registry built-ins).
+                        let (name, attr) = match attr {
+                            0 => ("isodd", "ai"),
+                            1 => ("ispositive", "f"),
+                            2 => ("isempty", "s"),
+                            _ => ("iseven", "ai"),
+                        };
+                        let func = predicate::FunctionRegistry::default().get(name)?;
+                        return Some(Clause::Func {
+                            name: name.to_string(),
+                            attr: attr.to_string(),
+                            func,
+                        });
+                    }
+                    _ => {
+                        let lo = if li {
+                            Lower::Inclusive(x)
+                        } else {
+                            Lower::Exclusive(x)
+                        };
+                        let up = if hi {
+                            Upper::Inclusive(y)
+                        } else {
+                            Upper::Exclusive(y)
+                        };
+                        Interval::new(lo, up).ok()?
+                    }
+                };
+                Some(Clause::Range {
+                    attr: attrs[attr].to_string(),
+                    interval,
+                })
+            },
+        )
+}
+
+fn arb_typed_tuple() -> impl Strategy<Value = Tuple> {
+    (-41i64..41, -161i64..161, arb_typed_value(2), any::<bool>()).prop_map(|(i, q, s, b)| {
+        Tuple::new(vec![
+            Value::Int(i),
+            Value::Float(q as f64 / 4.0),
+            s,
+            Value::Bool(b),
+        ])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn typed_to_source_round_trips_structurally(
+        clauses in prop::collection::vec(arb_typed_clause(), 1..5),
+        tuples in prop::collection::vec(arb_typed_tuple(), 1..10),
+    ) {
+        let original = Predicate::new("rel", clauses);
+        prop_assume!(original.is_satisfiable());
+        // Every generated constant is finite and every clause bounded on
+        // at least one side, so a spelling must exist.
+        let src = original.to_source().expect("generated predicate has a source spelling");
+        let reparsed = parse_predicate(&src)
+            .unwrap_or_else(|e| panic!("reparse of {src:?} failed: {e}"));
+        // Structural equality (clause-for-clause, constant types
+        // included), not just evaluation equivalence.
+        prop_assert_eq!(&reparsed, &original, "round trip changed the predicate via {:?}", src);
+        // And evaluation equivalence as a belt-and-braces check.
+        let s = typed_schema();
+        let b1 = original.bind(&s).unwrap();
+        let b2 = reparsed.bind(&s).unwrap();
+        for t in &tuples {
+            prop_assert_eq!(b1.matches(t), b2.matches(t), "diverged on {:?} via {:?}", t, src);
+        }
+    }
+}
+
 /// Test-side boolean expression AST with its own evaluator.
 #[derive(Debug, Clone)]
 enum Expr {

@@ -220,6 +220,42 @@ impl ShardedPredicateIndex {
         Ok(id)
     }
 
+    /// Registers a batch of predicates, drawing one contiguous id block
+    /// — the recovery bulk-load path. All predicates are bound first;
+    /// any bind failure aborts the whole batch with nothing inserted and
+    /// the id counter untouched, so a fresh index always hands out the
+    /// same ids [`insert_shared`](Self::insert_shared) would have one at
+    /// a time. Insertions are grouped so each owning shard is
+    /// write-locked exactly once. Returns ids in input order.
+    pub fn insert_many(
+        &self,
+        preds: Vec<Predicate>,
+        catalog: &Catalog,
+    ) -> Result<Vec<PredicateId>, IndexError> {
+        let mut bound = Vec::with_capacity(preds.len());
+        for pred in preds {
+            bound.push(StoredPredicate::bind(pred, catalog)?);
+        }
+        let n = bound.len() as u32;
+        let base = self.next_id.fetch_add(n, Ordering::Relaxed);
+        let mut by_shard: Vec<Vec<(PredicateId, StoredPredicate)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (i, stored) in bound.into_iter().enumerate() {
+            let sid = self.shard_of(stored.bound.relation());
+            by_shard[sid].push((PredicateId(base + i as u32), stored));
+        }
+        for (sid, group) in by_shard.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[sid].write().expect("shard lock poisoned");
+            for (id, stored) in group {
+                shard.insert_bound(id, stored, catalog, self.mode);
+            }
+        }
+        Ok((0..n).map(|i| PredicateId(base + i)).collect())
+    }
+
     /// Unregisters a predicate through a shared reference. The owning
     /// shard is found by probing with read locks; only that shard is
     /// write-locked.
@@ -536,5 +572,52 @@ mod tests {
         assert_eq!(ShardedPredicateIndex::with_shards(0).shard_count(), 1);
         assert_eq!(ShardedPredicateIndex::with_shards(3).shard_count(), 4);
         assert_eq!(ShardedPredicateIndex::with_shards(16).shard_count(), 16);
+    }
+
+    #[test]
+    fn insert_many_agrees_with_one_at_a_time() {
+        let mut db = db();
+        let srcs = [
+            "emp.a > 10",
+            "dept.a > 10",
+            "proj.b < 0",
+            "emp.b = 3",
+            "acct.a >= 1",
+        ];
+        let preds: Vec<_> = srcs.iter().map(|s| parse_predicate(s).unwrap()).collect();
+
+        let one = ShardedPredicateIndex::with_shards(4);
+        let bulk = ShardedPredicateIndex::with_shards(4);
+        let seq_ids: Vec<_> = preds
+            .iter()
+            .map(|p| one.insert_shared(p.clone(), db.catalog()).unwrap())
+            .collect();
+        let bulk_ids = bulk.insert_many(preds, db.catalog()).unwrap();
+        assert_eq!(bulk_ids, seq_ids);
+        assert_eq!(bulk_ids, (0..5).map(PredicateId).collect::<Vec<_>>());
+
+        for i in 0..30i64 {
+            for rel in ["emp", "dept", "proj", "acct"] {
+                let t = db.insert(rel, vec![Value::Int(i), Value::Int(0)]).unwrap();
+                assert_eq!(bulk.match_tuple(rel, &t), one.match_tuple(rel, &t));
+            }
+        }
+    }
+
+    #[test]
+    fn insert_many_failure_inserts_nothing() {
+        let db = db();
+        let sharded = ShardedPredicateIndex::new();
+        let preds = vec![
+            parse_predicate("emp.a > 1").unwrap(),
+            parse_predicate("nope.a > 1").unwrap(),
+        ];
+        assert!(sharded.insert_many(preds, db.catalog()).is_err());
+        assert!(Matcher::is_empty(&sharded));
+        // The id counter was not consumed by the failed batch.
+        let id = sharded
+            .insert_shared(parse_predicate("emp.a > 1").unwrap(), db.catalog())
+            .unwrap();
+        assert_eq!(id, PredicateId(0));
     }
 }

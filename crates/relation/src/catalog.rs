@@ -61,6 +61,19 @@ impl Catalog {
         Ok(())
     }
 
+    /// Installs an already-populated relation under its schema name —
+    /// the recovery path: a snapshot decodes complete [`Relation`]s
+    /// (contents, holes, free list) and adopts them wholesale instead
+    /// of re-running every historical insert.
+    pub fn adopt_relation(&mut self, rel: Relation) -> Result<(), CatalogError> {
+        let name = rel.schema().name().to_string();
+        if self.relations.contains_key(&name) {
+            return Err(CatalogError::Duplicate(name));
+        }
+        self.relations.insert(name, rel);
+        Ok(())
+    }
+
     /// Drops a relation, returning it, along with its column stats.
     /// Predicates already registered against the relation are the
     /// caller's concern: matchers bind at registration time and keep

@@ -8,6 +8,7 @@
 //! clause of a conjunctive predicate gets indexed, §4).
 
 mod catalog;
+pub mod codec;
 pub mod fx;
 mod relation;
 mod schema;

@@ -186,6 +186,32 @@ impl Relation {
             .enumerate()
             .filter_map(|(i, t)| t.as_ref().map(|t| (TupleId(i as u32), t)))
     }
+
+    /// Raw slot storage, including holes — the serialization view.
+    pub(crate) fn slots(&self) -> &[Option<Tuple>] {
+        &self.slots
+    }
+
+    /// The free-slot stack in pop order (last entry is reused first).
+    /// Serialization must preserve this order exactly, or a restored
+    /// relation would hand out different `TupleId`s than the original.
+    pub(crate) fn free_list(&self) -> &[u32] {
+        &self.free
+    }
+
+    /// Reassembles a relation from its serialized parts. The caller
+    /// ([`crate::codec`]) has already validated tuples against the
+    /// schema and checked that `free` lists exactly the empty slots.
+    pub(crate) fn from_parts(schema: Schema, slots: Vec<Option<Tuple>>, free: Vec<u32>) -> Self {
+        let len = slots.iter().filter(|s| s.is_some()).count();
+        debug_assert_eq!(slots.len() - len, free.len());
+        Relation {
+            schema,
+            slots,
+            free,
+            len,
+        }
+    }
 }
 
 #[cfg(test)]

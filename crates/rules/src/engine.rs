@@ -15,7 +15,7 @@
 use crate::rule::{Action, DbOp, Rule, RuleContext, RuleId};
 use predindex::{IndexError, Matcher, PredicateId, ShardedPredicateIndex};
 use relation::fx::FnvHashMap;
-use relation::{CatalogError, Database, Schema, Tuple, TupleEvent, TupleId, Value};
+use relation::{CatalogError, Database, Relation, Schema, Tuple, TupleEvent, TupleId, Value};
 use std::fmt;
 
 /// Errors from engine operations.
@@ -119,6 +119,33 @@ impl RuleEngine {
     pub fn create_relation(&mut self, schema: Schema) -> Result<(), EngineError> {
         self.db.create_relation(schema)?;
         Ok(())
+    }
+
+    /// Drops a relation and unregisters every rule condition that
+    /// referenced it from the predicate index, so dropped relations
+    /// stop matching immediately. Rules keep their identity (and any
+    /// conditions on other relations); a rule whose last condition is
+    /// removed goes dormant. The removal is permanent: recreating a
+    /// relation under the same name does **not** resurrect conditions —
+    /// predicates bind against a schema at registration time, and the
+    /// new relation's schema need not be compatible.
+    pub fn drop_relation(&mut self, name: &str) -> Result<Relation, EngineError> {
+        let rel = self.db.drop_relation(name)?;
+        for stored in self.rules.values_mut() {
+            // `conditions` and `predicate_ids` are parallel vectors.
+            let mut i = 0;
+            while i < stored.rule.conditions.len() {
+                if stored.rule.conditions[i].relation() == name {
+                    let pid = stored.predicate_ids.remove(i);
+                    stored.rule.conditions.remove(i);
+                    self.index.remove(pid);
+                    self.pred_to_rule.remove(&pid.0);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        Ok(rel)
     }
 
     /// The engine log (appended to by `Action::Log` and
@@ -444,5 +471,81 @@ impl RuleEngine {
         self.rules
             .iter()
             .map(|(&id, s)| (RuleId(id), s.rule.name.as_str(), s.fired))
+    }
+
+    /// The rule registered under `id`, if any.
+    pub fn rule(&self, id: RuleId) -> Option<&Rule> {
+        self.rules.get(&id.0).map(|s| &s.rule)
+    }
+
+    /// Iterates `(id, rule, firings)` in unspecified order — the full
+    /// per-rule state a snapshot needs to capture.
+    pub fn rules_detail(&self) -> impl Iterator<Item = (RuleId, &Rule, u64)> {
+        self.rules
+            .iter()
+            .map(|(&id, s)| (RuleId(id), &s.rule, s.fired))
+    }
+
+    /// The current per-mutation firing limit.
+    pub fn firing_limit(&self) -> usize {
+        self.firing_limit
+    }
+
+    /// The id the next registered rule will receive.
+    pub fn next_rule_id(&self) -> u32 {
+        self.next_rule
+    }
+
+    /// Rebuilds an engine from externally persisted state: a restored
+    /// database, the surviving rules with their original ids and fire
+    /// counts, and the engine counters. Condition predicates are
+    /// re-registered through [`ShardedPredicateIndex::insert_many`];
+    /// the predicate ids themselves are fresh (they never escape the
+    /// engine, so only the rule↔predicate wiring must be rebuilt).
+    pub fn restore(
+        db: Database,
+        rules: Vec<(RuleId, Rule, u64)>,
+        next_rule: u32,
+        total_fired: u64,
+        log: Vec<String>,
+    ) -> Result<Self, EngineError> {
+        let index = ShardedPredicateIndex::new();
+        let mut flat = Vec::new();
+        let mut counts = Vec::with_capacity(rules.len());
+        for (_, rule, _) in &rules {
+            counts.push(rule.conditions.len());
+            flat.extend(rule.conditions.iter().cloned());
+        }
+        let ids = index.insert_many(flat, db.catalog())?;
+        let mut stored = FnvHashMap::default();
+        let mut pred_to_rule = FnvHashMap::default();
+        let mut cursor = 0;
+        let mut min_next = next_rule;
+        for ((rid, rule, fired), n) in rules.into_iter().zip(counts) {
+            let predicate_ids = ids[cursor..cursor + n].to_vec();
+            cursor += n;
+            for pid in &predicate_ids {
+                pred_to_rule.insert(pid.0, rid.0);
+            }
+            min_next = min_next.max(rid.0 + 1);
+            stored.insert(
+                rid.0,
+                StoredRule {
+                    rule,
+                    predicate_ids,
+                    fired,
+                },
+            );
+        }
+        Ok(RuleEngine {
+            db,
+            index,
+            rules: stored,
+            pred_to_rule,
+            next_rule: min_next,
+            log,
+            firing_limit: 10_000,
+            total_fired,
+        })
     }
 }

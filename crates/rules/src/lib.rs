@@ -681,3 +681,121 @@ mod counter_tests {
         assert_eq!(e.total_fired(), 11);
     }
 }
+
+#[cfg(test)]
+mod drop_restore_tests {
+    use super::*;
+    use relation::{AttrType, Database, Schema, Value};
+
+    fn engine() -> RuleEngine {
+        let mut db = Database::new();
+        db.create_relation(Schema::builder("emp").attr("x", AttrType::Int).build())
+            .unwrap();
+        db.create_relation(Schema::builder("dept").attr("y", AttrType::Int).build())
+            .unwrap();
+        RuleEngine::new(db)
+    }
+
+    #[test]
+    fn dropped_relation_stops_matching() {
+        let mut e = engine();
+        let emp_only = e
+            .add_rule(Rule::builder("emp-only").when("emp.x > 0").unwrap().build())
+            .unwrap();
+        let both = e
+            .add_rule(
+                Rule::builder("both")
+                    .when("emp.x > 5 or dept.y > 5")
+                    .unwrap()
+                    .build(),
+            )
+            .unwrap();
+        assert_eq!(e.insert("emp", vec![Value::Int(9)]).unwrap().fired.len(), 2);
+        assert_eq!(
+            e.insert("dept", vec![Value::Int(9)]).unwrap().fired.len(),
+            1
+        );
+
+        let rel = e.drop_relation("emp").unwrap();
+        assert_eq!(rel.schema().name(), "emp");
+        assert!(matches!(
+            e.drop_relation("emp"),
+            Err(EngineError::Catalog(_))
+        ));
+
+        // The surviving disjunct of "both" still matches.
+        let report = e.insert("dept", vec![Value::Int(9)]).unwrap();
+        assert_eq!(report.fired, vec![(both, "both".to_string())]);
+
+        // Mutating the dropped relation is a catalog error, and
+        // recreating the name does NOT resurrect the old conditions.
+        assert!(e.insert("emp", vec![Value::Int(9)]).is_err());
+        e.create_relation(Schema::builder("emp").attr("x", AttrType::Int).build())
+            .unwrap();
+        assert!(e
+            .insert("emp", vec![Value::Int(9)])
+            .unwrap()
+            .fired
+            .is_empty());
+
+        // Both rules survive as registered (one dormant), and new rules
+        // against the recreated relation work.
+        assert_eq!(e.rule_count(), 2);
+        assert!(e.rule(emp_only).unwrap().conditions.is_empty());
+        e.add_rule(Rule::builder("fresh").when("emp.x > 0").unwrap().build())
+            .unwrap();
+        assert_eq!(e.insert("emp", vec![Value::Int(1)]).unwrap().fired.len(), 1);
+    }
+
+    #[test]
+    fn restore_round_trips_engine_state() {
+        let mut e = engine();
+        e.add_rule(
+            Rule::builder("a")
+                .when("emp.x > 0")
+                .unwrap()
+                .then(Action::log("pos"))
+                .build(),
+        )
+        .unwrap();
+        e.add_rule(
+            Rule::builder("b")
+                .when("dept.y < 0")
+                .unwrap()
+                .then(Action::log("neg"))
+                .build(),
+        )
+        .unwrap();
+        e.insert("emp", vec![Value::Int(3)]).unwrap();
+        e.insert("dept", vec![Value::Int(-3)]).unwrap();
+
+        let rules: Vec<(RuleId, Rule, u64)> = e
+            .rules_detail()
+            .map(|(id, r, n)| (id, r.clone(), n))
+            .collect();
+        let mut r = RuleEngine::restore(
+            e.db().clone(),
+            rules,
+            e.next_rule_id(),
+            e.total_fired(),
+            e.log().to_vec(),
+        )
+        .unwrap();
+
+        assert_eq!(r.rule_count(), 2);
+        assert_eq!(r.total_fired(), 2);
+        assert_eq!(r.log(), e.log());
+        // Matching behaves identically after the rebuild...
+        assert_eq!(r.insert("emp", vec![Value::Int(7)]).unwrap().fired.len(), 1);
+        assert!(r
+            .insert("emp", vec![Value::Int(-7)])
+            .unwrap()
+            .fired
+            .is_empty());
+        // ...and id allocation continues where the original left off.
+        let next = r
+            .add_rule(Rule::builder("c").when("emp.x = 0").unwrap().build())
+            .unwrap();
+        assert_eq!(next, RuleId(e.next_rule_id()));
+    }
+}

@@ -24,6 +24,9 @@
 //!   front-end (state partitioned by relation name behind per-shard
 //!   reader–writer locks).
 //! * [`rules`] — a forward-chaining rule engine (triggers) built on top.
+//! * [`durable`] — opt-in durability for the rule engine: a checksummed
+//!   write-ahead log, atomic snapshots, and crash recovery that replays
+//!   the engine operation-for-operation ([`durable::DurableRuleEngine`]).
 //!
 //! ## Quickstart
 //!
@@ -56,6 +59,7 @@
 //! ```
 
 pub use altindex;
+pub use durable;
 pub use ibs;
 pub use interval;
 pub use predicate;

@@ -4,6 +4,7 @@
 //! a SPARCstation 1 was 2.1 ms/tuple; the shape of interest is how the
 //! cost decomposes, not the absolute number.
 
+use bench::costmodel;
 use bench::scheme::SchemeWorkload;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use predindex::{Matcher, PredicateIndex};
@@ -17,6 +18,19 @@ fn scheme_cost(c: &mut Criterion) {
             predicates: preds,
             ..SchemeWorkload::default()
         };
+        // The §5.2 terms, read from telemetry counters on a real run
+        // rather than estimated: the timing below divides over exactly
+        // this much work.
+        let work = costmodel::measure_work(&w, 512);
+        eprintln!(
+            "scheme_cost/{preds}: per tuple: {:.1} IBS nodes, {:.1} marks, \
+             {:.1} sequential tests, {:.1} residual tests ({:.1} pass)",
+            work.ibs_nodes_per_tuple(),
+            work.ibs_marks as f64 / work.tuples.max(1) as f64,
+            work.seq_tests_per_tuple(),
+            work.residual_tests_per_tuple(),
+            work.residual_passes as f64 / work.tuples.max(1) as f64,
+        );
         let db = w.database();
         let mut index = PredicateIndex::new();
         for p in w.predicates() {

@@ -1,0 +1,140 @@
+//! Overhead guard for the telemetry layer.
+//!
+//! Three comparisons, all over the §5.2 scenario shape:
+//!
+//! * `sequential_match`: the single-threaded scheme with a disabled
+//!   recorder (the seed configuration — every hook is one branch)
+//!   versus a live registry recording every counter and histogram;
+//! * `sharded_match`: the same pair through the sharded front-end,
+//!   which additionally times lock waits when enabled;
+//! * `primitive`: the raw cost of one counter increment and one
+//!   histogram record, disabled and enabled.
+//!
+//! The disabled rows are the regression guard: they must match the
+//! pre-telemetry baseline, since a disabled handle never touches an
+//! atomic.
+
+use bench::scheme::SchemeWorkload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use predindex::{Matcher, PredicateIndex, ShardedPredicateIndex};
+use std::hint::black_box;
+use std::sync::Arc;
+use telemetry::{Counter, Histogram, Registry};
+
+const MODES: [&str; 2] = ["disabled", "enabled"];
+
+fn registry_for(mode: &str) -> Arc<Registry> {
+    match mode {
+        "disabled" => Arc::new(Registry::disabled()),
+        _ => Arc::new(Registry::new()),
+    }
+}
+
+fn match_overhead(c: &mut Criterion) {
+    let w = SchemeWorkload::default();
+    let db = w.database();
+    let tuples = w.tuples(512);
+
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.throughput(Throughput::Elements(tuples.len() as u64));
+
+    for mode in MODES {
+        let mut index = PredicateIndex::new();
+        index.attach_registry(&registry_for(mode));
+        for p in w.predicates() {
+            index
+                .insert(p, db.catalog())
+                .expect("valid scenario predicate");
+        }
+        group.bench_with_input(
+            BenchmarkId::new("sequential_match", mode),
+            &tuples,
+            |b, tuples| {
+                let mut out = Vec::with_capacity(64);
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for t in tuples {
+                        out.clear();
+                        index.match_tuple_into(SchemeWorkload::RELATION, t, &mut out);
+                        total += out.len();
+                    }
+                    black_box(total)
+                })
+            },
+        );
+    }
+
+    for mode in MODES {
+        let mut index = ShardedPredicateIndex::new();
+        index.attach_registry(&registry_for(mode));
+        for p in w.predicates() {
+            index
+                .insert(p, db.catalog())
+                .expect("valid scenario predicate");
+        }
+        group.bench_with_input(
+            BenchmarkId::new("sharded_match", mode),
+            &tuples,
+            |b, tuples| {
+                let mut out = Vec::with_capacity(64);
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for t in tuples {
+                        out.clear();
+                        index.match_tuple_into(SchemeWorkload::RELATION, t, &mut out);
+                        total += out.len();
+                    }
+                    black_box(total)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn primitive_overhead(c: &mut Criterion) {
+    let registry = Registry::new();
+    let cases: [(&str, Counter, Histogram); 2] = [
+        ("disabled", Counter::disabled(), Histogram::disabled()),
+        (
+            "enabled",
+            registry.counter("bench_counter_total"),
+            registry.histogram("bench_histogram"),
+        ),
+    ];
+    let mut group = c.benchmark_group("telemetry_primitive");
+    group.throughput(Throughput::Elements(1024));
+    for (mode, counter, histogram) in cases {
+        group.bench_function(BenchmarkId::new("counter_inc", mode), |b| {
+            b.iter(|| {
+                for _ in 0..1024 {
+                    counter.inc();
+                }
+                black_box(counter.get())
+            })
+        });
+        group.bench_function(BenchmarkId::new("histogram_record", mode), |b| {
+            b.iter(|| {
+                for v in 0..1024u64 {
+                    histogram.record(black_box(v));
+                }
+                black_box(histogram.count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = match_overhead, primitive_overhead
+}
+criterion_main!(benches);

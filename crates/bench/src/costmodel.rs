@@ -138,6 +138,77 @@ pub fn measure_constants(w: &SchemeWorkload) -> CostConstants {
     }
 }
 
+/// The §5.2 cost terms *observed* on a real run: telemetry counters
+/// from matching a tuple stream through the full scheme, rather than
+/// per-operation micro-benchmarks. These are exact operation counts —
+/// nodes actually visited, residual tests actually run — so they
+/// validate the model's arithmetic independently of machine speed.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkCounts {
+    /// Tuples matched.
+    pub tuples: u64,
+    /// IBS-tree nodes visited across all attribute stabs.
+    pub ibs_nodes: u64,
+    /// Mark-set entries scanned during those stabs.
+    pub ibs_marks: u64,
+    /// Non-indexable predicates swept sequentially.
+    pub seq_tests: u64,
+    /// Residual (full-predicate) tests — one per partial match.
+    pub residual_tests: u64,
+    /// Residual tests that passed — the full matches.
+    pub residual_passes: u64,
+}
+
+impl WorkCounts {
+    /// Average residual tests per tuple — the model's `N × selectivity`
+    /// term, measured.
+    pub fn residual_tests_per_tuple(&self) -> f64 {
+        self.residual_tests as f64 / self.tuples.max(1) as f64
+    }
+
+    /// Average IBS nodes visited per tuple.
+    pub fn ibs_nodes_per_tuple(&self) -> f64 {
+        self.ibs_nodes as f64 / self.tuples.max(1) as f64
+    }
+
+    /// Average sequential (non-indexable) tests per tuple — the model's
+    /// `(1 − indexable) × N` term, measured.
+    pub fn seq_tests_per_tuple(&self) -> f64 {
+        self.seq_tests as f64 / self.tuples.max(1) as f64
+    }
+}
+
+/// Runs `tuples` scenario tuples through the full scheme with a live
+/// metrics registry and reads the §5.2 terms back out of the counters.
+pub fn measure_work(w: &SchemeWorkload, tuples: usize) -> WorkCounts {
+    use std::sync::Arc;
+
+    let db = w.database();
+    let registry = Arc::new(telemetry::Registry::new());
+    let mut index = PredicateIndex::new();
+    index.attach_registry(&registry);
+    for p in w.predicates() {
+        index
+            .insert(p, db.catalog())
+            .expect("valid scenario predicate");
+    }
+    let mut out = Vec::with_capacity(64);
+    for t in &w.tuples(tuples) {
+        out.clear();
+        index.match_tuple_into(SchemeWorkload::RELATION, t, &mut out);
+        consume(out.len());
+    }
+    let count = |name: &str| registry.counter_value(name).unwrap_or(0);
+    WorkCounts {
+        tuples: count("predindex_match_tuples_total"),
+        ibs_nodes: count("predindex_ibs_nodes_visited_total"),
+        ibs_marks: count("predindex_ibs_marks_scanned_total"),
+        seq_tests: count("predindex_non_indexable_scanned_total"),
+        residual_tests: count("predindex_residual_tests_total"),
+        residual_passes: count("predindex_residual_passes_total"),
+    }
+}
+
 /// End-to-end measurement of the full scheme on this machine (ms per
 /// tuple).
 pub fn measure_end_to_end(w: &SchemeWorkload) -> f64 {
@@ -178,6 +249,27 @@ mod tests {
         assert!((c.residual_ms - 1.0).abs() < 1e-9);
         // Total ≈ 2.1 ms (the paper rounds 1.15 down to 1.1).
         assert!((c.total_ms() - 2.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_work_matches_the_scenario_shape() {
+        let w = SchemeWorkload::default();
+        let work = measure_work(&w, 256);
+        assert_eq!(work.tuples, 256);
+        // Every match sweeps the whole non-indexable list, so the sweep
+        // count is an exact per-tuple constant near (1 − 0.9) × 200.
+        assert_eq!(work.seq_tests % work.tuples, 0);
+        let per_tuple = work.seq_tests_per_tuple();
+        assert!(
+            (10.0..=30.0).contains(&per_tuple),
+            "seq tests/tuple = {per_tuple}"
+        );
+        // Every swept candidate is residual-tested, plus the stab hits.
+        assert!(work.residual_tests >= work.seq_tests);
+        assert!(work.residual_passes <= work.residual_tests);
+        // Stabs walked real tree paths and scanned real mark sets.
+        assert!(work.ibs_nodes_per_tuple() >= 1.0);
+        assert!(work.ibs_marks > 0);
     }
 
     #[test]

@@ -13,14 +13,16 @@
 
 use crate::record::{ActionSpec, Record, RuleSpec};
 use crate::recovery::{build_rule, replay, ActionRegistry, RecoverError, WAL_FILE};
-use crate::snapshot::{capture, write_snapshot, SnapshotError};
-use crate::wal::{SyncPolicy, Wal};
+use crate::snapshot::{capture, write_snapshot, SnapshotError, SNAPSHOT_FILE};
+use crate::wal::{SyncPolicy, Wal, WalMetrics};
 use predicate::FunctionRegistry;
 use relation::{Relation, Schema, TupleId, Value};
-use rules::{EngineError, FireReport, Rule, RuleEngine, RuleId};
+use rules::{EngineError, FireReport, MatchTrace, Rule, RuleEngine, RuleId};
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use telemetry::{Counter, Histogram, Registry};
 
 /// Durability knobs.
 #[derive(Debug, Clone, Copy)]
@@ -107,6 +109,35 @@ impl From<RecoverError> for DurableError {
     }
 }
 
+/// The durability-layer metric handles (snapshot + recovery families;
+/// the WAL has its own bundle in [`WalMetrics`]).
+struct DurableMetrics {
+    /// Snapshots taken (`durable_snapshots_total`).
+    snapshots: Counter,
+    /// Capture + atomic-install latency (`durable_snapshot_nanos`).
+    snapshot_nanos: Histogram,
+    /// Installed snapshot file sizes (`durable_snapshot_bytes`).
+    snapshot_bytes: Histogram,
+}
+
+impl DurableMetrics {
+    fn disabled() -> Self {
+        DurableMetrics {
+            snapshots: Counter::disabled(),
+            snapshot_nanos: Histogram::disabled(),
+            snapshot_bytes: Histogram::disabled(),
+        }
+    }
+
+    fn from_registry(registry: &Arc<Registry>) -> Self {
+        DurableMetrics {
+            snapshots: registry.counter("durable_snapshots_total"),
+            snapshot_nanos: registry.histogram("durable_snapshot_nanos"),
+            snapshot_bytes: registry.histogram("durable_snapshot_bytes"),
+        }
+    }
+}
+
 /// A rule engine with a durable home directory.
 pub struct DurableRuleEngine {
     dir: PathBuf,
@@ -117,6 +148,9 @@ pub struct DurableRuleEngine {
     actions: ActionRegistry,
     opts: Options,
     since_snapshot: u64,
+    /// Re-applied to each fresh log a truncation creates.
+    wal_metrics: WalMetrics,
+    metrics: DurableMetrics,
 }
 
 impl DurableRuleEngine {
@@ -134,26 +168,68 @@ impl DurableRuleEngine {
         actions: ActionRegistry,
         opts: Options,
     ) -> Result<Self, DurableError> {
+        Self::open_with_metrics(dir, funcs, actions, opts, Arc::new(Registry::disabled()))
+    }
+
+    /// [`open`](Self::open) with a metrics registry: the engine, its
+    /// predicate index, the WAL, and the snapshot machinery all record
+    /// into `registry` (see the crate docs for the metric families).
+    /// Recovery work is recorded too — `durable_recovery_frames_total`
+    /// counts the WAL frames this open replayed on top of the snapshot.
+    pub fn open_with_metrics(
+        dir: impl Into<PathBuf>,
+        funcs: FunctionRegistry,
+        actions: ActionRegistry,
+        opts: Options,
+        registry: Arc<Registry>,
+    ) -> Result<Self, DurableError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         let recovered = replay(&dir, &funcs, &actions)?;
+        if registry.is_enabled() {
+            registry
+                .counter("durable_recovery_frames_total")
+                .add(recovered.frames_replayed);
+        }
         let snap = capture(
             &recovered.engine,
             &recovered.action_specs,
             recovered.last_seq,
         )?;
         write_snapshot(&dir, &snap)?;
-        let wal = Wal::create(&dir.join(WAL_FILE), recovered.last_seq + 1, opts.sync)?;
+        let mut engine = recovered.engine;
+        engine.attach_metrics(registry.clone());
+        let wal_metrics = if registry.is_enabled() {
+            WalMetrics::from_registry(&registry)
+        } else {
+            WalMetrics::disabled()
+        };
+        let metrics = if registry.is_enabled() {
+            DurableMetrics::from_registry(&registry)
+        } else {
+            DurableMetrics::disabled()
+        };
+        let mut wal = Wal::create(&dir.join(WAL_FILE), recovered.last_seq + 1, opts.sync)?;
+        wal.set_metrics(wal_metrics.clone());
         Ok(DurableRuleEngine {
             dir,
-            engine: recovered.engine,
+            engine,
             wal,
             specs: recovered.action_specs,
             funcs,
             actions,
             opts,
             since_snapshot: 0,
+            wal_metrics,
+            metrics,
         })
+    }
+
+    /// The metrics registry the engine records into — disabled (empty)
+    /// unless opened through
+    /// [`open_with_metrics`](Self::open_with_metrics).
+    pub fn metrics(&self) -> &Arc<Registry> {
+        self.engine.metrics()
     }
 
     /// Read access to the wrapped engine (database, rules, log,
@@ -260,6 +336,23 @@ impl DurableRuleEngine {
         )
     }
 
+    /// Inserts a tuple like [`insert`](Self::insert) — logged
+    /// identically — but also returns the EXPLAIN trace of the match
+    /// the insertion triggered. Replay sees a plain insert.
+    pub fn explain_insert(
+        &mut self,
+        relation: &str,
+        values: Vec<Value>,
+    ) -> Result<(MatchTrace, FireReport), DurableError> {
+        self.log_and(
+            Record::Insert {
+                relation: relation.to_string(),
+                values: values.clone(),
+            },
+            |e| e.explain_insert(relation, values),
+        )
+    }
+
     /// Updates a tuple and runs the rule chain (logged).
     pub fn update(
         &mut self,
@@ -316,13 +409,22 @@ impl DurableRuleEngine {
     /// snapshot file covers every operation ever applied, and the WAL
     /// is empty.
     pub fn snapshot(&mut self) -> Result<(), DurableError> {
+        let timer = self.metrics.snapshot_nanos.start_timer();
         let last = self.wal.next_seq() - 1;
         let snap = capture(&self.engine, &self.specs, last)?;
         write_snapshot(&self.dir, &snap)?;
+        self.metrics.snapshot_nanos.stop_timer(timer);
+        self.metrics.snapshots.inc();
+        if self.metrics.snapshot_bytes.is_enabled() {
+            if let Ok(meta) = std::fs::metadata(self.dir.join(SNAPSHOT_FILE)) {
+                self.metrics.snapshot_bytes.record(meta.len());
+            }
+        }
         // Only truncate the log after the snapshot rename is durable;
         // a crash between the two leaves a stale log whose records
         // replay skips by sequence number.
         self.wal = Wal::create(&self.dir.join(WAL_FILE), last + 1, self.opts.sync)?;
+        self.wal.set_metrics(self.wal_metrics.clone());
         self.since_snapshot = 0;
         Ok(())
     }

@@ -68,4 +68,4 @@ pub use engine::{DurableError, DurableRuleEngine, Options};
 pub use record::{ActionSpec, Record, RuleSpec};
 pub use recovery::{replay, ActionRegistry, RecoverError, Recovered, WAL_FILE};
 pub use snapshot::{read_snapshot, write_snapshot, SnapshotData, SnapshotError, SNAPSHOT_FILE};
-pub use wal::{parse_wal, read_wal, SyncPolicy, Wal, WalSuffix};
+pub use wal::{parse_wal, read_wal, SyncPolicy, Wal, WalMetrics, WalSuffix};

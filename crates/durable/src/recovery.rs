@@ -122,6 +122,9 @@ pub struct Recovered {
     /// Sequence number of the last record folded into `engine` (0 if
     /// the directory was empty).
     pub last_seq: u64,
+    /// WAL frames actually replayed on top of the snapshot (stale
+    /// frames an earlier snapshot already covered are not counted).
+    pub frames_replayed: u64,
 }
 
 /// Resolves an [`ActionSpec`] against the registry.
@@ -214,6 +217,7 @@ pub fn replay(
     };
 
     let suffix = read_wal(&dir.join(WAL_FILE))?;
+    let mut frames_replayed = 0;
     for (seq, record) in suffix.records {
         // A crash between snapshot rename and log truncation leaves a
         // stale log whose early records the snapshot already covers.
@@ -222,12 +226,14 @@ pub fn replay(
         }
         apply_record(&mut engine, &mut action_specs, record, funcs, actions)?;
         last_seq = seq;
+        frames_replayed += 1;
     }
 
     Ok(Recovered {
         engine,
         action_specs,
         last_seq,
+        frames_replayed,
     })
 }
 

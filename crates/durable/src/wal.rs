@@ -30,6 +30,8 @@ use crate::record::Record;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use telemetry::{Counter, Histogram, Registry};
 
 /// File magic for WAL files.
 pub const WAL_MAGIC: &[u8; 8] = b"PMWAL\0\0\0";
@@ -54,6 +56,37 @@ pub enum SyncPolicy {
     Manual,
 }
 
+/// The log's metric handles. Default (and [`WalMetrics::disabled`]) is
+/// the no-op bundle: one branch per append / sync. Cloning shares the
+/// underlying cells, which is how the durable engine keeps counters
+/// monotonic across the log truncations a snapshot performs.
+#[derive(Debug, Clone, Default)]
+pub struct WalMetrics {
+    /// Frames appended (`wal_appends_total`).
+    appends: Counter,
+    /// Frame bytes written, headers included (`wal_append_bytes_total`).
+    append_bytes: Counter,
+    /// `fdatasync` latency; its count is the fsync total
+    /// (`wal_fsync_nanos`).
+    fsync_nanos: Histogram,
+}
+
+impl WalMetrics {
+    /// The no-op bundle.
+    pub fn disabled() -> WalMetrics {
+        WalMetrics::default()
+    }
+
+    /// Resolves the bundle against a registry (no-op if disabled).
+    pub fn from_registry(registry: &Arc<Registry>) -> WalMetrics {
+        WalMetrics {
+            appends: registry.counter("wal_appends_total"),
+            append_bytes: registry.counter("wal_append_bytes_total"),
+            fsync_nanos: registry.histogram("wal_fsync_nanos"),
+        }
+    }
+}
+
 /// An open, append-only log.
 #[derive(Debug)]
 pub struct Wal {
@@ -62,6 +95,7 @@ pub struct Wal {
     next_seq: u64,
     policy: SyncPolicy,
     unsynced: u32,
+    metrics: WalMetrics,
 }
 
 impl Wal {
@@ -89,7 +123,15 @@ impl Wal {
             next_seq: start_seq,
             policy,
             unsynced: 0,
+            metrics: WalMetrics::disabled(),
         })
+    }
+
+    /// Swaps in a metric bundle (the durable engine re-applies the same
+    /// bundle to each fresh log a snapshot truncation creates, so the
+    /// counters stay monotonic across truncations).
+    pub fn set_metrics(&mut self, metrics: WalMetrics) {
+        self.metrics = metrics;
     }
 
     /// The path this log writes to.
@@ -110,6 +152,8 @@ impl Wal {
         let payload = record.encode();
         let frame = encode_frame(seq, &payload);
         self.file.write_all(&frame)?;
+        self.metrics.appends.inc();
+        self.metrics.append_bytes.add(frame.len() as u64);
         self.next_seq += 1;
         match self.policy {
             SyncPolicy::Always => self.sync()?,
@@ -126,7 +170,9 @@ impl Wal {
 
     /// Forces everything appended so far to stable storage.
     pub fn sync(&mut self) -> io::Result<()> {
+        let timer = self.metrics.fsync_nanos.start_timer();
         self.file.sync_data()?;
+        self.metrics.fsync_nanos.stop_timer(timer);
         self.unsynced = 0;
         Ok(())
     }

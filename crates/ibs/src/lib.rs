@@ -48,10 +48,12 @@ mod arena;
 mod balance;
 mod invariants;
 mod marks;
+mod observe;
 mod overlap;
 mod tree;
 
 pub use marks::{MarkSet, Slot};
+pub use observe::{StabObserver, StabStats};
 pub use tree::{BalanceMode, DuplicateId, IbsTree};
 
 #[cfg(test)]
@@ -297,6 +299,32 @@ mod tests {
         v.sort();
         assert_eq!(v, vec![id(0), id(1)]);
         assert_eq!(t.stab(&"z".to_string()), vec![id(1)]);
+    }
+
+    #[test]
+    fn observed_stab_counts_work_and_agrees_with_plain_stab() {
+        for mode in [BalanceMode::None, BalanceMode::Avl] {
+            let mut t = build(mode);
+            t.insert(id(7), Interval::unbounded()).unwrap();
+            for x in -5..25 {
+                let mut plain = Vec::new();
+                t.stab_into(&x, &mut plain);
+                let mut observed = Vec::new();
+                let mut stats = StabStats::default();
+                t.stab_into_observed(&x, &mut observed, &mut stats);
+                assert_eq!(plain, observed, "at {x}");
+                // Every reported id was scanned as a mark, and the
+                // search path never exceeds the tree height.
+                assert_eq!(stats.marks_scanned, observed.len() as u64, "at {x}");
+                assert_eq!(
+                    stats.less_hits + stats.eq_hits + stats.greater_hits + stats.universal_hits,
+                    stats.marks_scanned,
+                    "at {x}"
+                );
+                assert_eq!(stats.universal_hits, 1, "at {x}");
+                assert!(stats.nodes_visited <= t.height() as u64, "at {x}");
+            }
+        }
     }
 
     #[test]

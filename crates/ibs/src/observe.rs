@@ -1,0 +1,80 @@
+//! Stab instrumentation: the countable work of §5's analysis.
+//!
+//! The paper prices a stabbing query by the endpoint nodes visited on
+//! the search path and the marks collected along it. [`StabObserver`]
+//! exposes exactly those events; the default observer is `()`, whose
+//! empty inline methods monomorphize [`IbsTree::stab_into_observed`]
+//! back into the uninstrumented loop, so the hot path pays nothing for
+//! the hook's existence.
+//!
+//! [`IbsTree::stab_into_observed`]: crate::IbsTree::stab_into_observed
+
+use crate::marks::Slot;
+
+/// Receives the work events of one (or more) stabbing queries.
+pub trait StabObserver {
+    /// An endpoint node on the search path was visited (one key
+    /// comparison).
+    fn visit_node(&mut self);
+
+    /// A mark slot on the path was collected; `marks` is how many
+    /// interval marks it contributed.
+    fn collect(&mut self, slot: Slot, marks: usize);
+
+    /// The universal list — intervals `(-inf, +inf)`, reported
+    /// unconditionally before the descent — contributed `marks` hits.
+    fn universal(&mut self, marks: usize) {
+        let _ = marks;
+    }
+}
+
+/// The no-op observer: compiles away entirely.
+impl StabObserver for () {
+    #[inline(always)]
+    fn visit_node(&mut self) {}
+
+    #[inline(always)]
+    fn collect(&mut self, _slot: Slot, _marks: usize) {}
+}
+
+/// A ready-made counting observer: per-slot hit counts plus the two
+/// §5.2 work terms (nodes visited, marks scanned).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StabStats {
+    /// Endpoint nodes visited (key comparisons on the search path).
+    pub nodes_visited: u64,
+    /// Total marks collected across all slots (incl. universal).
+    pub marks_scanned: u64,
+    /// Marks collected from `<` slots.
+    pub less_hits: u64,
+    /// Marks collected from `=` slots.
+    pub eq_hits: u64,
+    /// Marks collected from `>` slots.
+    pub greater_hits: u64,
+    /// Universal intervals reported unconditionally.
+    pub universal_hits: u64,
+}
+
+impl StabObserver for StabStats {
+    #[inline]
+    fn visit_node(&mut self) {
+        self.nodes_visited += 1;
+    }
+
+    #[inline]
+    fn collect(&mut self, slot: Slot, marks: usize) {
+        let marks = marks as u64;
+        self.marks_scanned += marks;
+        match slot {
+            Slot::Less => self.less_hits += marks,
+            Slot::Eq => self.eq_hits += marks,
+            Slot::Greater => self.greater_hits += marks,
+        }
+    }
+
+    #[inline]
+    fn universal(&mut self, marks: usize) {
+        self.marks_scanned += marks as u64;
+        self.universal_hits += marks as u64;
+    }
+}

@@ -182,21 +182,38 @@ impl<K: Ord + Clone> IbsTree<K> {
     /// As [`IbsTree::stab`], appending into a caller-owned buffer so hot
     /// loops can reuse the allocation.
     pub fn stab_into(&self, x: &K, out: &mut Vec<IntervalId>) {
+        self.stab_into_observed(x, out, &mut ());
+    }
+
+    /// As [`IbsTree::stab_into`], reporting each unit of §5 work — node
+    /// visits and mark collections — to `obs`. With the `()` observer
+    /// this monomorphizes to exactly the uninstrumented loop.
+    pub fn stab_into_observed<O: crate::StabObserver>(
+        &self,
+        x: &K,
+        out: &mut Vec<IntervalId>,
+        obs: &mut O,
+    ) {
         out.extend_from_slice(&self.universal);
+        obs.universal(self.universal.len());
         let mut cur = self.root;
         while !cur.is_null() {
             let node = &self.arena[cur];
+            obs.visit_node();
             match x.cmp(&node.value) {
                 std::cmp::Ordering::Equal => {
                     node.eq.extend_into(out);
+                    obs.collect(Slot::Eq, node.eq.len());
                     break;
                 }
                 std::cmp::Ordering::Less => {
                     node.less.extend_into(out);
+                    obs.collect(Slot::Less, node.less.len());
                     cur = node.left;
                 }
                 std::cmp::Ordering::Greater => {
                     node.greater.extend_into(out);
+                    obs.collect(Slot::Greater, node.greater.len());
                     cur = node.right;
                 }
             }

@@ -26,12 +26,15 @@
 //! so the two matchers stay semantically identical by construction.
 
 use crate::matcher::{IndexError, Matcher, PredicateId, PredicateStore, StoredPredicate};
-use ibs::{BalanceMode, IbsTree};
+use crate::metrics::IndexMetrics;
+use ibs::{BalanceMode, IbsTree, StabStats};
 use interval::Interval;
 use predicate::selectivity::most_selective_indexable;
 use predicate::{BoundClause, Predicate};
 use relation::fx::FnvHashMap;
 use relation::{Catalog, Tuple, Value};
+use std::sync::Arc;
+use telemetry::{MatchTrace, Registry, ResidualTrace, StabTrace};
 
 /// Where a registered predicate physically lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +97,65 @@ pub(crate) fn residual_filter(
     out[from..].sort_unstable();
 }
 
+/// The full match path with metrics: hash on relation name, partial
+/// match (metered when enabled), residual filter, one `record_match`.
+/// Shared by [`PredicateIndex`] and each shard of the sharded index so
+/// both record identically.
+pub(crate) fn match_into_metered(
+    relations: &FnvHashMap<String, RelationIndex>,
+    store: &PredicateStore,
+    metrics: &IndexMetrics,
+    relation: &str,
+    tuple: &Tuple,
+    out: &mut Vec<PredicateId>,
+) {
+    let from = out.len();
+    if let Some(ri) = relations.get(relation) {
+        if metrics.is_enabled() {
+            ri.collect_partial_metered(relation, tuple, out, metrics);
+        } else {
+            ri.collect_partial(tuple, out);
+        }
+        let partials = (out.len() - from) as u64;
+        residual_filter(store, tuple, out, from);
+        metrics.record_match(relation, partials, (out.len() - from) as u64);
+    } else {
+        metrics.record_match(relation, 0, 0);
+    }
+}
+
+/// Builds the Figure 1 EXPLAIN trace for one tuple: the same walk as
+/// [`match_into_metered`], but recording per-stage work and the outcome
+/// of every residual test instead of counters. Shared by both indexes.
+pub(crate) fn explain_match(
+    relations: &FnvHashMap<String, RelationIndex>,
+    store: &PredicateStore,
+    relation: &str,
+    tuple: &Tuple,
+) -> MatchTrace {
+    let mut trace = MatchTrace {
+        relation: relation.to_string(),
+        tuple: tuple.to_string(),
+        ..MatchTrace::default()
+    };
+    let mut candidates = Vec::new();
+    if let Some(ri) = relations.get(relation) {
+        trace.relation_indexed = true;
+        ri.explain_partial(tuple, &mut candidates, &mut trace);
+    }
+    for &id in &candidates {
+        trace.residual.push(ResidualTrace {
+            predicate: id.0,
+            pass: store.full_match(id, tuple),
+            source: store
+                .get(id)
+                .and_then(|p| p.source.to_source())
+                .unwrap_or_else(|| "<opaque>".to_string()),
+        });
+    }
+    trace
+}
+
 /// Second-level index for one relation.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct RelationIndex {
@@ -153,6 +215,60 @@ impl RelationIndex {
         out.extend_from_slice(&self.non_indexable);
     }
 
+    /// [`collect_partial`](Self::collect_partial) with per-stab work
+    /// counting. Only runs when metrics are enabled; the disabled path
+    /// keeps calling the uninstrumented loop.
+    pub(crate) fn collect_partial_metered(
+        &self,
+        relation: &str,
+        tuple: &Tuple,
+        out: &mut Vec<PredicateId>,
+        metrics: &IndexMetrics,
+    ) {
+        for (&attr, tree) in &self.attr_trees {
+            if let Some(value) = tuple.values().get(attr) {
+                let mut stats = StabStats::default();
+                tree.stab_into_observed(value, out, &mut stats);
+                metrics.record_attr_stab(relation, attr, stats.nodes_visited, stats.marks_scanned);
+            }
+        }
+        out.extend_from_slice(&self.non_indexable);
+        metrics.record_non_indexable(self.non_indexable.len() as u64);
+    }
+
+    /// The EXPLAIN version of the partial match: same candidates, plus
+    /// one [`StabTrace`] per attribute tree (ordered by attribute) and
+    /// the non-indexable sweep size, written into `trace`.
+    pub(crate) fn explain_partial(
+        &self,
+        tuple: &Tuple,
+        out: &mut Vec<PredicateId>,
+        trace: &mut MatchTrace,
+    ) {
+        for (&attr, tree) in &self.attr_trees {
+            if let Some(value) = tuple.values().get(attr) {
+                let mut stats = StabStats::default();
+                tree.stab_into_observed(value, out, &mut stats);
+                trace.stabs.push(StabTrace {
+                    attr,
+                    attr_name: format!("#{attr}"),
+                    value: value.to_string(),
+                    nodes_visited: stats.nodes_visited,
+                    marks_scanned: stats.marks_scanned,
+                    less_hits: stats.less_hits,
+                    eq_hits: stats.eq_hits,
+                    greater_hits: stats.greater_hits,
+                    universal_hits: stats.universal_hits,
+                    tree_intervals: tree.len(),
+                    tree_height: tree.height(),
+                });
+            }
+        }
+        trace.stabs.sort_by_key(|s| s.attr);
+        out.extend_from_slice(&self.non_indexable);
+        trace.non_indexable_scanned = self.non_indexable.len();
+    }
+
     /// Iterates `(attribute index, tree)` pairs (stats support).
     pub(crate) fn attr_trees_iter(&self) -> impl Iterator<Item = (usize, &IbsTree<Value>)> {
         self.attr_trees.iter().map(|(&a, t)| (a, t))
@@ -204,6 +320,11 @@ pub struct PredicateIndex {
     store: PredicateStore,
     locations: FnvHashMap<u32, (String, Location)>,
     mode: BalanceMode,
+    /// Disabled by default; swapped by [`attach_registry`]
+    /// (clones share the bundle — counters are process totals).
+    ///
+    /// [`attach_registry`]: PredicateIndex::attach_registry
+    metrics: Arc<IndexMetrics>,
 }
 
 impl Default for PredicateIndex {
@@ -226,7 +347,24 @@ impl PredicateIndex {
             store: PredicateStore::new(),
             locations: FnvHashMap::default(),
             mode,
+            metrics: IndexMetrics::disabled(),
         }
+    }
+
+    /// Starts recording match-path metrics into `registry` (see
+    /// [`IndexMetrics`] for the catalogue). Until this is called the
+    /// index runs with the no-op bundle: one branch per would-be
+    /// recording site.
+    pub fn attach_registry(&mut self, registry: &Arc<Registry>) {
+        self.metrics = IndexMetrics::from_registry(registry, 0);
+    }
+
+    /// The Figure 1 EXPLAIN: the exact path `tuple` takes through the
+    /// index, with per-stage work counts and every residual-test
+    /// outcome. Independent of metrics — always available, never
+    /// touches the registry.
+    pub fn explain_tuple(&self, relation: &str, tuple: &Tuple) -> MatchTrace {
+        explain_match(&self.relations, &self.store, relation, tuple)
     }
 
     /// The stored form of a registered predicate.
@@ -236,12 +374,14 @@ impl PredicateIndex {
 
     /// Matching ids appended into a caller-owned buffer (hot path).
     pub fn match_tuple_into(&self, relation: &str, tuple: &Tuple, out: &mut Vec<PredicateId>) {
-        let from = out.len();
-        let Some(ri) = self.relations.get(relation) else {
-            return;
-        };
-        ri.collect_partial(tuple, out);
-        residual_filter(&self.store, tuple, out, from);
+        match_into_metered(
+            &self.relations,
+            &self.store,
+            &self.metrics,
+            relation,
+            tuple,
+            out,
+        );
     }
 
     /// Number of per-attribute IBS-trees across all relations (for

@@ -16,6 +16,7 @@ pub mod baselines;
 mod index;
 mod matcher;
 mod memory;
+mod metrics;
 mod sharded;
 mod stats;
 
@@ -25,8 +26,12 @@ pub use baselines::{
 pub use index::PredicateIndex;
 pub use matcher::{IndexError, Matcher, PredicateId, PredicateStore, StoredPredicate};
 pub use memory::MatchMemory;
+pub use metrics::IndexMetrics;
 pub use sharded::{ShardedPredicateIndex, DEFAULT_SHARDS};
 pub use stats::{IndexStats, RelationStats, ShardStats, TreeStats};
+// Re-exported so downstream layers can speak the EXPLAIN types without
+// depending on `telemetry` directly.
+pub use telemetry::{MatchTrace, ResidualTrace, StabTrace};
 
 #[cfg(test)]
 mod tests {

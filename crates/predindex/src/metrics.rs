@@ -1,0 +1,380 @@
+//! Metric handles for the predicate indexes.
+//!
+//! One [`IndexMetrics`] bundle holds every counter the matching path
+//! touches, pre-resolved at attach time so the hot path never takes
+//! the registry lock for the fixed-name metrics. Per-relation and
+//! per-attribute families are created lazily (first match against a
+//! relation registers its counters) behind an `RwLock` map whose read
+//! path is one shared lock plus a hash probe — and none of it runs at
+//! all when the bundle is disabled: every recording helper starts with
+//! the same single branch the `telemetry` handles use.
+
+use relation::fx::FnvHashMap;
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+use telemetry::{Counter, Histogram, Registry};
+
+/// The stab-work counters of one `(relation, attribute)` IBS-tree.
+#[derive(Debug, Clone)]
+pub(crate) struct AttrWork {
+    nodes: Counter,
+    marks: Counter,
+}
+
+/// Every metric the sequential and sharded indexes record.
+#[derive(Debug)]
+pub struct IndexMetrics {
+    enabled: bool,
+    /// Present only when enabled — needed to mint lazy families.
+    registry: Option<Arc<Registry>>,
+    /// Tuples matched (`match_tuple*` calls, one per tuple).
+    match_tuples: Counter,
+    /// Residual (full-conjunction) tests run — one per partial match.
+    residual_tests: Counter,
+    /// Residual tests that held (full matches).
+    residual_passes: Counter,
+    /// IBS-tree endpoint nodes visited across all stabs.
+    ibs_nodes: Counter,
+    /// Marks collected across all stabs.
+    ibs_marks: Counter,
+    /// Predicates swept from non-indexable lists.
+    non_indexable_scanned: Counter,
+    /// Tuples per `match_batch*` call.
+    batch_sizes: Histogram,
+    /// Shard lock acquisition wait, all shards pooled.
+    lock_wait: Histogram,
+    /// Cumulative lock-wait nanos per shard.
+    shard_lock_wait: Vec<Counter>,
+    /// `relation name -> matches counter`, minted on first match.
+    per_relation: RwLock<FnvHashMap<String, Counter>>,
+    /// `relation name -> attr -> stab-work counters`, minted on first
+    /// stab.
+    per_attr: RwLock<FnvHashMap<String, FnvHashMap<usize, AttrWork>>>,
+}
+
+impl IndexMetrics {
+    /// The no-op bundle every index starts with.
+    pub fn disabled() -> Arc<IndexMetrics> {
+        Arc::new(IndexMetrics {
+            enabled: false,
+            registry: None,
+            match_tuples: Counter::disabled(),
+            residual_tests: Counter::disabled(),
+            residual_passes: Counter::disabled(),
+            ibs_nodes: Counter::disabled(),
+            ibs_marks: Counter::disabled(),
+            non_indexable_scanned: Counter::disabled(),
+            batch_sizes: Histogram::disabled(),
+            lock_wait: Histogram::disabled(),
+            shard_lock_wait: Vec::new(),
+            per_relation: RwLock::new(FnvHashMap::default()),
+            per_attr: RwLock::new(FnvHashMap::default()),
+        })
+    }
+
+    /// Resolves the bundle against a registry; `shards` counters are
+    /// minted for per-shard lock-wait attribution (0 for the
+    /// unsharded index). A disabled registry yields the no-op bundle.
+    pub fn from_registry(registry: &Arc<Registry>, shards: usize) -> Arc<IndexMetrics> {
+        if !registry.is_enabled() {
+            return Self::disabled();
+        }
+        Arc::new(IndexMetrics {
+            enabled: true,
+            registry: Some(registry.clone()),
+            match_tuples: registry.counter("predindex_match_tuples_total"),
+            residual_tests: registry.counter("predindex_residual_tests_total"),
+            residual_passes: registry.counter("predindex_residual_passes_total"),
+            ibs_nodes: registry.counter("predindex_ibs_nodes_visited_total"),
+            ibs_marks: registry.counter("predindex_ibs_marks_scanned_total"),
+            non_indexable_scanned: registry.counter("predindex_non_indexable_scanned_total"),
+            batch_sizes: registry.histogram("predindex_match_batch_size"),
+            lock_wait: registry.histogram("predindex_shard_lock_wait_nanos"),
+            shard_lock_wait: (0..shards)
+                .map(|i| {
+                    registry.counter(&format!(
+                        "predindex_shard_lock_wait_nanos_total{{shard=\"{i}\"}}"
+                    ))
+                })
+                .collect(),
+            per_relation: RwLock::new(FnvHashMap::default()),
+            per_attr: RwLock::new(FnvHashMap::default()),
+        })
+    }
+
+    /// Does this bundle record anything?
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// One matched tuple: its partial-match count (= residual tests
+    /// run) and how many survived the residual test.
+    pub(crate) fn record_match(&self, relation: &str, partials: u64, passes: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.match_tuples.inc();
+        self.residual_tests.add(partials);
+        self.residual_passes.add(passes);
+        self.relation_counter(relation).inc();
+    }
+
+    /// One per-attribute stab's work, attributed globally and to the
+    /// `(relation, attr)` family.
+    pub(crate) fn record_attr_stab(&self, relation: &str, attr: usize, nodes: u64, marks: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.ibs_nodes.add(nodes);
+        self.ibs_marks.add(marks);
+        {
+            let map = self.per_attr.read().expect("metrics map poisoned");
+            if let Some(work) = map.get(relation).and_then(|inner| inner.get(&attr)) {
+                work.nodes.add(nodes);
+                work.marks.add(marks);
+                return;
+            }
+        }
+        let registry = self.registry.as_ref().expect("enabled bundle has registry");
+        let work = AttrWork {
+            nodes: registry.counter(&format!(
+                "predindex_attr_stab_nodes_total{{relation=\"{relation}\",attr=\"{attr}\"}}"
+            )),
+            marks: registry.counter(&format!(
+                "predindex_attr_stab_marks_total{{relation=\"{relation}\",attr=\"{attr}\"}}"
+            )),
+        };
+        work.nodes.add(nodes);
+        work.marks.add(marks);
+        self.per_attr
+            .write()
+            .expect("metrics map poisoned")
+            .entry(relation.to_string())
+            .or_default()
+            .insert(attr, work);
+    }
+
+    /// A non-indexable-list sweep of `n` predicates.
+    #[inline]
+    pub(crate) fn record_non_indexable(&self, n: u64) {
+        self.non_indexable_scanned.add(n);
+    }
+
+    /// One `match_batch*` call over `n` tuples.
+    #[inline]
+    pub(crate) fn record_batch(&self, n: u64) {
+        self.batch_sizes.record(n);
+    }
+
+    /// Starts timing a shard-lock acquisition (`None` when disabled,
+    /// so the disabled path never reads the clock).
+    #[inline]
+    pub(crate) fn lock_timer(&self) -> Option<Instant> {
+        self.enabled.then(Instant::now)
+    }
+
+    /// Ends a [`IndexMetrics::lock_timer`] measurement against `shard`.
+    pub(crate) fn record_lock_wait(&self, shard: usize, started: Option<Instant>) {
+        if let Some(t0) = started {
+            let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.lock_wait.record(nanos);
+            if let Some(c) = self.shard_lock_wait.get(shard) {
+                c.add(nanos);
+            }
+        }
+    }
+
+    fn relation_counter(&self, relation: &str) -> Counter {
+        {
+            let map = self.per_relation.read().expect("metrics map poisoned");
+            if let Some(c) = map.get(relation) {
+                return c.clone();
+            }
+        }
+        let registry = self.registry.as_ref().expect("enabled bundle has registry");
+        let c = registry.counter(&format!(
+            "predindex_relation_matches_total{{relation=\"{relation}\"}}"
+        ));
+        self.per_relation
+            .write()
+            .expect("metrics map poisoned")
+            .entry(relation.to_string())
+            .or_insert(c)
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Matcher, PredicateIndex, ShardedPredicateIndex};
+    use predicate::parse_predicate;
+    use relation::{AttrType, Database, Schema, Value};
+    use std::sync::Arc;
+    use telemetry::Registry;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(
+            Schema::builder("emp")
+                .attr("age", AttrType::Int)
+                .attr("salary", AttrType::Int)
+                .build(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn sequential_index_records_match_path_counters() {
+        let mut db = db();
+        let mut index = PredicateIndex::new();
+        // Two-clause conjunction: one clause indexed, one residual.
+        index
+            .insert(
+                parse_predicate("emp.age > 50 and emp.salary < 20000").unwrap(),
+                db.catalog(),
+            )
+            .unwrap();
+        index
+            .insert(parse_predicate("isodd(emp.age)").unwrap(), db.catalog())
+            .unwrap();
+
+        let registry = Arc::new(Registry::new());
+        index.attach_registry(&registry);
+
+        // age 61 partial-matches the range clause but fails residual on
+        // salary; isodd(61) passes from the non-indexable list.
+        let t = db
+            .insert("emp", vec![Value::Int(61), Value::Int(99_000)])
+            .unwrap();
+        let hits = index.match_tuple("emp", &t);
+        assert_eq!(hits.len(), 1);
+
+        assert_eq!(
+            registry.counter_value("predindex_match_tuples_total"),
+            Some(1)
+        );
+        assert_eq!(
+            registry.counter_value("predindex_residual_tests_total"),
+            Some(2)
+        );
+        assert_eq!(
+            registry.counter_value("predindex_residual_passes_total"),
+            Some(1)
+        );
+        assert_eq!(
+            registry.counter_value("predindex_non_indexable_scanned_total"),
+            Some(1)
+        );
+        assert_eq!(
+            registry.counter_value("predindex_relation_matches_total{relation=\"emp\"}"),
+            Some(1)
+        );
+        assert!(
+            registry
+                .counter_value("predindex_ibs_nodes_visited_total")
+                .unwrap()
+                >= 1
+        );
+        assert_eq!(
+            registry.counter_family_total("predindex_attr_stab_nodes_total"),
+            registry
+                .counter_value("predindex_ibs_nodes_visited_total")
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn explain_agrees_with_match_on_both_indexes() {
+        let mut db = db();
+        let srcs = [
+            "emp.age > 50 and emp.salary < 20000",
+            "emp.salary >= 90000",
+            "isodd(emp.age)",
+        ];
+        let mut seq = PredicateIndex::new();
+        let sharded = ShardedPredicateIndex::with_shards(4);
+        for s in &srcs {
+            let p = parse_predicate(s).unwrap();
+            seq.insert(p.clone(), db.catalog()).unwrap();
+            sharded.insert_shared(p, db.catalog()).unwrap();
+        }
+        let t = db
+            .insert("emp", vec![Value::Int(61), Value::Int(99_000)])
+            .unwrap();
+
+        for trace in [
+            seq.explain_tuple("emp", &t),
+            sharded.explain_tuple("emp", &t),
+        ] {
+            assert!(trace.relation_indexed);
+            let expect: Vec<u32> = seq.match_tuple("emp", &t).iter().map(|id| id.0).collect();
+            let mut got = trace.matched();
+            got.sort_unstable();
+            assert_eq!(got, expect);
+            assert_eq!(trace.partial_matches(), 3);
+            assert_eq!(trace.non_indexable_scanned, 1);
+            assert!(trace.nodes_visited() >= 1);
+        }
+        assert_eq!(seq.explain_tuple("emp", &t).shard, None);
+        assert!(sharded.explain_tuple("emp", &t).shard.is_some());
+        // Unknown relation: an honest empty trace, not a panic.
+        let ghost = seq.explain_tuple("ghost", &t);
+        assert!(!ghost.relation_indexed);
+        assert_eq!(ghost.partial_matches(), 0);
+    }
+
+    #[test]
+    fn sharded_index_records_lock_wait_and_batch_sizes() {
+        let mut db = db();
+        let mut sharded = ShardedPredicateIndex::with_shards(4);
+        let registry = Arc::new(Registry::new());
+        sharded.attach_registry(&registry);
+        sharded
+            .insert_shared(parse_predicate("emp.age > 50").unwrap(), db.catalog())
+            .unwrap();
+        let t = db
+            .insert("emp", vec![Value::Int(61), Value::Int(0)])
+            .unwrap();
+        let batch = [("emp", &t), ("emp", &t), ("emp", &t)];
+        sharded.match_batch_threads(&batch, 2);
+
+        let (batches, tuples) = registry
+            .histogram_totals("predindex_match_batch_size")
+            .unwrap();
+        assert_eq!((batches, tuples), (1, 3));
+        // Insert + batch locks were all timed: at least two waits.
+        let (waits, _) = registry
+            .histogram_totals("predindex_shard_lock_wait_nanos")
+            .unwrap();
+        assert!(waits >= 2, "lock acquisitions recorded: {waits}");
+        // Every shard got its own wait counter at attach time.
+        let names = registry.names();
+        for shard in 0..4 {
+            let name = format!("predindex_shard_lock_wait_nanos_total{{shard=\"{shard}\"}}");
+            assert!(names.contains(&name), "missing {name}");
+        }
+        assert_eq!(
+            registry.counter_value("predindex_match_tuples_total"),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        let mut db = db();
+        let mut index = PredicateIndex::new();
+        index
+            .insert(parse_predicate("emp.age > 50").unwrap(), db.catalog())
+            .unwrap();
+        let registry = Arc::new(Registry::disabled());
+        index.attach_registry(&registry);
+        let t = db
+            .insert("emp", vec![Value::Int(61), Value::Int(0)])
+            .unwrap();
+        assert_eq!(index.match_tuple("emp", &t).len(), 1);
+        assert!(registry.names().is_empty());
+        assert_eq!(registry.counter_value("predindex_match_tuples_total"), None);
+    }
+}

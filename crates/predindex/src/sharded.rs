@@ -24,14 +24,16 @@
 //! holds each shard's read lock across the whole run of tuples headed
 //! there — one lock acquisition per shard per worker, not per tuple.
 
-use crate::index::{place, residual_filter, Location, Placement, RelationIndex};
+use crate::index::{explain_match, match_into_metered, place, Location, Placement, RelationIndex};
 use crate::matcher::{IndexError, Matcher, PredicateId, PredicateStore, StoredPredicate};
+use crate::metrics::IndexMetrics;
 use ibs::BalanceMode;
 use predicate::Predicate;
 use relation::fx::FnvHashMap;
 use relation::{Catalog, Tuple};
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
+use telemetry::{MatchTrace, Registry};
 
 /// Default shard count; rounded up to a power of two internally.
 pub const DEFAULT_SHARDS: usize = 16;
@@ -47,13 +49,14 @@ struct Shard {
 
 impl Shard {
     /// The sequential `match_tuple_into`, scoped to this shard.
-    fn match_into(&self, relation: &str, tuple: &Tuple, out: &mut Vec<PredicateId>) {
-        let from = out.len();
-        let Some(ri) = self.relations.get(relation) else {
-            return;
-        };
-        ri.collect_partial(tuple, out);
-        residual_filter(&self.store, tuple, out, from);
+    fn match_into(
+        &self,
+        relation: &str,
+        tuple: &Tuple,
+        out: &mut Vec<PredicateId>,
+        metrics: &IndexMetrics,
+    ) {
+        match_into_metered(&self.relations, &self.store, metrics, relation, tuple, out);
     }
 
     fn insert_bound(
@@ -156,6 +159,11 @@ pub struct ShardedPredicateIndex {
     mask: usize,
     next_id: AtomicU32,
     mode: BalanceMode,
+    /// Disabled by default; swapped by [`attach_registry`]
+    /// (holds one lock-wait counter per shard).
+    ///
+    /// [`attach_registry`]: ShardedPredicateIndex::attach_registry
+    metrics: Arc<IndexMetrics>,
 }
 
 impl Default for ShardedPredicateIndex {
@@ -188,7 +196,27 @@ impl ShardedPredicateIndex {
             mask: n - 1,
             next_id: AtomicU32::new(0),
             mode,
+            metrics: IndexMetrics::disabled(),
         }
+    }
+
+    /// Starts recording match-path and lock-wait metrics into
+    /// `registry`; per-shard lock-wait counters are minted for every
+    /// shard. Until this is called the index runs with the no-op
+    /// bundle: one branch per would-be recording site.
+    pub fn attach_registry(&mut self, registry: &Arc<Registry>) {
+        self.metrics = IndexMetrics::from_registry(registry, self.shards.len());
+    }
+
+    /// The Figure 1 EXPLAIN: the exact path `tuple` takes through the
+    /// owning shard, with per-stage work counts and every residual-test
+    /// outcome. Takes the shard's read lock like a normal match.
+    pub fn explain_tuple(&self, relation: &str, tuple: &Tuple) -> MatchTrace {
+        let sid = self.shard_of(relation);
+        let shard = self.shards[sid].read().expect("shard lock poisoned");
+        let mut trace = explain_match(&shard.relations, &shard.store, relation, tuple);
+        trace.shard = Some(sid);
+        trace
     }
 
     /// Number of shards (always a power of two).
@@ -212,7 +240,9 @@ impl ShardedPredicateIndex {
     ) -> Result<PredicateId, IndexError> {
         let stored = StoredPredicate::bind(pred, catalog)?;
         let sid = self.shard_of(stored.bound.relation());
+        let wait = self.metrics.lock_timer();
         let mut shard = self.shards[sid].write().expect("shard lock poisoned");
+        self.metrics.record_lock_wait(sid, wait);
         // Allocate under the shard lock so the single-threaded id
         // sequence is exactly PredicateIndex's (0, 1, 2, ...).
         let id = PredicateId(self.next_id.fetch_add(1, Ordering::Relaxed));
@@ -248,7 +278,9 @@ impl ShardedPredicateIndex {
             if group.is_empty() {
                 continue;
             }
+            let wait = self.metrics.lock_timer();
             let mut shard = self.shards[sid].write().expect("shard lock poisoned");
+            self.metrics.record_lock_wait(sid, wait);
             for (id, stored) in group {
                 shard.insert_bound(id, stored, catalog, self.mode);
             }
@@ -280,10 +312,11 @@ impl ShardedPredicateIndex {
     /// Matching ids appended into a caller-owned buffer (hot path).
     /// Takes a single shard's read lock; never blocks other readers.
     pub fn match_tuple_into(&self, relation: &str, tuple: &Tuple, out: &mut Vec<PredicateId>) {
-        let shard = self.shards[self.shard_of(relation)]
-            .read()
-            .expect("shard lock poisoned");
-        shard.match_into(relation, tuple, out);
+        let sid = self.shard_of(relation);
+        let wait = self.metrics.lock_timer();
+        let shard = self.shards[sid].read().expect("shard lock poisoned");
+        self.metrics.record_lock_wait(sid, wait);
+        shard.match_into(relation, tuple, out, &self.metrics);
     }
 
     /// Matches every `(relation, tuple)` pair, fanning out across up to
@@ -305,6 +338,7 @@ impl ShardedPredicateIndex {
         threads: usize,
     ) -> Vec<Vec<PredicateId>> {
         let mut out: Vec<Vec<PredicateId>> = batch.iter().map(|_| Vec::new()).collect();
+        self.metrics.record_batch(batch.len() as u64);
         let threads = threads.clamp(1, batch.len().max(1));
         if threads == 1 {
             self.match_chunk(batch, &mut out);
@@ -333,11 +367,13 @@ impl ShardedPredicateIndex {
         // one shard configured; the common case for single-relation
         // workloads like §5.2): one lock, no grouping pass.
         if sids.iter().all(|&s| s == sids[0]) {
+            let wait = self.metrics.lock_timer();
             let shard = self.shards[sids[0] as usize]
                 .read()
                 .expect("shard lock poisoned");
+            self.metrics.record_lock_wait(sids[0] as usize, wait);
             for ((relation, tuple), slot) in items.iter().zip(out.iter_mut()) {
-                shard.match_into(relation, tuple, slot);
+                shard.match_into(relation, tuple, slot, &self.metrics);
             }
             return;
         }
@@ -347,16 +383,18 @@ impl ShardedPredicateIndex {
         let mut at = 0;
         while at < order.len() {
             let sid = sids[order[at] as usize];
+            let wait = self.metrics.lock_timer();
             let shard = self.shards[sid as usize]
                 .read()
                 .expect("shard lock poisoned");
+            self.metrics.record_lock_wait(sid as usize, wait);
             while at < order.len() {
                 let i = order[at] as usize;
                 if sids[i] != sid {
                     break;
                 }
                 let (relation, tuple) = items[i];
-                shard.match_into(relation, tuple, &mut out[i]);
+                shard.match_into(relation, tuple, &mut out[i], &self.metrics);
                 at += 1;
             }
         }

@@ -88,12 +88,17 @@ impl fmt::Display for IndexStats {
 /// A heavily skewed `predicates` distribution means most write traffic
 /// contends on one lock (reads still scale: `RwLock` admits parallel
 /// readers).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShardStats {
     /// Shard number (`0..shard_count`).
     pub shard: usize,
     /// Predicates stored in this shard (including unsatisfiable ones).
     pub predicates: usize,
+    /// This shard's predicate count relative to the per-shard mean:
+    /// 1.0 everywhere is a perfectly balanced index, `shard_count` is
+    /// the worst case (every predicate behind one lock), and 0.0 is an
+    /// idle shard (also the value when the whole index is empty).
+    pub imbalance: f64,
     /// Relations hashed to this shard, sorted by name.
     pub relations: Vec<RelationStats>,
 }
@@ -102,9 +107,10 @@ impl fmt::Display for ShardStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "shard {}: {} predicates, {} relations",
+            "shard {}: {} predicates ({:.2}x mean), {} relations",
             self.shard,
             self.predicates,
+            self.imbalance,
             self.relations.len()
         )
     }
@@ -132,7 +138,7 @@ fn relation_stats(name: &str, ri: &crate::index::RelationIndex) -> RelationStats
 impl ShardedPredicateIndex {
     /// Per-shard structure snapshot (lock-occupancy diagnostics).
     pub fn shard_stats(&self) -> Vec<ShardStats> {
-        self.with_shards_read(|shard, relations, store| {
+        let mut stats = self.with_shards_read(|shard, relations, store| {
             let mut rels: Vec<RelationStats> = relations
                 .iter()
                 .map(|(name, ri)| relation_stats(name, ri))
@@ -141,9 +147,18 @@ impl ShardedPredicateIndex {
             ShardStats {
                 shard,
                 predicates: store.len(),
+                imbalance: 0.0,
                 relations: rels,
             }
-        })
+        });
+        let total: usize = stats.iter().map(|s| s.predicates).sum();
+        if total > 0 {
+            let mean = total as f64 / stats.len() as f64;
+            for s in &mut stats {
+                s.imbalance = s.predicates as f64 / mean;
+            }
+        }
+        stats
     }
 
     /// Whole-index snapshot in the same shape as
@@ -258,6 +273,68 @@ mod tests {
             vec!["dept", "emp", "proj"],
         );
         assert_eq!(merged.total_trees(), 3);
+    }
+
+    #[test]
+    fn skewed_workload_reports_imbalance() {
+        // Every predicate names the same relation, so they all hash to
+        // one shard: that shard's imbalance must be the worst case
+        // (shard_count x the mean) and every other shard must be idle.
+        let mut db = Database::new();
+        db.create_relation(Schema::builder("emp").attr("a", AttrType::Int).build())
+            .unwrap();
+        let sharded = crate::ShardedPredicateIndex::with_shards(4);
+        for lo in 0..12 {
+            sharded
+                .insert_shared(
+                    parse_predicate(&format!("emp.a > {lo}")).unwrap(),
+                    db.catalog(),
+                )
+                .unwrap();
+        }
+
+        let stats = sharded.shard_stats();
+        let hot = stats
+            .iter()
+            .find(|s| s.predicates == 12)
+            .expect("hot shard");
+        assert_eq!(hot.imbalance, 4.0);
+        for s in &stats {
+            if s.shard != hot.shard {
+                assert_eq!(s.predicates, 0);
+                assert_eq!(s.imbalance, 0.0);
+            }
+        }
+        assert!(hot.to_string().contains("(4.00x mean)"));
+    }
+
+    #[test]
+    fn balanced_workload_has_unit_imbalance() {
+        let mut db = Database::new();
+        for name in ["emp", "dept", "proj", "acct"] {
+            db.create_relation(Schema::builder(name).attr("a", AttrType::Int).build())
+                .unwrap();
+        }
+        // One shard holds everything when only one shard exists.
+        let one = crate::ShardedPredicateIndex::with_shards(1);
+        for rel in ["emp", "dept", "proj", "acct"] {
+            one.insert_shared(
+                parse_predicate(&format!("{rel}.a > 0")).unwrap(),
+                db.catalog(),
+            )
+            .unwrap();
+        }
+        let stats = one.shard_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].imbalance, 1.0);
+    }
+
+    #[test]
+    fn empty_index_has_zero_imbalance() {
+        let sharded = crate::ShardedPredicateIndex::with_shards(4);
+        for s in sharded.shard_stats() {
+            assert_eq!(s.imbalance, 0.0);
+        }
     }
 
     #[test]

@@ -13,10 +13,12 @@
 //! processed"); §6 sketches the two-layer network that would sit on top.
 
 use crate::rule::{Action, DbOp, Rule, RuleContext, RuleId};
-use predindex::{IndexError, Matcher, PredicateId, ShardedPredicateIndex};
+use predindex::{IndexError, MatchTrace, Matcher, PredicateId, ShardedPredicateIndex};
 use relation::fx::FnvHashMap;
 use relation::{CatalogError, Database, Relation, Schema, Tuple, TupleEvent, TupleId, Value};
 use std::fmt;
+use std::sync::Arc;
+use telemetry::{Counter, Histogram, Registry};
 
 /// Errors from engine operations.
 #[derive(Debug)]
@@ -75,6 +77,39 @@ struct StoredRule {
     fired: u64,
 }
 
+/// The engine-level metric handles, pre-resolved at attach time.
+/// Disabled handles (the default) cost one branch per recording site.
+struct EngineMetrics {
+    /// Rule firings across all chains.
+    fired: Counter,
+    /// Database operations applied (external + cascaded).
+    ops: Counter,
+    /// Levels per recognize-act chain (1 = no cascading).
+    cascade_depth: Histogram,
+    /// Events matched per chain level.
+    events_per_level: Histogram,
+}
+
+impl EngineMetrics {
+    fn disabled() -> Self {
+        EngineMetrics {
+            fired: Counter::disabled(),
+            ops: Counter::disabled(),
+            cascade_depth: Histogram::disabled(),
+            events_per_level: Histogram::disabled(),
+        }
+    }
+
+    fn from_registry(registry: &Arc<Registry>) -> Self {
+        EngineMetrics {
+            fired: registry.counter("rules_fired_total"),
+            ops: registry.counter("rules_ops_applied_total"),
+            cascade_depth: registry.histogram("rules_cascade_depth"),
+            events_per_level: registry.histogram("rules_events_per_level"),
+        }
+    }
+}
+
 /// The engine: a [`Database`] plus rules indexed by a
 /// [`ShardedPredicateIndex`] — the concurrent front-end over the
 /// paper's index, so each recognize-act cycle batch-matches every event
@@ -88,10 +123,14 @@ pub struct RuleEngine {
     log: Vec<String>,
     firing_limit: usize,
     total_fired: u64,
+    registry: Arc<Registry>,
+    metrics: EngineMetrics,
 }
 
 impl RuleEngine {
-    /// Wraps a database with an empty rule set.
+    /// Wraps a database with an empty rule set. Metrics start disabled;
+    /// see [`with_metrics`](Self::with_metrics) and
+    /// [`attach_metrics`](Self::attach_metrics).
     pub fn new(db: Database) -> Self {
         RuleEngine {
             db,
@@ -102,7 +141,38 @@ impl RuleEngine {
             log: Vec::new(),
             firing_limit: 10_000,
             total_fired: 0,
+            registry: Arc::new(Registry::disabled()),
+            metrics: EngineMetrics::disabled(),
         }
+    }
+
+    /// [`new`](Self::new) with a live metrics registry already attached
+    /// — the one-liner for "give me an observable engine".
+    pub fn with_metrics(db: Database) -> Self {
+        let mut engine = Self::new(db);
+        engine.attach_metrics(Arc::new(Registry::new()));
+        engine
+    }
+
+    /// Points the engine (and its predicate index) at `registry`. All
+    /// engine- and index-level metric families are recorded there from
+    /// now on; pass `Registry::disabled()` to turn recording back off.
+    pub fn attach_metrics(&mut self, registry: Arc<Registry>) {
+        self.metrics = if registry.is_enabled() {
+            EngineMetrics::from_registry(&registry)
+        } else {
+            EngineMetrics::disabled()
+        };
+        self.index.attach_registry(&registry);
+        self.registry = registry;
+    }
+
+    /// The metrics registry — render it with
+    /// [`Registry::render_text`] or query individual values. Disabled
+    /// (empty) unless [`attach_metrics`](Self::attach_metrics) /
+    /// [`with_metrics`](Self::with_metrics) was used.
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Changes the per-mutation firing limit (runaway-chain guard).
@@ -281,6 +351,37 @@ impl RuleEngine {
         self.chain(ev)
     }
 
+    /// [`insert`](Self::insert) with an EXPLAIN trace: inserts the
+    /// tuple, records the exact Figure 1 path it takes through the
+    /// predicate index (relation hash, per-attribute IBS-tree stabs
+    /// with attribute names from the schema, non-indexable sweep, every
+    /// residual-test outcome), then runs the rule chain as usual.
+    ///
+    /// The trace covers the seed tuple's matching stage only — cascaded
+    /// events match through the ordinary counted path.
+    pub fn explain_insert(
+        &mut self,
+        relation: &str,
+        values: Vec<Value>,
+    ) -> Result<(MatchTrace, FireReport), EngineError> {
+        let ev = self.db.insert_event(relation, values)?;
+        let TupleEvent::Inserted { tuple, .. } = &ev else {
+            unreachable!("insert_event yields Inserted")
+        };
+        let mut trace = self.index.explain_tuple(relation, tuple);
+        // The index speaks schema positions; the engine knows names.
+        if let Some(rel) = self.db.catalog().relation(relation) {
+            let attrs = rel.schema().attributes();
+            for stab in &mut trace.stabs {
+                if let Some(a) = attrs.get(stab.attr) {
+                    stab.attr_name = a.name.clone();
+                }
+            }
+        }
+        let report = self.chain(ev)?;
+        Ok((trace, report))
+    }
+
     /// Updates a tuple and runs the rule chain it triggers.
     pub fn update(
         &mut self,
@@ -331,7 +432,10 @@ impl RuleEngine {
     /// batch.
     fn chain_level(&mut self, mut level: Vec<TupleEvent>) -> Result<FireReport, EngineError> {
         let mut report = FireReport::default();
+        let mut depth = 0u64;
         while !level.is_empty() {
+            depth += 1;
+            self.metrics.events_per_level.record(level.len() as u64);
             // The tuple to match: the post-state for insert/update, the
             // removed tuple for delete (so cleanup rules can see it).
             let batch: Vec<(&str, &Tuple)> = level
@@ -351,6 +455,7 @@ impl RuleEngine {
             let mut next: Vec<TupleEvent> = Vec::new();
             for (event, matched) in level.iter().zip(matches) {
                 report.ops_applied += 1;
+                self.metrics.ops.inc();
 
                 // Build the agenda: one instantiation per *rule* (a rule
                 // whose DNF has several matching disjuncts still fires
@@ -380,6 +485,7 @@ impl RuleEngine {
             }
             level = next;
         }
+        self.metrics.cascade_depth.record(depth);
         Ok(report)
     }
 
@@ -402,6 +508,7 @@ impl RuleEngine {
         let action = stored.rule.action.clone();
         stored.fired += 1;
         self.total_fired += 1;
+        self.metrics.fired.inc();
         report.fired.push((RuleId(rid), rule_name.clone()));
 
         let mut ops = Vec::new();
@@ -546,6 +653,8 @@ impl RuleEngine {
             log,
             firing_limit: 10_000,
             total_fired,
+            registry: Arc::new(Registry::disabled()),
+            metrics: EngineMetrics::disabled(),
         })
     }
 }

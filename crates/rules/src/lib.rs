@@ -43,6 +43,10 @@ mod rule;
 
 pub use engine::{EngineError, FireReport, RuleEngine};
 pub use rule::{Action, DbOp, EventMask, Rule, RuleBuilder, RuleContext, RuleId};
+// The observability vocabulary, re-exported so applications can hold
+// traces and registries without naming the lower crates.
+pub use predindex::{MatchTrace, ResidualTrace, StabTrace};
+pub use telemetry::Registry;
 
 #[cfg(test)]
 mod tests {
@@ -797,5 +801,123 @@ mod drop_restore_tests {
             .add_rule(Rule::builder("c").when("emp.x = 0").unwrap().build())
             .unwrap();
         assert_eq!(next, RuleId(e.next_rule_id()));
+    }
+
+    #[test]
+    fn metrics_count_firings_cascades_and_match_work() {
+        let mut db = Database::new();
+        db.create_relation(
+            Schema::builder("emp")
+                .attr("name", AttrType::Str)
+                .attr("age", AttrType::Int)
+                .attr("salary", AttrType::Int)
+                .build(),
+        )
+        .unwrap();
+        db.create_relation(
+            Schema::builder("alerts")
+                .attr("message", AttrType::Str)
+                .attr("level", AttrType::Int)
+                .build(),
+        )
+        .unwrap();
+        let mut e = RuleEngine::with_metrics(db);
+        e.add_rule(
+            Rule::builder("raise-alert")
+                .when("emp.salary < 1000")
+                .unwrap()
+                .then(Action::callback(|ctx| {
+                    ctx.queue(DbOp::Insert {
+                        relation: "alerts".into(),
+                        values: vec![Value::str("underpaid"), Value::Int(2)],
+                    });
+                }))
+                .build(),
+        )
+        .unwrap();
+        e.add_rule(
+            Rule::builder("escalate")
+                .when("alerts.level >= 2")
+                .unwrap()
+                .then(Action::log("escalated"))
+                .build(),
+        )
+        .unwrap();
+
+        e.insert(
+            "emp",
+            vec![Value::str("al"), Value::Int(30), Value::Int(500)],
+        )
+        .unwrap();
+
+        let m = e.metrics();
+        assert_eq!(m.counter_value("rules_fired_total"), Some(2));
+        // 1 external insert + 1 cascaded alert insert.
+        assert_eq!(m.counter_value("rules_ops_applied_total"), Some(2));
+        // One chain, two levels deep, one event per level.
+        assert_eq!(m.histogram_totals("rules_cascade_depth"), Some((1, 2)));
+        assert_eq!(m.histogram_totals("rules_events_per_level"), Some((2, 2)));
+        // The index recorded through the same registry: both tuples
+        // were matched, and the emp stab did real IBS-tree work.
+        assert_eq!(m.counter_value("predindex_match_tuples_total"), Some(2));
+        assert!(
+            m.counter_value("predindex_ibs_nodes_visited_total")
+                .unwrap()
+                >= 1
+        );
+        let text = m.render_text();
+        assert!(text.contains("rules_fired_total 2"));
+        assert!(text.contains("predindex_shard_lock_wait_nanos_total{shard="));
+    }
+
+    #[test]
+    fn explain_insert_traces_the_match_and_still_chains() {
+        let mut db = Database::new();
+        db.create_relation(
+            Schema::builder("emp")
+                .attr("name", AttrType::Str)
+                .attr("age", AttrType::Int)
+                .attr("salary", AttrType::Int)
+                .build(),
+        )
+        .unwrap();
+        let mut e = RuleEngine::new(db);
+        e.add_rule(
+            Rule::builder("senior-underpaid")
+                .when("emp.age > 60 and emp.salary < 20000")
+                .unwrap()
+                .then(Action::log("flagged"))
+                .build(),
+        )
+        .unwrap();
+        e.add_rule(
+            Rule::builder("rich")
+                .when("emp.salary >= 90000")
+                .unwrap()
+                .then(Action::log("rich"))
+                .build(),
+        )
+        .unwrap();
+
+        let (trace, report) = e
+            .explain_insert(
+                "emp",
+                vec![Value::str("al"), Value::Int(65), Value::Int(12_000)],
+            )
+            .unwrap();
+        assert_eq!(report.fired.len(), 1);
+        assert!(trace.relation_indexed);
+        assert!(trace.shard.is_some());
+        // Attribute names come from the schema, not positions.
+        let names: Vec<&str> = trace.stabs.iter().map(|s| s.attr_name.as_str()).collect();
+        assert!(names.contains(&"age") || names.contains(&"salary"));
+        // Only senior-underpaid partially matches, and it passes.
+        assert_eq!(trace.partial_matches(), 1);
+        assert_eq!(trace.matched().len(), 1);
+        let shown = trace.to_string();
+        assert!(shown.contains("EXPLAIN match emp"));
+        assert!(shown.contains("residual tests"));
+        // The tuple really was inserted and the chain really ran.
+        assert!(e.log()[0].contains("flagged"));
     }
 }

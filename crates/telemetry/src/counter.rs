@@ -1,0 +1,67 @@
+//! Lock-free monotone counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A cheap, clonable handle to one monotone counter.
+///
+/// The handle carries its enabled flag by value, so a disabled counter
+/// costs exactly one predictable branch per [`Counter::add`] — no
+/// atomic traffic, no pointer chase. Handles from a disabled
+/// [`Registry`](crate::Registry) (or from [`Counter::disabled`]) share
+/// a cell that is never read, so instrumented code needs no `Option`
+/// plumbing: it always holds a handle and always calls it.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    enabled: bool,
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A live counter starting at zero.
+    pub(crate) fn live() -> Counter {
+        Counter {
+            enabled: true,
+            cell: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// A permanently no-op counter (the swappable disabled recorder).
+    pub fn disabled() -> Counter {
+        Counter {
+            enabled: false,
+            cell: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Does this handle record anything?
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Adds `n`. Disabled: a branch and nothing else.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.enabled {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 forever on a disabled handle).
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::disabled()
+    }
+}

@@ -1,0 +1,130 @@
+//! Fixed-bucket latency/size histograms.
+//!
+//! Buckets are powers of two: bucket 0 holds the value 0 and bucket
+//! `i ≥ 1` holds values whose bit length is `i`, i.e. the closed range
+//! `[2^(i-1), 2^i - 1]`. Every `u64` lands in exactly one of the 65
+//! buckets (`u64::MAX` has bit length 64), recording is one `leading_
+//! zeros` plus two relaxed atomic adds, and rendering needs no
+//! configuration — the scheme covers nanoseconds to tens of gigabytes
+//! at ~2× resolution, which is all a cost counter needs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Number of buckets: the value 0 plus one per bit length 1..=64.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+#[derive(Debug)]
+pub(crate) struct HistogramCells {
+    pub(crate) buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    pub(crate) sum: AtomicU64,
+    pub(crate) count: AtomicU64,
+}
+
+impl Default for HistogramCells {
+    fn default() -> Self {
+        HistogramCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A cheap, clonable handle to one power-of-two histogram.
+///
+/// Like [`Counter`](crate::Counter), the enabled flag travels in the
+/// handle: a disabled histogram costs one branch per record.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    enabled: bool,
+    cells: Arc<HistogramCells>,
+}
+
+/// The bucket index `v` falls into.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    debug_assert!(i < HISTOGRAM_BUCKETS);
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// A live histogram with empty buckets.
+    pub(crate) fn live() -> Histogram {
+        Histogram {
+            enabled: true,
+            cells: Arc::new(HistogramCells::default()),
+        }
+    }
+
+    /// A permanently no-op histogram.
+    pub fn disabled() -> Histogram {
+        Histogram {
+            enabled: false,
+            cells: Arc::new(HistogramCells::default()),
+        }
+    }
+
+    /// Does this handle record anything?
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one observation. Disabled: a branch and nothing else.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if self.enabled {
+            self.cells.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            self.cells.sum.fetch_add(v, Ordering::Relaxed);
+            self.cells.count.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Starts a wall-clock measurement, or `None` when disabled — so
+    /// the disabled path never even reads the clock.
+    #[inline]
+    pub fn start_timer(&self) -> Option<Instant> {
+        self.enabled.then(Instant::now)
+    }
+
+    /// Records the elapsed nanoseconds of a [`Histogram::start_timer`]
+    /// measurement (saturating at `u64::MAX`).
+    #[inline]
+    pub fn stop_timer(&self, started: Option<Instant>) {
+        if let Some(t0) = started {
+            self.record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.cells.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.cells.sum.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the per-bucket counts.
+    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.cells.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::disabled()
+    }
+}

@@ -67,6 +67,7 @@ pub use predindex;
 pub use relation;
 pub use rtree;
 pub use rules;
+pub use telemetry;
 
 /// One-stop imports for examples and applications.
 pub mod prelude {
@@ -76,4 +77,5 @@ pub mod prelude {
     pub use crate::predindex::{Matcher, PredicateIndex, ShardedPredicateIndex};
     pub use crate::relation::{AttrType, Catalog, Database, Schema, Tuple, Value};
     pub use crate::rules::{Action, Rule, RuleEngine};
+    pub use crate::telemetry::{MatchTrace, Registry};
 }

@@ -1,0 +1,158 @@
+//! EXPLAIN traces and metrics counters, checked against a hand-run of
+//! the Figure-1 match path.
+//!
+//! The predicate set is built so every stage has a knowable cost: each
+//! indexed attribute carries exactly one interval (a one-node,
+//! height-one IBS tree), so the stab must visit one node and scan one
+//! mark, and the function predicate must land on the non-indexable
+//! list and be swept on every match.
+
+use predmatch::prelude::*;
+
+/// `emp(name, age, salary)` with three rules:
+/// * `underpaid`:  emp.salary < 20000   — salary tree, one interval
+/// * `senior`:     emp.age > 50         — age tree, one interval
+/// * `odd-age`:    isodd(emp.age)       — non-indexable
+fn engine() -> RuleEngine {
+    let mut db = Database::new();
+    db.create_relation(
+        Schema::builder("emp")
+            .attr("name", AttrType::Str)
+            .attr("age", AttrType::Int)
+            .attr("salary", AttrType::Int)
+            .build(),
+    )
+    .unwrap();
+    let mut engine = RuleEngine::with_metrics(db);
+    for (name, cond, msg) in [
+        ("underpaid", "emp.salary < 20000", "below 20k"),
+        ("senior", "emp.age > 50", "over 50"),
+        ("odd-age", "isodd(emp.age)", "odd age"),
+    ] {
+        engine
+            .add_rule(
+                Rule::builder(name)
+                    .when(cond)
+                    .unwrap()
+                    .then(Action::log(msg))
+                    .build(),
+            )
+            .unwrap();
+    }
+    engine
+}
+
+fn tuple() -> Vec<Value> {
+    // age 60: stabs the age tree above 50 but fails isodd; salary
+    // 12000 stabs the salary tree below 20000.
+    vec![Value::str("al"), Value::Int(60), Value::Int(12_000)]
+}
+
+#[test]
+fn explain_counts_match_a_hand_computed_stab() {
+    let mut engine = engine();
+    let (trace, report) = engine.explain_insert("emp", tuple()).unwrap();
+
+    // Stage 1: relation hash found the second-level index on a shard.
+    assert_eq!(trace.relation, "emp");
+    assert!(trace.relation_indexed);
+    assert!(trace.shard.is_some());
+
+    // Stage 2: one stab per indexed attribute, in attribute order.
+    // Each tree holds a single interval, hence exactly one node
+    // visited and one mark scanned per stab.
+    assert_eq!(trace.stabs.len(), 2);
+    let age = &trace.stabs[0];
+    assert_eq!((age.attr, age.attr_name.as_str()), (1, "age"));
+    assert_eq!(age.nodes_visited, 1);
+    assert_eq!(age.marks_scanned, 1);
+    assert_eq!(age.greater_hits, 1); // 60 is right of the node key 50
+    assert_eq!(age.less_hits + age.eq_hits + age.universal_hits, 0);
+    assert_eq!((age.tree_intervals, age.tree_height), (1, 1));
+    let salary = &trace.stabs[1];
+    assert_eq!((salary.attr, salary.attr_name.as_str()), (2, "salary"));
+    assert_eq!(salary.nodes_visited, 1);
+    assert_eq!(salary.marks_scanned, 1);
+    assert_eq!(salary.less_hits, 1); // 12000 is left of the node key 20000
+    assert_eq!(
+        salary.greater_hits + salary.eq_hits + salary.universal_hits,
+        0
+    );
+    assert_eq!((salary.tree_intervals, salary.tree_height), (1, 1));
+
+    // Stage 3: the lone function predicate is swept sequentially.
+    assert_eq!(trace.non_indexable_scanned, 1);
+
+    // Stage 4: three partial matches, residual-tested; isodd(60) fails.
+    assert_eq!(trace.partial_matches(), 3);
+    assert_eq!(trace.residual.len(), 3);
+    assert_eq!(trace.matched().len(), 2);
+    let failed: Vec<&str> = trace
+        .residual
+        .iter()
+        .filter(|r| !r.pass)
+        .map(|r| r.source.as_str())
+        .collect();
+    assert_eq!(failed, ["isodd(emp.age)"]);
+
+    // Aggregates and the two rules the insert actually fired.
+    assert_eq!(trace.nodes_visited(), 2);
+    assert_eq!(trace.marks_scanned(), 2);
+    let mut fired: Vec<&str> = report.fired.iter().map(|(_, n)| n.as_str()).collect();
+    fired.sort_unstable();
+    assert_eq!(fired, ["senior", "underpaid"]);
+
+    // The rendering names every stage and the §5.2 cost terms.
+    let text = trace.to_string();
+    for needle in [
+        "EXPLAIN match emp",
+        "attr age",
+        "attr salary",
+        "non-indexable",
+        "residual tests",
+        "3 partial match(es) -> 2 full match(es)",
+        "ibs_nodes=2",
+        "residual_tests=3",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+}
+
+#[test]
+fn counters_agree_with_the_explain_trace() {
+    let mut engine = engine();
+    let (trace, _) = engine.explain_insert("emp", tuple()).unwrap();
+    let registry = engine.metrics().clone();
+
+    let before = |name: &str| registry.counter_value(name).unwrap_or(0);
+    let nodes0 = before("predindex_ibs_nodes_visited_total");
+    let marks0 = before("predindex_ibs_marks_scanned_total");
+    let sweeps0 = before("predindex_non_indexable_scanned_total");
+    let tests0 = before("predindex_residual_tests_total");
+    let passes0 = before("predindex_residual_passes_total");
+
+    // A plain insert of the same tuple performs exactly the work the
+    // trace describes: the counters must advance by the trace's counts.
+    engine.insert("emp", tuple()).unwrap();
+    let delta = |name: &str, base: u64| before(name) - base;
+    assert_eq!(
+        delta("predindex_ibs_nodes_visited_total", nodes0),
+        trace.nodes_visited()
+    );
+    assert_eq!(
+        delta("predindex_ibs_marks_scanned_total", marks0),
+        trace.marks_scanned()
+    );
+    assert_eq!(
+        delta("predindex_non_indexable_scanned_total", sweeps0),
+        trace.non_indexable_scanned as u64
+    );
+    assert_eq!(
+        delta("predindex_residual_tests_total", tests0),
+        trace.partial_matches() as u64
+    );
+    assert_eq!(
+        delta("predindex_residual_passes_total", passes0),
+        trace.matched().len() as u64
+    );
+}

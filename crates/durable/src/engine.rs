@@ -12,7 +12,7 @@
 //! compensation records.
 
 use crate::record::{ActionSpec, Record, RuleSpec};
-use crate::recovery::{build_rule, replay, ActionRegistry, RecoverError, WAL_FILE};
+use crate::recovery::{build_rule, replay_traced, ActionRegistry, RecoverError, WAL_FILE};
 use crate::snapshot::{capture, write_snapshot, SnapshotError, SNAPSHOT_FILE};
 use crate::wal::{SyncPolicy, Wal, WalMetrics};
 use predicate::FunctionRegistry;
@@ -22,7 +22,10 @@ use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use telemetry::{Counter, Histogram, Registry};
+use telemetry::{Counter, FlightRecorder, Histogram, Registry, Tracer};
+
+/// Subdirectory of a durable home where flight dumps land.
+pub const FLIGHT_DIR: &str = "flight";
 
 /// Durability knobs.
 #[derive(Debug, Clone, Copy)]
@@ -151,6 +154,9 @@ pub struct DurableRuleEngine {
     /// Re-applied to each fresh log a truncation creates.
     wal_metrics: WalMetrics,
     metrics: DurableMetrics,
+    tracer: Tracer,
+    /// Post-mortem dumps into `dir/flight/`.
+    recorder: Arc<FlightRecorder>,
 }
 
 impl DurableRuleEngine {
@@ -183,9 +189,43 @@ impl DurableRuleEngine {
         opts: Options,
         registry: Arc<Registry>,
     ) -> Result<Self, DurableError> {
+        Self::open_with_telemetry(dir, funcs, actions, opts, registry, Tracer::disabled())
+    }
+
+    /// [`open_with_metrics`](Self::open_with_metrics) plus a span
+    /// tracer, which makes the engine fully observable: cascade, match,
+    /// WAL, snapshot, and recovery phases all emit spans into
+    /// `tracer`'s ring, and the ring doubles as a flight recorder — if
+    /// recovery refuses a corrupt snapshot, a post-mortem dump (the
+    /// recovery spans plus the metric exposition) is written under
+    /// `dir/flight/` before the error is returned.
+    pub fn open_with_telemetry(
+        dir: impl Into<PathBuf>,
+        funcs: FunctionRegistry,
+        actions: ActionRegistry,
+        opts: Options,
+        registry: Arc<Registry>,
+        tracer: Tracer,
+    ) -> Result<Self, DurableError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        let recovered = replay(&dir, &funcs, &actions)?;
+        let recorder = Arc::new(FlightRecorder::new(
+            tracer.clone(),
+            registry.clone(),
+            dir.join(FLIGHT_DIR),
+        ));
+        let recovered = match replay_traced(&dir, &funcs, &actions, &tracer) {
+            Ok(r) => r,
+            Err(e) => {
+                // A torn-WAL tail is tolerated silently; a Corrupt
+                // refusal means the snapshot itself is damaged — ship
+                // the recovery spans as context for the post-mortem.
+                if matches!(e, RecoverError::Corrupt { .. }) {
+                    let _ = recorder.dump("recovery-corrupt");
+                }
+                return Err(e.into());
+            }
+        };
         if registry.is_enabled() {
             registry
                 .counter("durable_recovery_frames_total")
@@ -198,12 +238,11 @@ impl DurableRuleEngine {
         )?;
         write_snapshot(&dir, &snap)?;
         let mut engine = recovered.engine;
-        engine.attach_metrics(registry.clone());
-        let wal_metrics = if registry.is_enabled() {
-            WalMetrics::from_registry(&registry)
-        } else {
-            WalMetrics::disabled()
-        };
+        engine.attach_telemetry(registry.clone(), tracer.clone());
+        // A disabled registry hands out disabled counters, so this is
+        // safe either way and keeps the tracer live when only spans
+        // are on.
+        let wal_metrics = WalMetrics::from_parts(&registry, tracer.clone());
         let metrics = if registry.is_enabled() {
             DurableMetrics::from_registry(&registry)
         } else {
@@ -222,6 +261,8 @@ impl DurableRuleEngine {
             since_snapshot: 0,
             wal_metrics,
             metrics,
+            tracer,
+            recorder,
         })
     }
 
@@ -409,6 +450,7 @@ impl DurableRuleEngine {
     /// snapshot file covers every operation ever applied, and the WAL
     /// is empty.
     pub fn snapshot(&mut self) -> Result<(), DurableError> {
+        let _span = self.tracer.span("durable_snapshot");
         let timer = self.metrics.snapshot_nanos.start_timer();
         let last = self.wal.next_seq() - 1;
         let snap = capture(&self.engine, &self.specs, last)?;
@@ -434,5 +476,47 @@ impl DurableRuleEngine {
     pub fn sync(&mut self) -> Result<(), DurableError> {
         self.wal.sync()?;
         Ok(())
+    }
+
+    /// The span tracer the engine emits into — disabled unless opened
+    /// through [`open_with_telemetry`](Self::open_with_telemetry).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The flight recorder bound to this engine's trace ring and
+    /// registry. Dumps land under `dir/flight/`.
+    pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// Writes a post-mortem dump (recent spans + metric exposition) to
+    /// `dir/flight/` and returns its path.
+    pub fn dump_flight(&self, reason: &str) -> Result<PathBuf, DurableError> {
+        Ok(self.recorder.dump(reason)?)
+    }
+
+    /// A small line-oriented liveness report, suitable as the `/health`
+    /// body of a [`telemetry::serve`] exposition server:
+    ///
+    /// ```text
+    /// up 1
+    /// wal_next_seq 42
+    /// rules 3
+    /// shard_imbalance_max 1.25
+    /// ```
+    pub fn health_text(&self) -> String {
+        let imbalance = self
+            .engine
+            .shard_stats()
+            .iter()
+            .map(|s| s.imbalance)
+            .fold(0.0_f64, f64::max);
+        format!(
+            "up 1\nwal_next_seq {}\nrules {}\nshard_imbalance_max {:.2}\n",
+            self.wal.next_seq(),
+            self.engine.rules().count(),
+            imbalance
+        )
     }
 }

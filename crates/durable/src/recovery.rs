@@ -168,6 +168,20 @@ pub fn replay(
     funcs: &FunctionRegistry,
     actions: &ActionRegistry,
 ) -> Result<Recovered, RecoverError> {
+    replay_traced(dir, funcs, actions, &telemetry::Tracer::disabled())
+}
+
+/// [`replay`] with span tracing: the snapshot load and the WAL-suffix
+/// replay each get a span in `tracer`'s ring, so a recovery that ends
+/// in a `Corrupt` refusal leaves its last steps in the flight
+/// recorder.
+pub fn replay_traced(
+    dir: &Path,
+    funcs: &FunctionRegistry,
+    actions: &ActionRegistry,
+    tracer: &telemetry::Tracer,
+) -> Result<Recovered, RecoverError> {
+    let snapshot_span = tracer.span("recovery_snapshot_load");
     let (mut engine, mut action_specs, mut last_seq) = match read_snapshot(dir)? {
         Some(snap) => {
             let mut db = Database::new();
@@ -215,7 +229,9 @@ pub fn replay(
         }
         None => (RuleEngine::new(Database::new()), HashMap::new(), 0),
     };
+    drop(snapshot_span);
 
+    let replay_span = tracer.span("recovery_wal_replay");
     let suffix = read_wal(&dir.join(WAL_FILE))?;
     let mut frames_replayed = 0;
     for (seq, record) in suffix.records {
@@ -228,6 +244,13 @@ pub fn replay(
         last_seq = seq;
         frames_replayed += 1;
     }
+    drop(replay_span);
+    tracer.instant_with("recovery_done", || {
+        vec![
+            ("last_seq", last_seq.to_string()),
+            ("frames_replayed", frames_replayed.to_string()),
+        ]
+    });
 
     Ok(Recovered {
         engine,

@@ -31,7 +31,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use telemetry::{Counter, Histogram, Registry};
+use telemetry::{Counter, Histogram, Registry, Tracer};
 
 /// File magic for WAL files.
 pub const WAL_MAGIC: &[u8; 8] = b"PMWAL\0\0\0";
@@ -69,6 +69,9 @@ pub struct WalMetrics {
     /// `fdatasync` latency; its count is the fsync total
     /// (`wal_fsync_nanos`).
     fsync_nanos: Histogram,
+    /// Span tracer for `wal_append` / `wal_fsync` spans (disabled by
+    /// default, like the counters).
+    tracer: Tracer,
 }
 
 impl WalMetrics {
@@ -79,10 +82,17 @@ impl WalMetrics {
 
     /// Resolves the bundle against a registry (no-op if disabled).
     pub fn from_registry(registry: &Arc<Registry>) -> WalMetrics {
+        Self::from_parts(registry, Tracer::disabled())
+    }
+
+    /// [`from_registry`](Self::from_registry) plus a span tracer —
+    /// appends and fsyncs then emit `wal_append` / `wal_fsync` spans.
+    pub fn from_parts(registry: &Arc<Registry>, tracer: Tracer) -> WalMetrics {
         WalMetrics {
             appends: registry.counter("wal_appends_total"),
             append_bytes: registry.counter("wal_append_bytes_total"),
             fsync_nanos: registry.histogram("wal_fsync_nanos"),
+            tracer,
         }
     }
 }
@@ -151,6 +161,13 @@ impl Wal {
         let seq = self.next_seq;
         let payload = record.encode();
         let frame = encode_frame(seq, &payload);
+        // The handle is cloned so the span guard does not borrow
+        // `self` across the mutable `sync` call below (the fsync span
+        // still nests inside this one).
+        let tracer = self.metrics.tracer.clone();
+        let _span = tracer.span_with("wal_append", || {
+            vec![("seq", seq.to_string()), ("bytes", frame.len().to_string())]
+        });
         self.file.write_all(&frame)?;
         self.metrics.appends.inc();
         self.metrics.append_bytes.add(frame.len() as u64);
@@ -170,6 +187,7 @@ impl Wal {
 
     /// Forces everything appended so far to stable storage.
     pub fn sync(&mut self) -> io::Result<()> {
+        let _span = self.metrics.tracer.span("wal_fsync");
         let timer = self.metrics.fsync_nanos.start_timer();
         self.file.sync_data()?;
         self.metrics.fsync_nanos.stop_timer(timer);

@@ -34,7 +34,7 @@ use predicate::{BoundClause, Predicate};
 use relation::fx::FnvHashMap;
 use relation::{Catalog, Tuple, Value};
 use std::sync::Arc;
-use telemetry::{MatchTrace, Registry, ResidualTrace, StabTrace};
+use telemetry::{MatchTrace, Registry, ResidualTrace, StabTrace, Tracer};
 
 /// Where a registered predicate physically lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,14 +110,23 @@ pub(crate) fn match_into_metered(
     out: &mut Vec<PredicateId>,
 ) {
     let from = out.len();
+    let tracer = metrics.tracer();
     if let Some(ri) = relations.get(relation) {
-        if metrics.is_enabled() {
-            ri.collect_partial_metered(relation, tuple, out, metrics);
-        } else {
-            ri.collect_partial(tuple, out);
+        {
+            let _stab = tracer.span("predindex_stab");
+            if metrics.is_enabled() {
+                ri.collect_partial_metered(relation, tuple, out, metrics);
+            } else {
+                ri.collect_partial(tuple, out);
+            }
         }
         let partials = (out.len() - from) as u64;
-        residual_filter(store, tuple, out, from);
+        {
+            let _residual = tracer.span_with("predindex_residual", || {
+                vec![("partials", partials.to_string())]
+            });
+            residual_filter(store, tuple, out, from);
+        }
         metrics.record_match(relation, partials, (out.len() - from) as u64);
     } else {
         metrics.record_match(relation, 0, 0);
@@ -357,6 +366,13 @@ impl PredicateIndex {
     /// recording site.
     pub fn attach_registry(&mut self, registry: &Arc<Registry>) {
         self.metrics = IndexMetrics::from_registry(registry, 0);
+    }
+
+    /// [`attach_registry`](Self::attach_registry) plus a span tracer:
+    /// the match path additionally emits `predindex_stab` and
+    /// `predindex_residual` spans into `tracer`'s ring.
+    pub fn attach_telemetry(&mut self, registry: &Arc<Registry>, tracer: Tracer) {
+        self.metrics = IndexMetrics::from_parts(registry, 0, tracer);
     }
 
     /// The Figure 1 EXPLAIN: the exact path `tuple` takes through the

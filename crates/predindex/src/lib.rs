@@ -29,9 +29,9 @@ pub use memory::MatchMemory;
 pub use metrics::IndexMetrics;
 pub use sharded::{ShardedPredicateIndex, DEFAULT_SHARDS};
 pub use stats::{IndexStats, RelationStats, ShardStats, TreeStats};
-// Re-exported so downstream layers can speak the EXPLAIN types without
-// depending on `telemetry` directly.
-pub use telemetry::{MatchTrace, ResidualTrace, StabTrace};
+// Re-exported so downstream layers can speak the EXPLAIN and tracing
+// types without depending on `telemetry` directly.
+pub use telemetry::{MatchTrace, ResidualTrace, StabTrace, Tracer};
 
 #[cfg(test)]
 mod tests {

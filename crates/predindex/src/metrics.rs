@@ -12,7 +12,7 @@
 use relation::fx::FnvHashMap;
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
-use telemetry::{Counter, Histogram, Registry};
+use telemetry::{Counter, Histogram, Registry, Tracer};
 
 /// The stab-work counters of one `(relation, attribute)` IBS-tree.
 #[derive(Debug, Clone)]
@@ -27,6 +27,9 @@ pub struct IndexMetrics {
     enabled: bool,
     /// Present only when enabled — needed to mint lazy families.
     registry: Option<Arc<Registry>>,
+    /// Span tracer for the match path (independent of the counter
+    /// recorder: either can be enabled without the other).
+    tracer: Tracer,
     /// Tuples matched (`match_tuple*` calls, one per tuple).
     match_tuples: Counter,
     /// Residual (full-conjunction) tests run — one per partial match.
@@ -55,9 +58,15 @@ pub struct IndexMetrics {
 impl IndexMetrics {
     /// The no-op bundle every index starts with.
     pub fn disabled() -> Arc<IndexMetrics> {
-        Arc::new(IndexMetrics {
+        Arc::new(Self::inert(Tracer::disabled()))
+    }
+
+    /// No-op counters, but a caller-chosen tracer.
+    fn inert(tracer: Tracer) -> IndexMetrics {
+        IndexMetrics {
             enabled: false,
             registry: None,
+            tracer,
             match_tuples: Counter::disabled(),
             residual_tests: Counter::disabled(),
             residual_passes: Counter::disabled(),
@@ -69,19 +78,30 @@ impl IndexMetrics {
             shard_lock_wait: Vec::new(),
             per_relation: RwLock::new(FnvHashMap::default()),
             per_attr: RwLock::new(FnvHashMap::default()),
-        })
+        }
     }
 
     /// Resolves the bundle against a registry; `shards` counters are
     /// minted for per-shard lock-wait attribution (0 for the
     /// unsharded index). A disabled registry yields the no-op bundle.
     pub fn from_registry(registry: &Arc<Registry>, shards: usize) -> Arc<IndexMetrics> {
+        Self::from_parts(registry, shards, Tracer::disabled())
+    }
+
+    /// [`from_registry`](Self::from_registry) plus a span tracer. The
+    /// bundle is fully inert only when both recorders are disabled.
+    pub fn from_parts(
+        registry: &Arc<Registry>,
+        shards: usize,
+        tracer: Tracer,
+    ) -> Arc<IndexMetrics> {
         if !registry.is_enabled() {
-            return Self::disabled();
+            return Arc::new(Self::inert(tracer));
         }
         Arc::new(IndexMetrics {
             enabled: true,
             registry: Some(registry.clone()),
+            tracer,
             match_tuples: registry.counter("predindex_match_tuples_total"),
             residual_tests: registry.counter("predindex_residual_tests_total"),
             residual_passes: registry.counter("predindex_residual_passes_total"),
@@ -102,10 +122,17 @@ impl IndexMetrics {
         })
     }
 
-    /// Does this bundle record anything?
+    /// Does this bundle record counters? (The tracer is separate; see
+    /// [`tracer`](Self::tracer).)
     #[inline]
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// The span tracer threaded through the match path.
+    #[inline]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// One matched tuple: its partial-match count (= residual tests

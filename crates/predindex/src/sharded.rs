@@ -33,7 +33,7 @@ use relation::fx::FnvHashMap;
 use relation::{Catalog, Tuple};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, RwLock};
-use telemetry::{MatchTrace, Registry};
+use telemetry::{MatchTrace, Registry, Tracer};
 
 /// Default shard count; rounded up to a power of two internally.
 pub const DEFAULT_SHARDS: usize = 16;
@@ -208,6 +208,43 @@ impl ShardedPredicateIndex {
         self.metrics = IndexMetrics::from_registry(registry, self.shards.len());
     }
 
+    /// [`attach_registry`](Self::attach_registry) plus a span tracer:
+    /// lock acquisitions emit `shard_lock` spans and the match path
+    /// emits `predindex_stab`/`predindex_residual` spans into
+    /// `tracer`'s ring.
+    pub fn attach_telemetry(&mut self, registry: &Arc<Registry>, tracer: Tracer) {
+        self.metrics = IndexMetrics::from_parts(registry, self.shards.len(), tracer);
+    }
+
+    /// Span-wrapped shard-lock acquisition: times the wait for the
+    /// lock-wait histogram and brackets it with a `shard_lock` span.
+    fn lock_read(&self, sid: usize) -> std::sync::RwLockReadGuard<'_, Shard> {
+        let wait = self.metrics.lock_timer();
+        let guard = {
+            let _span = self
+                .metrics
+                .tracer()
+                .span_with("shard_lock", || vec![("shard", sid.to_string())]);
+            self.shards[sid].read().expect("shard lock poisoned")
+        };
+        self.metrics.record_lock_wait(sid, wait);
+        guard
+    }
+
+    /// [`lock_read`](Self::lock_read) for writers.
+    fn lock_write(&self, sid: usize) -> std::sync::RwLockWriteGuard<'_, Shard> {
+        let wait = self.metrics.lock_timer();
+        let guard = {
+            let _span = self
+                .metrics
+                .tracer()
+                .span_with("shard_lock", || vec![("shard", sid.to_string())]);
+            self.shards[sid].write().expect("shard lock poisoned")
+        };
+        self.metrics.record_lock_wait(sid, wait);
+        guard
+    }
+
     /// The Figure 1 EXPLAIN: the exact path `tuple` takes through the
     /// owning shard, with per-stage work counts and every residual-test
     /// outcome. Takes the shard's read lock like a normal match.
@@ -240,9 +277,7 @@ impl ShardedPredicateIndex {
     ) -> Result<PredicateId, IndexError> {
         let stored = StoredPredicate::bind(pred, catalog)?;
         let sid = self.shard_of(stored.bound.relation());
-        let wait = self.metrics.lock_timer();
-        let mut shard = self.shards[sid].write().expect("shard lock poisoned");
-        self.metrics.record_lock_wait(sid, wait);
+        let mut shard = self.lock_write(sid);
         // Allocate under the shard lock so the single-threaded id
         // sequence is exactly PredicateIndex's (0, 1, 2, ...).
         let id = PredicateId(self.next_id.fetch_add(1, Ordering::Relaxed));
@@ -278,9 +313,7 @@ impl ShardedPredicateIndex {
             if group.is_empty() {
                 continue;
             }
-            let wait = self.metrics.lock_timer();
-            let mut shard = self.shards[sid].write().expect("shard lock poisoned");
-            self.metrics.record_lock_wait(sid, wait);
+            let mut shard = self.lock_write(sid);
             for (id, stored) in group {
                 shard.insert_bound(id, stored, catalog, self.mode);
             }
@@ -313,9 +346,7 @@ impl ShardedPredicateIndex {
     /// Takes a single shard's read lock; never blocks other readers.
     pub fn match_tuple_into(&self, relation: &str, tuple: &Tuple, out: &mut Vec<PredicateId>) {
         let sid = self.shard_of(relation);
-        let wait = self.metrics.lock_timer();
-        let shard = self.shards[sid].read().expect("shard lock poisoned");
-        self.metrics.record_lock_wait(sid, wait);
+        let shard = self.lock_read(sid);
         shard.match_into(relation, tuple, out, &self.metrics);
     }
 
@@ -367,11 +398,7 @@ impl ShardedPredicateIndex {
         // one shard configured; the common case for single-relation
         // workloads like §5.2): one lock, no grouping pass.
         if sids.iter().all(|&s| s == sids[0]) {
-            let wait = self.metrics.lock_timer();
-            let shard = self.shards[sids[0] as usize]
-                .read()
-                .expect("shard lock poisoned");
-            self.metrics.record_lock_wait(sids[0] as usize, wait);
+            let shard = self.lock_read(sids[0] as usize);
             for ((relation, tuple), slot) in items.iter().zip(out.iter_mut()) {
                 shard.match_into(relation, tuple, slot, &self.metrics);
             }
@@ -383,11 +410,7 @@ impl ShardedPredicateIndex {
         let mut at = 0;
         while at < order.len() {
             let sid = sids[order[at] as usize];
-            let wait = self.metrics.lock_timer();
-            let shard = self.shards[sid as usize]
-                .read()
-                .expect("shard lock poisoned");
-            self.metrics.record_lock_wait(sid as usize, wait);
+            let shard = self.lock_read(sid as usize);
             while at < order.len() {
                 let i = order[at] as usize;
                 if sids[i] != sid {

@@ -13,12 +13,12 @@
 //! processed"); §6 sketches the two-layer network that would sit on top.
 
 use crate::rule::{Action, DbOp, Rule, RuleContext, RuleId};
-use predindex::{IndexError, MatchTrace, Matcher, PredicateId, ShardedPredicateIndex};
+use predindex::{IndexError, MatchTrace, Matcher, PredicateId, ShardStats, ShardedPredicateIndex};
 use relation::fx::FnvHashMap;
 use relation::{CatalogError, Database, Relation, Schema, Tuple, TupleEvent, TupleId, Value};
 use std::fmt;
 use std::sync::Arc;
-use telemetry::{Counter, Histogram, Registry};
+use telemetry::{Counter, Histogram, Registry, Tracer};
 
 /// Errors from engine operations.
 #[derive(Debug)]
@@ -125,6 +125,7 @@ pub struct RuleEngine {
     total_fired: u64,
     registry: Arc<Registry>,
     metrics: EngineMetrics,
+    tracer: Tracer,
 }
 
 impl RuleEngine {
@@ -143,6 +144,7 @@ impl RuleEngine {
             total_fired: 0,
             registry: Arc::new(Registry::disabled()),
             metrics: EngineMetrics::disabled(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -158,13 +160,35 @@ impl RuleEngine {
     /// engine- and index-level metric families are recorded there from
     /// now on; pass `Registry::disabled()` to turn recording back off.
     pub fn attach_metrics(&mut self, registry: Arc<Registry>) {
+        self.attach_telemetry(registry, Tracer::disabled());
+    }
+
+    /// [`attach_metrics`](Self::attach_metrics) plus a span tracer.
+    /// Every recognize-act chain records `cascade` / `cascade_level` /
+    /// `match_level` / `rule_fire` spans, and the predicate index adds
+    /// its `shard_lock` / `predindex_stab` / `predindex_residual`
+    /// spans, all into `tracer`'s shared ring.
+    pub fn attach_telemetry(&mut self, registry: Arc<Registry>, tracer: Tracer) {
         self.metrics = if registry.is_enabled() {
             EngineMetrics::from_registry(&registry)
         } else {
             EngineMetrics::disabled()
         };
-        self.index.attach_registry(&registry);
+        self.index.attach_telemetry(&registry, tracer.clone());
         self.registry = registry;
+        self.tracer = tracer;
+    }
+
+    /// The span tracer (disabled unless
+    /// [`attach_telemetry`](Self::attach_telemetry) supplied one).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Per-shard predicate-index structure (lock-occupancy and balance
+    /// diagnostics — the `/health` endpoint's imbalance source).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.index.shard_stats()
     }
 
     /// The metrics registry — render it with
@@ -433,8 +457,17 @@ impl RuleEngine {
     fn chain_level(&mut self, mut level: Vec<TupleEvent>) -> Result<FireReport, EngineError> {
         let mut report = FireReport::default();
         let mut depth = 0u64;
+        // Cheap handle copy so span guards don't hold a `self` borrow.
+        let tracer = self.tracer.clone();
+        let _cascade = tracer.span_with("cascade", || vec![("seeds", level.len().to_string())]);
         while !level.is_empty() {
             depth += 1;
+            let _level_span = tracer.span_with("cascade_level", || {
+                vec![
+                    ("level", depth.to_string()),
+                    ("events", level.len().to_string()),
+                ]
+            });
             self.metrics.events_per_level.record(level.len() as u64);
             // The tuple to match: the post-state for insert/update, the
             // removed tuple for delete (so cleanup rules can see it).
@@ -449,7 +482,11 @@ impl RuleEngine {
                     (event.relation(), tuple)
                 })
                 .collect();
-            let matches = self.index.match_batch(&batch);
+            let matches = {
+                let _match =
+                    tracer.span_with("match_level", || vec![("tuples", batch.len().to_string())]);
+                self.index.match_batch(&batch)
+            };
             drop(batch);
 
             let mut next: Vec<TupleEvent> = Vec::new();
@@ -510,6 +547,8 @@ impl RuleEngine {
         self.total_fired += 1;
         self.metrics.fired.inc();
         report.fired.push((RuleId(rid), rule_name.clone()));
+        let tracer = self.tracer.clone();
+        let _fire = tracer.span_with("rule_fire", || vec![("rule", rule_name.clone())]);
 
         let mut ops = Vec::new();
         match action {
@@ -655,6 +694,7 @@ impl RuleEngine {
             total_fired,
             registry: Arc::new(Registry::disabled()),
             metrics: EngineMetrics::disabled(),
+            tracer: Tracer::disabled(),
         })
     }
 }

@@ -45,8 +45,8 @@ pub use engine::{EngineError, FireReport, RuleEngine};
 pub use rule::{Action, DbOp, EventMask, Rule, RuleBuilder, RuleContext, RuleId};
 // The observability vocabulary, re-exported so applications can hold
 // traces and registries without naming the lower crates.
-pub use predindex::{MatchTrace, ResidualTrace, StabTrace};
-pub use telemetry::Registry;
+pub use predindex::{MatchTrace, ResidualTrace, ShardStats, StabTrace};
+pub use telemetry::{Registry, Tracer};
 
 #[cfg(test)]
 mod tests {

@@ -17,6 +17,12 @@
 //!   actually took (relation hash, per-attribute stab work, the
 //!   non-indexable sweep, residual pass/fail per predicate), rendered
 //!   as a human-readable report mirroring the paper's §5.2 cost table.
+//! * **Span tracing** — a [`Tracer`] ring of begin/end/instant events
+//!   with per-thread nesting and a Chrome trace-event JSON export
+//!   (Perfetto-loadable), the same disabled-path contract as the
+//!   registry. The ring doubles as a [`FlightRecorder`] post-mortem
+//!   buffer, and [`serve`] exposes `/metrics`, `/health`, and `/trace`
+//!   over a dependency-free HTTP responder.
 //!
 //! The crate is std-only and dependency-free; the relational layers
 //! (`predindex`, `rules`, `durable`) hold the handles and fill in the
@@ -47,12 +53,20 @@
 mod counter;
 mod explain;
 mod histogram;
+mod recorder;
 mod registry;
+mod server;
+mod trace;
 
 pub use counter::Counter;
 pub use explain::{MatchTrace, ResidualTrace, StabTrace};
 pub use histogram::{bucket_index, bucket_upper_bound, Histogram, HISTOGRAM_BUCKETS};
+pub use recorder::{FlightRecorder, PanicHookGuard};
 pub use registry::Registry;
+pub use server::{serve, HealthFn, ServerHandle};
+pub use trace::{
+    chrome_trace_json, Span, SpanEventKind, TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY,
+};
 
 #[cfg(test)]
 mod tests {
@@ -123,6 +137,32 @@ mod tests {
         assert!(text.contains("lat_bucket{le=\"+Inf\"} 4"));
         assert!(text.contains("lat_sum 7"));
         assert!(text.contains("lat_count 4"));
+    }
+
+    #[test]
+    fn render_text_order_is_deterministic() {
+        // Insertion order is scrambled on purpose; the exposition must
+        // come out name-sorted and byte-identical across renders, so
+        // snapshots and flight dumps diff cleanly.
+        let r = Registry::new();
+        r.counter("z_total").add(3);
+        r.counter("a_total{shard=\"1\"}").add(2);
+        r.histogram("m_nanos").record(1);
+        r.counter("a_total{shard=\"0\"}").add(1);
+        let expected = "\
+# TYPE a_total counter
+a_total{shard=\"0\"} 1
+a_total{shard=\"1\"} 2
+# TYPE m_nanos histogram
+m_nanos_bucket{le=\"1\"} 1
+m_nanos_bucket{le=\"+Inf\"} 1
+m_nanos_sum 1
+m_nanos_count 1
+# TYPE z_total counter
+z_total 3
+";
+        assert_eq!(r.render_text(), expected);
+        assert_eq!(r.render_text(), r.render_text());
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! The flight recorder: post-mortem dumps of the trace ring.
+//!
+//! The [`Tracer`](crate::Tracer) ring always holds the last moments of
+//! execution, which makes it exactly the evidence wanted when
+//! something goes wrong after hours of healthy traffic. A
+//! [`FlightRecorder`] pairs the ring with the metric
+//! [`Registry`](crate::Registry) and a dump directory: on demand
+//! ([`dump`](FlightRecorder::dump)), or automatically when a panic
+//! unwinds through an [installed hook](FlightRecorder::install_panic_hook),
+//! it writes one timestamped file holding
+//!
+//! 1. a header (reason, wall-clock time, event/drop counts),
+//! 2. the full Prometheus exposition of the registry, and
+//! 3. the ring as Chrome trace-event JSON (extract the final line and
+//!    load it in Perfetto).
+//!
+//! The durable layer wires a recorder into `DurableRuleEngine` so a
+//! recovery `Corrupt` refusal ships context instead of just an error
+//! string.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use telemetry::{FlightRecorder, Registry, Tracer};
+//!
+//! let dir = std::env::temp_dir().join("telemetry-doc-flight");
+//! let tracer = Tracer::new(256);
+//! let registry = Arc::new(Registry::new());
+//! registry.counter("rules_fired_total").add(3);
+//! {
+//!     let _s = tracer.span("cascade");
+//! }
+//! let recorder = FlightRecorder::new(tracer, Arc::clone(&registry), &dir);
+//! let path = recorder.dump("doc-example").unwrap();
+//! let text = std::fs::read_to_string(&path).unwrap();
+//! assert!(text.contains("rules_fired_total 3"));
+//! assert!(text.contains("\"traceEvents\""));
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+use crate::registry::Registry;
+use crate::trace::Tracer;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Pairs the trace ring with the metric registry and knows where to
+/// write post-mortem dumps.
+pub struct FlightRecorder {
+    tracer: Tracer,
+    registry: Arc<Registry>,
+    dir: PathBuf,
+    /// Disambiguates dumps landing in the same wall-clock second.
+    seq: AtomicU64,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("dir", &self.dir)
+            .field("tracer", &self.tracer)
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder that dumps into `dir` (created on first dump).
+    pub fn new(tracer: Tracer, registry: Arc<Registry>, dir: impl Into<PathBuf>) -> FlightRecorder {
+        FlightRecorder {
+            tracer,
+            registry,
+            dir: dir.into(),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The ring this recorder snapshots.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The directory dumps are written into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Renders the dump body without touching the filesystem — the
+    /// ring is snapshotted, not drained, so a dump never destroys the
+    /// evidence it reports.
+    pub fn render(&self, reason: &str) -> String {
+        let events = self.tracer.events();
+        let unix = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let mut out = String::new();
+        let _ = writeln!(out, "# flight dump: {reason}");
+        let _ = writeln!(out, "# unix_time: {unix}");
+        let _ = writeln!(
+            out,
+            "# events: {} (capacity {}, {} dropped)",
+            events.len(),
+            self.tracer.capacity(),
+            self.tracer.dropped()
+        );
+        out.push_str("\n== metrics ==\n");
+        let metrics = self.registry.render_text();
+        if metrics.is_empty() {
+            out.push_str("(registry disabled or empty)\n");
+        } else {
+            out.push_str(&metrics);
+        }
+        out.push_str("\n== trace (chrome JSON, last line) ==\n");
+        out.push_str(&crate::trace::chrome_trace_json(&events));
+        out.push('\n');
+        out
+    }
+
+    /// Writes a dump file and returns its path. `reason` becomes part
+    /// of the header and is sanitised into the filename.
+    pub fn dump(&self, reason: &str) -> io::Result<PathBuf> {
+        fs::create_dir_all(&self.dir)?;
+        let unix = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let n = self.seq.fetch_add(1, Ordering::Relaxed);
+        let slug: String = reason
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .take(32)
+            .collect();
+        let path = self.dir.join(format!("flight-{unix}-{n}-{slug}.txt"));
+        fs::write(&path, self.render(reason))?;
+        Ok(path)
+    }
+
+    /// Installs a panic hook that writes a dump before the default
+    /// handler runs. The hook stays active until the returned guard
+    /// drops; the previous hook is always chained, so backtraces and
+    /// other handlers keep working.
+    ///
+    /// The wrapper closure itself remains in the hook chain after the
+    /// guard drops (hooks cannot be safely un-chained once another
+    /// layer may have stacked on top) — deactivation is by flag, which
+    /// makes the guard sound even with overlapping scopes.
+    pub fn install_panic_hook(self: &Arc<Self>) -> PanicHookGuard {
+        let active = Arc::new(AtomicBool::new(true));
+        let recorder = Arc::clone(self);
+        let flag = Arc::clone(&active);
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if flag.load(Ordering::SeqCst) {
+                let _ = recorder.dump("panic");
+            }
+            previous(info);
+        }));
+        PanicHookGuard { active }
+    }
+}
+
+/// Deactivates the associated panic hook when dropped.
+#[must_use = "the panic hook deactivates when this guard drops"]
+pub struct PanicHookGuard {
+    active: Arc<AtomicBool>,
+}
+
+impl Drop for PanicHookGuard {
+    fn drop(&mut self) {
+        self.active.store(false, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(label: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("telemetry-flight-{}-{label}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn dump_contains_metrics_and_trace() {
+        let dir = temp_dir("dump");
+        let tracer = Tracer::new(64);
+        let registry = Arc::new(Registry::new());
+        registry.counter("rules_fired_total").add(7);
+        {
+            let _s = tracer.span("wal_append");
+        }
+        let recorder = FlightRecorder::new(tracer, registry, &dir);
+        let path = recorder.dump("unit test!").unwrap();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(name.starts_with("flight-"), "bad name {name}");
+        assert!(name.contains("unit-test"), "reason not slugged: {name}");
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("# flight dump: unit test!"));
+        assert!(text.contains("rules_fired_total 7"));
+        assert!(text.contains("\"name\":\"wal_append\""));
+        // Dumping snapshots rather than drains: evidence survives.
+        assert_eq!(recorder.tracer().events().len(), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sequential_dumps_get_distinct_paths() {
+        let dir = temp_dir("seq");
+        let recorder = FlightRecorder::new(Tracer::new(16), Arc::new(Registry::disabled()), &dir);
+        let a = recorder.dump("x").unwrap();
+        let b = recorder.dump("x").unwrap();
+        assert_ne!(a, b);
+        let text = fs::read_to_string(&a).unwrap();
+        assert!(text.contains("(registry disabled or empty)"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn panic_hook_dumps_then_deactivates() {
+        let dir = temp_dir("panic");
+        let tracer = Tracer::new(32);
+        tracer.instant("before_crash");
+        let recorder = Arc::new(FlightRecorder::new(tracer, Arc::new(Registry::new()), &dir));
+        {
+            let _guard = recorder.install_panic_hook();
+            let result = std::panic::catch_unwind(|| panic!("boom"));
+            assert!(result.is_err());
+        }
+        let dumps: Vec<_> = fs::read_dir(&dir).unwrap().flatten().collect();
+        assert_eq!(dumps.len(), 1, "hook must dump exactly once");
+        let text = fs::read_to_string(dumps[0].path()).unwrap();
+        assert!(text.contains("# flight dump: panic"));
+        assert!(text.contains("before_crash"));
+
+        // Guard dropped: a later panic must not dump again.
+        let result = std::panic::catch_unwind(|| panic!("boom 2"));
+        assert!(result.is_err());
+        assert_eq!(fs::read_dir(&dir).unwrap().flatten().count(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,241 @@
+//! A dependency-free metrics exposition server.
+//!
+//! One `std::net::TcpListener` accept thread answering three paths,
+//! enough for a Prometheus scraper, a load balancer, and a human with
+//! `curl`:
+//!
+//! * `GET /metrics` — the registry's Prometheus text exposition.
+//! * `GET /health`  — a short `key value` liveness report supplied by
+//!   the engine through an opaque callback (the telemetry crate knows
+//!   nothing about engines).
+//! * `GET /trace`   — drains the trace ring as Chrome trace-event
+//!   JSON; save the body and load it in Perfetto.
+//!
+//! This is deliberately not a web framework: requests are handled
+//! serially on the accept thread, only the request line is parsed, and
+//! anything unrecognised is a 404. Shutdown is graceful — the handle
+//! sets a stop flag, wakes the (blocking) accept with a self-connect,
+//! and joins the thread.
+//!
+//! ```
+//! use std::io::{Read, Write};
+//! use std::sync::Arc;
+//! use telemetry::{serve, Registry, Tracer};
+//!
+//! let registry = Arc::new(Registry::new());
+//! registry.counter("rules_fired_total").add(2);
+//! let server = serve("127.0.0.1:0", Arc::clone(&registry), Tracer::disabled(), None).unwrap();
+//!
+//! let mut conn = std::net::TcpStream::connect(server.addr()).unwrap();
+//! write!(conn, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+//! let mut body = String::new();
+//! conn.read_to_string(&mut body).unwrap();
+//! assert!(body.contains("rules_fired_total 2"));
+//!
+//! server.shutdown();
+//! ```
+
+use crate::registry::Registry;
+use crate::trace::Tracer;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The `/health` body producer: returns `key value` lines. Opaque so
+/// higher layers (the durable engine knows its WAL sequence and shard
+/// balance) can report without this crate depending on them.
+pub type HealthFn = Box<dyn Fn() -> String + Send + Sync>;
+
+/// A running exposition server; dropping it without
+/// [`shutdown`](ServerHandle::shutdown) detaches the accept thread
+/// (it exits with the process).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (useful with a `:0` ephemeral-port bind).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.addr.port()
+    }
+
+    /// Stops accepting, wakes the accept thread, and joins it.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept call blocks; a throwaway connection unblocks it
+        // so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `bind` (e.g. `"127.0.0.1:9184"`, or port `0` for ephemeral)
+/// and serves `/metrics`, `/health`, and `/trace` until
+/// [`ServerHandle::shutdown`].
+pub fn serve(
+    bind: &str,
+    registry: Arc<Registry>,
+    tracer: Tracer,
+    health: Option<HealthFn>,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(bind)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("telemetry-exposition".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(conn) = conn else { continue };
+                // A stalled client must not wedge the accept thread.
+                let _ = conn.set_read_timeout(Some(Duration::from_secs(2)));
+                let _ = conn.set_write_timeout(Some(Duration::from_secs(2)));
+                let _ = handle(conn, &registry, &tracer, health.as_deref());
+            }
+        })?;
+    Ok(ServerHandle {
+        addr,
+        stop,
+        thread: Some(thread),
+    })
+}
+
+fn handle(
+    conn: TcpStream,
+    registry: &Registry,
+    tracer: &Tracer,
+    health: Option<&(dyn Fn() -> String + Send + Sync)>,
+) -> io::Result<()> {
+    let mut reader = BufReader::new(conn);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // "GET /path HTTP/1.1" — only the path matters here.
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            registry.render_text(),
+        ),
+        "/health" => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            health.map_or_else(|| "up 1\n".to_string(), |h| h()),
+        ),
+        "/trace" => ("200 OK", "application/json", tracer.drain_chrome_json()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            format!("no route for {path:?}; try /metrics, /health, /trace\n"),
+        ),
+    };
+    let mut conn = reader.into_inner();
+    write!(
+        conn,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    conn.write_all(body.as_bytes())?;
+    conn.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        write!(conn, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_health_trace_and_404() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("predindex_match_tuples_total").add(5);
+        let tracer = Tracer::new(64);
+        tracer.instant("ping");
+        let server = serve(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            tracer.clone(),
+            Some(Box::new(|| "up 1\nwal_next_seq 42\n".to_string())),
+        )
+        .unwrap();
+        let addr = server.addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert!(head.contains("text/plain; version=0.0.4"));
+        assert!(body.contains("predindex_match_tuples_total 5"));
+
+        let (_, body) = get(addr, "/health");
+        assert!(body.contains("wal_next_seq 42"));
+
+        let (head, body) = get(addr, "/trace");
+        assert!(head.contains("application/json"));
+        assert!(body.contains("\"name\":\"ping\""));
+        // /trace drains: a second scrape starts empty.
+        let (_, body) = get(addr, "/trace");
+        assert!(body.contains("\"traceEvents\":[]"));
+        assert!(tracer.events().is_empty());
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+
+        server.shutdown();
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // The OS may briefly accept on a lingering socket; a
+                // request after shutdown must at least go unanswered.
+                let mut c = TcpStream::connect(addr).unwrap();
+                let _ = write!(c, "GET /metrics HTTP/1.1\r\n\r\n");
+                c.set_read_timeout(Some(Duration::from_millis(300)))
+                    .unwrap();
+                let mut s = String::new();
+                c.read_to_string(&mut s).unwrap_or(0) == 0
+            }
+        );
+    }
+
+    #[test]
+    fn default_health_reports_up() {
+        let server = serve(
+            "127.0.0.1:0",
+            Arc::new(Registry::disabled()),
+            Tracer::disabled(),
+            None,
+        )
+        .unwrap();
+        let (_, body) = get(server.addr(), "/health");
+        assert_eq!(body, "up 1\n");
+        server.shutdown();
+    }
+}

@@ -16,6 +16,9 @@
 //! drop <id>                             remove a predicate by id
 //! stats                                 show the index structure
 //! list                                  list registered predicates
+//! :metrics                              Prometheus text exposition of the match counters
+//! :explain <relation> <value> ...       EXPLAIN the match path a tuple would take
+//! :trace <path>                         drain the span ring to <path> as Chrome JSON
 //! help                                  this text
 //! quit
 //! ```
@@ -23,22 +26,34 @@
 use predmatch::predicate::parse_predicates;
 use predmatch::predindex::Matcher;
 use predmatch::prelude::*;
+use predmatch::telemetry::Tracer;
 use std::io::{self, BufRead, Write};
+use std::sync::Arc;
 
 struct Shell {
     db: Database,
     index: PredicateIndex,
     sources: Vec<(PredicateIdWrap, String)>,
+    registry: Arc<Registry>,
+    tracer: Tracer,
 }
 
 type PredicateIdWrap = predmatch::predindex::PredicateId;
 
 impl Shell {
     fn new() -> Self {
+        // Live telemetry so :metrics and :trace have something to show;
+        // the counters and the span ring cost nothing until rendered.
+        let registry = Arc::new(Registry::new());
+        let tracer = Tracer::new(predmatch::telemetry::DEFAULT_TRACE_CAPACITY);
+        let mut index = PredicateIndex::new();
+        index.attach_telemetry(&registry, tracer.clone());
         Shell {
             db: Database::new(),
-            index: PredicateIndex::new(),
+            index,
             sources: Vec::new(),
+            registry,
+            tracer,
         }
     }
 
@@ -60,9 +75,12 @@ impl Shell {
                 .map(|(id, s)| format!("  {id}: {s}"))
                 .collect::<Vec<_>>()
                 .join("\n")),
-            "help" => Ok(
-                "commands: relation, predicate, insert, drop, stats, list, help, quit".to_string(),
-            ),
+            ":metrics" => Ok(self.registry.render_text()),
+            ":explain" => self.cmd_explain(rest),
+            ":trace" => self.cmd_trace(rest),
+            "help" => Ok("commands: relation, predicate, insert, drop, stats, list, \
+                 :metrics, :explain, :trace, help, quit"
+                .to_string()),
             other => Err(format!("unknown command {other:?} (try 'help')")),
         }
     }
@@ -112,9 +130,8 @@ impl Shell {
         Ok(out.join("\n"))
     }
 
-    fn cmd_insert(&mut self, rest: &str) -> Result<String, String> {
-        let mut parts = rest.split_whitespace();
-        let rel_name = parts.next().ok_or("usage: insert <relation> <value> ...")?;
+    /// Parses whitespace-separated values against a relation's schema.
+    fn parse_values(&self, rel_name: &str, raw: &[&str]) -> Result<Vec<Value>, String> {
         let schema = self
             .db
             .catalog()
@@ -122,7 +139,6 @@ impl Shell {
             .ok_or_else(|| format!("no relation {rel_name:?}"))?
             .schema()
             .clone();
-        let raw: Vec<&str> = parts.collect();
         if raw.len() != schema.arity() {
             return Err(format!(
                 "{rel_name} takes {} values, got {}",
@@ -140,6 +156,14 @@ impl Shell {
             };
             values.push(v);
         }
+        Ok(values)
+    }
+
+    fn cmd_insert(&mut self, rest: &str) -> Result<String, String> {
+        let mut parts = rest.split_whitespace();
+        let rel_name = parts.next().ok_or("usage: insert <relation> <value> ...")?;
+        let raw: Vec<&str> = parts.collect();
+        let values = self.parse_values(rel_name, &raw)?;
         let tuple = self
             .db
             .insert(rel_name, values)
@@ -162,6 +186,31 @@ impl Shell {
                 .collect();
             Ok(format!("inserted {tuple}; matches:\n{}", lines.join("\n")))
         }
+    }
+
+    fn cmd_explain(&mut self, rest: &str) -> Result<String, String> {
+        let mut parts = rest.split_whitespace();
+        let rel_name = parts
+            .next()
+            .ok_or("usage: :explain <relation> <value> ...")?;
+        let raw: Vec<&str> = parts.collect();
+        let values = self.parse_values(rel_name, &raw)?;
+        // Explain only — the tuple is probed, not stored.
+        let trace = self.index.explain_tuple(rel_name, &Tuple::new(values));
+        Ok(trace.to_string())
+    }
+
+    fn cmd_trace(&mut self, rest: &str) -> Result<String, String> {
+        let path = rest.trim();
+        if path.is_empty() {
+            return Err("usage: :trace <path>".into());
+        }
+        let events = self.tracer.events().len();
+        let json = self.tracer.drain_chrome_json();
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        Ok(format!(
+            "wrote {events} trace event(s) to {path} (load in Perfetto / chrome://tracing)"
+        ))
     }
 
     fn cmd_drop(&mut self, rest: &str) -> Result<String, String> {
@@ -193,6 +242,8 @@ stats
 list
 drop 0
 insert emp di 70 5000 Toys
+:explain emp ed 55 18000 Shoe
+:metrics
 "#;
 
 fn main() {

@@ -14,6 +14,8 @@
 //! | [`IntervalSkipList`] | yes | §6 future-work direction (Hanson's own successor structure) |
 //! | `ibs::IbsTree` | yes | the paper's contribution (implements [`StabIndex`] here) |
 
+#![deny(unreachable_pub)]
+
 mod common;
 mod interval_tree;
 mod naive;

@@ -112,6 +112,31 @@ impl<K: Ord + Clone> IntervalSkipList<K> {
         self.nodes[ix as usize].as_mut().expect("dangling node")
     }
 
+    /// A live node by index, skipping the bounds and liveness checks.
+    ///
+    /// The stab search touches one node per horizontal step across
+    /// every level; this is the skip list's answer to the IBS-tree's
+    /// arena fast path, so the baseline comparison measures the
+    /// algorithms rather than one side's bounds checks.
+    #[inline]
+    fn node_unchecked(&self, ix: NodeIx) -> &Node<K> {
+        debug_assert!(
+            self.nodes.get(ix as usize).is_some_and(Option::is_some),
+            "dangling node index"
+        );
+        // SAFETY: forward links and `head_forward` only ever hold
+        // indices of live nodes — `ensure_node` hands out in-bounds
+        // slots, and node removal splices the target out of every
+        // tower before freeing its slot — and stab callers pass only
+        // indices read from those links.
+        unsafe {
+            self.nodes
+                .get_unchecked(ix as usize)
+                .as_ref()
+                .unwrap_unchecked()
+        }
+    }
+
     fn forward_of(&self, src: NodeIx, level: usize) -> NodeIx {
         if src == NIL {
             *self.head_forward.get(level).unwrap_or(&NIL)
@@ -607,7 +632,7 @@ impl<K: Ord + Clone> StabIndex<K> for IntervalSkipList<K> {
                 match self.value_of(next) {
                     Some(nv) if nv < x => cur = next,
                     Some(nv) if nv == x => {
-                        self.node(next).eq_marks.extend_into(out);
+                        self.node_unchecked(next).eq_marks.extend_into(out);
                         return;
                     }
                     _ => {
@@ -615,7 +640,7 @@ impl<K: Ord + Clone> StabIndex<K> for IntervalSkipList<K> {
                         let set = if cur == NIL {
                             &self.head_marks[l]
                         } else {
-                            &self.node(cur).edge_marks[l]
+                            &self.node_unchecked(cur).edge_marks[l]
                         };
                         set.extend_into(out);
                         break;

@@ -19,6 +19,8 @@
 //! paper-style tables; the Criterion benches provide statistical rigor
 //! on individual points.
 
+#![deny(unreachable_pub)]
+
 pub mod costmodel;
 pub mod scheme;
 pub mod timing;

@@ -57,6 +57,9 @@
 //! binary (via [`relation::codec`]) and the CRC-32 is computed from a
 //! compile-time table ([`crc`]).
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
 pub mod crc;
 mod engine;
 mod record;

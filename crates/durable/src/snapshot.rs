@@ -348,6 +348,7 @@ pub fn read_snapshot(dir: &Path) -> Result<Option<SnapshotData>, RecoverError> {
             detail: "bad magic or short file".into(),
         });
     }
+    // srclint:allow(no-panic-in-lib): constant-width header slice — try_into to a fixed array cannot fail
     let version = u16::from_le_bytes(bytes[8..10].try_into().unwrap());
     if version != SNAP_VERSION {
         return Err(RecoverError::Corrupt {
@@ -355,7 +356,9 @@ pub fn read_snapshot(dir: &Path) -> Result<Option<SnapshotData>, RecoverError> {
             detail: format!("found {version}, expected {SNAP_VERSION}"),
         });
     }
+    // srclint:allow(no-panic-in-lib): constant-width header slice — try_into to a fixed array cannot fail
     let body_len = u32::from_le_bytes(bytes[10..14].try_into().unwrap()) as usize;
+    // srclint:allow(no-panic-in-lib): constant-width header slice — try_into to a fixed array cannot fail
     let stored_crc = u32::from_le_bytes(bytes[14..18].try_into().unwrap());
     let body = &bytes[header_len..];
     if body.len() != body_len {

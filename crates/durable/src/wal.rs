@@ -243,8 +243,11 @@ pub fn parse_wal(bytes: &[u8]) -> WalSuffix {
     if bytes.len() < WAL_HEADER_LEN || &bytes[..8] != WAL_MAGIC {
         return out;
     }
+    // srclint:allow(no-panic-in-lib): constant-width header slice — try_into to a fixed array cannot fail
     let version = u16::from_le_bytes(bytes[8..10].try_into().unwrap());
+    // srclint:allow(no-panic-in-lib): constant-width header slice — try_into to a fixed array cannot fail
     let start_seq = u64::from_le_bytes(bytes[10..18].try_into().unwrap());
+    // srclint:allow(no-panic-in-lib): constant-width header slice — try_into to a fixed array cannot fail
     let stored_crc = u32::from_le_bytes(bytes[18..22].try_into().unwrap());
     let mut crc = Crc32::new();
     crc.update(&bytes[8..18]);
@@ -258,7 +261,9 @@ pub fn parse_wal(bytes: &[u8]) -> WalSuffix {
     // Torn tail ends the read without error: anything after the first
     // anomaly is unreachable (frames are not self-synchronizing).
     while let Some(frame) = bytes.get(pos..pos + 8) {
+        // srclint:allow(no-panic-in-lib): constant-width frame slice — try_into to a fixed array cannot fail
         let len = u32::from_le_bytes(frame[..4].try_into().unwrap());
+        // srclint:allow(no-panic-in-lib): constant-width frame slice — try_into to a fixed array cannot fail
         let stored_crc = u32::from_le_bytes(frame[4..8].try_into().unwrap());
         if !(8..=MAX_FRAME).contains(&len) {
             break; // nonsense length
@@ -271,6 +276,7 @@ pub fn parse_wal(bytes: &[u8]) -> WalSuffix {
         if crc.finish() != stored_crc {
             break; // checksum mismatch
         }
+        // srclint:allow(no-panic-in-lib): body length was checked to be at least 8 above
         let seq = u64::from_le_bytes(body[..8].try_into().unwrap());
         if seq != expect_seq {
             break; // sequence discontinuity

@@ -8,15 +8,15 @@ use crate::marks::MarkSet;
 
 /// Index of a node in the arena. `NodeId::NULL` is the absent child.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct NodeId(pub u32);
+pub(crate) struct NodeId(pub(crate) u32);
 
 impl NodeId {
     /// Sentinel for "no node".
-    pub const NULL: NodeId = NodeId(u32::MAX);
+    pub(crate) const NULL: NodeId = NodeId(u32::MAX);
 
     /// Is this the null sentinel?
     #[inline]
-    pub fn is_null(self) -> bool {
+    pub(crate) fn is_null(self) -> bool {
         self.0 == u32::MAX
     }
 
@@ -30,24 +30,24 @@ impl NodeId {
 /// the `<`, `=`, `>` mark slots — extended with AVL height and endpoint
 /// ownership bookkeeping for dynamic deletion.
 #[derive(Debug, Clone)]
-pub struct Node<K> {
+pub(crate) struct Node<K> {
     /// The end point of an interval or the constant in an equality
     /// predicate (paper's `Value` field).
-    pub value: K,
-    pub left: NodeId,
-    pub right: NodeId,
+    pub(crate) value: K,
+    pub(crate) left: NodeId,
+    pub(crate) right: NodeId,
     /// Height of the subtree rooted here (leaf = 1).
-    pub height: u32,
+    pub(crate) height: u32,
     /// `<` slot.
-    pub less: MarkSet,
+    pub(crate) less: MarkSet,
     /// `=` slot.
-    pub eq: MarkSet,
+    pub(crate) eq: MarkSet,
     /// `>` slot.
-    pub greater: MarkSet,
+    pub(crate) greater: MarkSet,
     /// Intervals whose (finite) lower endpoint value equals `value`.
-    pub lo_owners: MarkSet,
+    pub(crate) lo_owners: MarkSet,
     /// Intervals whose (finite) upper endpoint value equals `value`.
-    pub hi_owners: MarkSet,
+    pub(crate) hi_owners: MarkSet,
 }
 
 impl<K> Node<K> {
@@ -66,21 +66,21 @@ impl<K> Node<K> {
     }
 
     /// Is any interval's endpoint anchored at this node?
-    pub fn has_owners(&self) -> bool {
+    pub(crate) fn has_owners(&self) -> bool {
         !self.lo_owners.is_empty() || !self.hi_owners.is_empty()
     }
 }
 
 /// Slab of nodes with a free list.
 #[derive(Debug, Clone, Default)]
-pub struct Arena<K> {
+pub(crate) struct Arena<K> {
     nodes: Vec<Option<Node<K>>>,
     free: Vec<NodeId>,
     live: usize,
 }
 
 impl<K> Arena<K> {
-    pub fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Arena {
             nodes: Vec::new(),
             free: Vec::new(),
@@ -89,12 +89,13 @@ impl<K> Arena<K> {
     }
 
     /// Allocates a node holding `value`, reusing a free slot if possible.
-    pub fn alloc(&mut self, value: K) -> NodeId {
+    pub(crate) fn alloc(&mut self, value: K) -> NodeId {
         self.live += 1;
         if let Some(id) = self.free.pop() {
             self.nodes[id.index()] = Some(Node::new(value));
             id
         } else {
+            // srclint:allow(no-panic-in-lib): u32 id-space exhaustion (4B nodes) is unrecoverable resource exhaustion
             let id = NodeId(u32::try_from(self.nodes.len()).expect("arena overflow"));
             self.nodes.push(Some(Node::new(value)));
             id
@@ -102,7 +103,8 @@ impl<K> Arena<K> {
     }
 
     /// Releases a node's slot back to the free list.
-    pub fn dealloc(&mut self, id: NodeId) -> Node<K> {
+    pub(crate) fn dealloc(&mut self, id: NodeId) -> Node<K> {
+        // srclint:allow(no-panic-in-lib): documented, tested panic — a double free is tree-corruption and must not be papered over
         let node = self.nodes[id.index()].take().expect("double free");
         self.free.push(id);
         self.live -= 1;
@@ -110,18 +112,18 @@ impl<K> Arena<K> {
     }
 
     /// Number of live nodes.
-    pub fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.live
     }
 
     /// Are there no live nodes?
     #[allow(dead_code)] // part of the container API surface
-    pub fn is_empty(&self) -> bool {
+    pub(crate) fn is_empty(&self) -> bool {
         self.live == 0
     }
 
     /// Iterates `(id, node)` over live nodes.
-    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node<K>)> {
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (NodeId, &Node<K>)> {
         self.nodes
             .iter()
             .enumerate()
@@ -129,10 +131,38 @@ impl<K> Arena<K> {
     }
 }
 
+impl<K> Arena<K> {
+    /// A live node by id, skipping the bounds and liveness checks.
+    ///
+    /// The stab descent (§5) resolves one `NodeId` per key comparison,
+    /// so the bounds check and `Option` discriminant test sit on the
+    /// hottest loop in the matcher. `debug_assert!` keeps the checked
+    /// behaviour in test builds.
+    #[inline]
+    pub(crate) fn get_live_unchecked(&self, id: NodeId) -> &Node<K> {
+        debug_assert!(
+            self.nodes.get(id.index()).is_some_and(Option::is_some),
+            "dangling node id"
+        );
+        // SAFETY: tree links (`root`, `left`, `right`) only ever hold
+        // ids of live nodes — `alloc` returns in-bounds indices, slots
+        // are never shrunk away, and every dealloc site unlinks the
+        // node from its parent first. Callers pass only ids read from
+        // such links, so the slot exists and holds `Some`.
+        unsafe {
+            self.nodes
+                .get_unchecked(id.index())
+                .as_ref()
+                .unwrap_unchecked()
+        }
+    }
+}
+
 impl<K> std::ops::Index<NodeId> for Arena<K> {
     type Output = Node<K>;
     #[inline]
     fn index(&self, id: NodeId) -> &Node<K> {
+        // srclint:allow(no-panic-in-lib): Index contract — a dangling NodeId is a broken tree link, not a recoverable state
         self.nodes[id.index()].as_ref().expect("dangling node id")
     }
 }
@@ -140,6 +170,7 @@ impl<K> std::ops::Index<NodeId> for Arena<K> {
 impl<K> std::ops::IndexMut<NodeId> for Arena<K> {
     #[inline]
     fn index_mut(&mut self, id: NodeId) -> &mut Node<K> {
+        // srclint:allow(no-panic-in-lib): Index contract — a dangling NodeId is a broken tree link, not a recoverable state
         self.nodes[id.index()].as_mut().expect("dangling node id")
     }
 }

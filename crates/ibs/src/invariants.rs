@@ -39,6 +39,7 @@ impl<K: Ord + Clone + Debug> IbsTree<K> {
     #[track_caller]
     pub fn assert_invariants(&self) {
         if let Err(e) = self.check_invariants() {
+            // srclint:allow(no-panic-in-lib): documented panicking wrapper over check_invariants, used by tests and fault drills
             panic!("IBS-tree invariant violated: {e}");
         }
     }
@@ -258,6 +259,7 @@ impl<K: Ord + Clone + Debug> IbsTree<K> {
                 match slot {
                     Slot::Less => inherited.extend(n.less.iter()),
                     Slot::Greater => inherited.extend(n.greater.iter()),
+                    // srclint:allow(no-panic-in-lib): the enclosing loop iterates Less/Greater frames only; Eq is structurally excluded
                     Slot::Eq => unreachable!(),
                 }
                 if child.is_null() {

@@ -44,6 +44,8 @@
 //! assert_eq!(at18, vec![IntervalId(3), IntervalId(5)]);
 //! ```
 
+#![deny(unreachable_pub)]
+
 mod arena;
 mod balance;
 mod invariants;

@@ -72,6 +72,7 @@ impl<K: Ord + Clone> IbsTree<K> {
                 continue;
             }
             prev = Some(id);
+            // srclint:allow(no-panic-in-lib): candidate ids were read out of the tree's own mark sets under the same borrow
             let iv = self.get(id).expect("candidate came from the tree");
             if iv.overlaps(query) {
                 out[keep] = id;

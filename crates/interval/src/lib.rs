@@ -12,6 +12,9 @@
 //! trees ("IBS-trees work without modification on any totally ordered
 //! domain for which the comparison operators {<, =, >} are defined").
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
 mod bound;
 mod interval;
 

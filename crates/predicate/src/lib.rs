@@ -29,6 +29,9 @@
 //! assert_eq!(ps.len(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
 mod clause;
 mod functions;
 mod parser;

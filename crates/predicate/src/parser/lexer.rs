@@ -164,9 +164,14 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     pos: i,
                     message: format!(
                         "unexpected character {:?}",
-                        input[i..].chars().next().unwrap()
+                        // Guarded by the loop bound; placeholder keeps
+                        // the error path panic-free regardless.
+                        input[i..]
+                            .chars()
+                            .next()
+                            .unwrap_or(char::REPLACEMENT_CHARACTER)
                     ),
-                })
+                });
             }
         }
     }
@@ -194,8 +199,12 @@ fn lex_string(input: &str, start: usize) -> Result<(String, usize), LexError> {
                 i += 2;
             }
             _ => {
-                // Copy one full UTF-8 character.
-                let ch = input[i..].chars().next().unwrap();
+                // Copy one full UTF-8 character; `i` always sits on a
+                // char boundary, but exiting to the unterminated-string
+                // error beats panicking if that ever breaks.
+                let Some(ch) = input[i..].chars().next() else {
+                    break;
+                };
                 s.push(ch);
                 i += ch.len_utf8();
             }

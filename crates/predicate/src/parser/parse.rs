@@ -139,10 +139,10 @@ pub fn parse_dnf(input: &str, funcs: &FunctionRegistry) -> Result<Vec<Predicate>
 /// Parses `input` as a single conjunctive predicate (no `or`, no `!=`).
 pub fn parse_conjunct(input: &str, funcs: &FunctionRegistry) -> Result<Predicate, ParseError> {
     let mut preds = parse_dnf(input, funcs)?;
-    if preds.len() != 1 {
-        return Err(ParseError::DisjunctionNotAllowed);
+    match (preds.pop(), preds.is_empty()) {
+        (Some(p), true) => Ok(p),
+        _ => Err(ParseError::DisjunctionNotAllowed),
     }
-    Ok(preds.pop().expect("length checked"))
 }
 
 /// Expands an expression tree to DNF: a list of conjuncts, each a list
@@ -206,6 +206,7 @@ fn build_predicate(leaves: Vec<Leaf>, funcs: &FunctionRegistry) -> Result<Predic
                     .ok_or_else(|| ParseError::UnknownFunction(name.clone()))?;
                 (rel, Some(Clause::Func { name, attr, func }))
             }
+            // srclint:allow(no-panic-in-lib): dnf() expands every NotEqual into two Range alternatives before this loop runs
             Leaf::NotEqual { .. } => unreachable!("expanded during DNF"),
         };
         match &relation {
@@ -304,8 +305,14 @@ impl Parser {
     }
 
     fn funccall(&mut self) -> Result<Expr, ParseError> {
-        let Some(Token::Ident(name)) = self.next() else {
-            unreachable!("caller checked")
+        let name = match self.next() {
+            Some(Token::Ident(name)) => name,
+            got => {
+                return Err(ParseError::Unexpected {
+                    got: got.map(|t| t.to_string()),
+                    expected: "function name".into(),
+                })
+            }
         };
         self.expect(&Token::LParen, "'('")?;
         let (rel, attr) = self.attrref()?;
@@ -437,6 +444,7 @@ impl Parser {
                 attr,
                 value: lit,
             },
+            // srclint:allow(no-panic-in-lib): comparison() only dispatches here for tokens cmp_op() accepted
             _ => unreachable!("cmp_op filtered"),
         };
         Ok(Expr::Leaf(leaf))
@@ -467,11 +475,13 @@ impl Parser {
             let lower = match lo_op {
                 Token::Le => Lower::Inclusive(lo),
                 Token::Lt => Lower::Exclusive(lo),
+                // srclint:allow(no-panic-in-lib): both call sites below normalize descending chains to Lt/Le before calling
                 _ => unreachable!(),
             };
             let upper = match hi_op {
                 Token::Le => Upper::Inclusive(hi),
                 Token::Lt => Upper::Exclusive(hi),
+                // srclint:allow(no-panic-in-lib): both call sites below normalize descending chains to Lt/Le before calling
                 _ => unreachable!(),
             };
             Interval::new(lower, upper).ok()

@@ -121,7 +121,9 @@ impl Predicate {
                             let hop = if hi.is_inclusive() { "<=" } else { "<" };
                             format!(
                                 "{} {lop} {a} {hop} {}",
+                                // srclint:allow(no-panic-in-lib): every Unbounded combination is matched above, so both bounds are finite here
                                 source_literal(lo.value().expect("bounded"))?,
+                                // srclint:allow(no-panic-in-lib): every Unbounded combination is matched above, so both bounds are finite here
                                 source_literal(hi.value().expect("bounded"))?
                             )
                         }

@@ -32,9 +32,11 @@ pub fn most_selective_indexable(catalog: &Catalog, pred: &BoundPredicate) -> Opt
         .enumerate()
         .filter(|(_, c)| matches!(c, BoundClause::Range { .. }))
         .min_by(|(_, a), (_, b)| {
-            clause_selectivity(catalog, pred.relation(), a)
-                .partial_cmp(&clause_selectivity(catalog, pred.relation(), b))
-                .expect("selectivities are finite")
+            clause_selectivity(catalog, pred.relation(), a).total_cmp(&clause_selectivity(
+                catalog,
+                pred.relation(),
+                b,
+            ))
         })
         .map(|(i, _)| i)
 }

@@ -109,7 +109,7 @@ impl Matcher for PhysicalLockingMatcher {
                     }
                     _ => None,
                 })
-                .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite selectivity"));
+                .min_by(|a, b| a.2.total_cmp(&b.2));
             match best {
                 Some((attr, interval, _)) => {
                     self.lock_tables
@@ -136,17 +136,21 @@ impl Matcher for PhysicalLockingMatcher {
 
     fn remove(&mut self, id: PredicateId) -> Option<Predicate> {
         let stored = self.store.unregister(id)?;
+        // srclint:allow(no-panic-in-lib): store and locks are updated together
         match self.locks.remove(&id.0).expect("stored lock") {
             Lock::Index { relation, attr } => {
                 let table = self
                     .lock_tables
                     .get_mut(&(relation, attr))
+                    // srclint:allow(no-panic-in-lib): an Index lock records the table it lives in
                     .expect("lock table exists");
+                // srclint:allow(no-panic-in-lib): the table held this id since the lock was recorded
                 table.remove(id).expect("interval lock exists");
             }
             Lock::Relation(relation) => {
                 self.relation_locks
                     .get_mut(&relation)
+                    // srclint:allow(no-panic-in-lib): a Relation lock implies the list exists
                     .expect("relation lock list exists")
                     .retain(|&p| p != id);
             }

@@ -54,6 +54,7 @@ impl Matcher for RTreeMatcher {
         }
         let schema = catalog
             .relation(&relation)
+            // srclint:allow(no-panic-in-lib): insert() verified the relation exists before building the rect
             .expect("registration verified the relation")
             .schema();
         let dims = schema.arity();
@@ -89,7 +90,9 @@ impl Matcher for RTreeMatcher {
             let tree = self
                 .by_relation
                 .get_mut(stored.bound.relation())
+                // srclint:allow(no-panic-in-lib): a non-skipped stored id was inserted into its relation's tree
                 .expect("indexed relation exists");
+            // srclint:allow(no-panic-in-lib): the tree held this rect since insertion
             tree.remove(id).expect("indexed rect exists");
             // Drop the tree once empty: its dimensionality is frozen at
             // creation, and the relation may come back with a different

@@ -43,6 +43,7 @@ impl Matcher for SequentialMatcher {
             .iter()
             .copied()
             .filter(|&id| {
+                // srclint:allow(no-panic-in-lib): order and store are updated together
                 let p = self.store.get(id).expect("order entry is stored");
                 p.bound.relation() == relation && p.bound.matches(tuple)
             })

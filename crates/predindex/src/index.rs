@@ -67,6 +67,7 @@ pub(crate) fn place(catalog: &Catalog, stored: &StoredPredicate) -> Placement {
     match most_selective_indexable(catalog, &stored.bound) {
         Some(cix) => {
             let BoundClause::Range { attr, interval } = &stored.bound.clauses()[cix] else {
+                // srclint:allow(no-panic-in-lib): most_selective_indexable only ever selects Range clauses
                 unreachable!("most_selective_indexable returns range clauses")
             };
             Placement::Tree {
@@ -187,6 +188,7 @@ impl RelationIndex {
             .entry(attr)
             .or_insert_with(|| IbsTree::with_mode(mode))
             .insert(id, interval)
+            // srclint:allow(no-panic-in-lib): the store just minted this id; the tree cannot already hold it
             .expect("fresh predicate id");
     }
 
@@ -197,7 +199,9 @@ impl RelationIndex {
 
     /// Removes an indexed interval, dropping the tree when it empties.
     pub(crate) fn remove_tree(&mut self, attr: usize, id: PredicateId) {
+        // srclint:allow(no-panic-in-lib): the location map recorded a Tree placement for this attr
         let tree = self.attr_trees.get_mut(&attr).expect("indexed tree exists");
+        // srclint:allow(no-panic-in-lib): the tree held this id since the placement was recorded
         tree.remove(id).expect("indexed interval exists");
         if tree.is_empty() {
             self.attr_trees.remove(&attr);
@@ -450,17 +454,20 @@ impl Matcher for PredicateIndex {
         let (relation, location) = self
             .locations
             .remove(&id.0)
+            // srclint:allow(no-panic-in-lib): store and locations are updated together
             .expect("stored predicate must have a location");
         match location {
             Location::Tree { attr } => {
                 self.relations
                     .get_mut(&relation)
+                    // srclint:allow(no-panic-in-lib): a Tree location implies the relation entry exists
                     .expect("indexed relation exists")
                     .remove_tree(attr, id);
             }
             Location::NonIndexable => {
                 self.relations
                     .get_mut(&relation)
+                    // srclint:allow(no-panic-in-lib): a NonIndexable location implies the relation entry exists
                     .expect("indexed relation exists")
                     .remove_non_indexable(id);
             }

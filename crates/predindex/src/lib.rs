@@ -12,6 +12,9 @@
 //! the same [`Matcher`] trait so they can be swapped,
 //! differential-tested, and benchmarked.
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
 pub mod baselines;
 mod index;
 mod matcher;

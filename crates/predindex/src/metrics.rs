@@ -156,6 +156,7 @@ impl IndexMetrics {
         self.ibs_nodes.add(nodes);
         self.ibs_marks.add(marks);
         {
+            // srclint:allow(no-panic-in-lib): a poisoned metrics map means a holder panicked; propagating is by design
             let map = self.per_attr.read().expect("metrics map poisoned");
             if let Some(work) = map.get(relation).and_then(|inner| inner.get(&attr)) {
                 work.nodes.add(nodes);
@@ -163,6 +164,7 @@ impl IndexMetrics {
                 return;
             }
         }
+        // srclint:allow(no-panic-in-lib): the enabled() constructor always sets the registry
         let registry = self.registry.as_ref().expect("enabled bundle has registry");
         let work = AttrWork {
             nodes: registry.counter(&format!(
@@ -176,6 +178,7 @@ impl IndexMetrics {
         work.marks.add(marks);
         self.per_attr
             .write()
+            // srclint:allow(no-panic-in-lib): a poisoned metrics map means a holder panicked; propagating is by design
             .expect("metrics map poisoned")
             .entry(relation.to_string())
             .or_default()
@@ -214,17 +217,20 @@ impl IndexMetrics {
 
     fn relation_counter(&self, relation: &str) -> Counter {
         {
+            // srclint:allow(no-panic-in-lib): a poisoned metrics map means a holder panicked; propagating is by design
             let map = self.per_relation.read().expect("metrics map poisoned");
             if let Some(c) = map.get(relation) {
                 return c.clone();
             }
         }
+        // srclint:allow(no-panic-in-lib): the enabled() constructor always sets the registry
         let registry = self.registry.as_ref().expect("enabled bundle has registry");
         let c = registry.counter(&format!(
             "predindex_relation_matches_total{{relation=\"{relation}\"}}"
         ));
         self.per_relation
             .write()
+            // srclint:allow(no-panic-in-lib): a poisoned metrics map means a holder panicked; propagating is by design
             .expect("metrics map poisoned")
             .entry(relation.to_string())
             .or_insert(c)

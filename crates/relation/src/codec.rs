@@ -171,22 +171,27 @@ impl<'a> Reader<'a> {
     }
 
     pub fn u16(&mut self) -> Result<u16, CodecError> {
+        // srclint:allow(no-panic-in-lib): take(2) returned exactly 2 bytes; the array conversion is infallible
         Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
     }
 
     pub fn u32(&mut self) -> Result<u32, CodecError> {
+        // srclint:allow(no-panic-in-lib): take(4) returned exactly 4 bytes; the array conversion is infallible
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
     pub fn u64(&mut self) -> Result<u64, CodecError> {
+        // srclint:allow(no-panic-in-lib): take(8) returned exactly 8 bytes; the array conversion is infallible
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
     pub fn i32(&mut self) -> Result<i32, CodecError> {
+        // srclint:allow(no-panic-in-lib): take(4) returned exactly 4 bytes; the array conversion is infallible
         Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
     pub fn i64(&mut self) -> Result<i64, CodecError> {
+        // srclint:allow(no-panic-in-lib): take(8) returned exactly 8 bytes; the array conversion is infallible
         Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 

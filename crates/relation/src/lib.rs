@@ -7,6 +7,9 @@
 //! §1) and **optimizer selectivity estimates** (used to choose which
 //! clause of a conjunctive predicate gets indexed, §4).
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
 mod catalog;
 pub mod codec;
 pub mod fx;

@@ -23,6 +23,8 @@
 //! assert_eq!(hits, vec![IntervalId(0), IntervalId(1)]);
 //! ```
 
+#![deny(unreachable_pub)]
+
 mod bulk;
 mod rect;
 mod tree;

@@ -390,6 +390,7 @@ impl RuleEngine {
     ) -> Result<(MatchTrace, FireReport), EngineError> {
         let ev = self.db.insert_event(relation, values)?;
         let TupleEvent::Inserted { tuple, .. } = &ev else {
+            // srclint:allow(no-panic-in-lib): insert_event constructs only Inserted events
             unreachable!("insert_event yields Inserted")
         };
         let mut trace = self.index.explain_tuple(relation, tuple);
@@ -540,6 +541,7 @@ impl RuleEngine {
             TupleEvent::Updated { new, .. } => new.clone(),
             TupleEvent::Deleted { tuple, .. } => tuple.clone(),
         };
+        // srclint:allow(no-panic-in-lib): the agenda only holds ids of registered rules
         let stored = self.rules.get_mut(&rid).expect("agenda rule exists");
         let rule_name = stored.rule.name.clone();
         let action = stored.rule.action.clone();

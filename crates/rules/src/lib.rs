@@ -38,6 +38,9 @@
 //! assert!(engine.log()[0].contains("below minimum"));
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
 mod engine;
 mod rule;
 

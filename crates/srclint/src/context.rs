@@ -1,0 +1,441 @@
+//! Per-file analysis context shared by every lint: the token stream,
+//! which crate/section the file belongs to, which token ranges are
+//! test-only (`#[cfg(test)]` / `#[test]` items), where each `fn` body
+//! begins and ends, and which lines carry `srclint:allow(...)`
+//! suppressions.
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// Which part of a crate a file lives in. Lints use this to scope
+/// themselves: library invariants apply to `Src`, not to test or
+/// bench code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Section {
+    Src,
+    Tests,
+    Benches,
+    Examples,
+    Other,
+}
+
+/// A function span: name plus the token-index range of its body.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Token-index range `[body_start, body_end)` of the braced body,
+    /// including the braces themselves. Zero-length for bodyless fns
+    /// (trait methods, extern decls).
+    pub body: (usize, usize),
+}
+
+/// Everything a lint needs to know about one file.
+pub struct FileContext {
+    pub path: PathBuf,
+    pub src: String,
+    pub tokens: Vec<Token>,
+    /// Crate the file belongs to (`predindex`, ...); the root package
+    /// is `predmatch`; files outside any crate get the empty string.
+    pub krate: String,
+    pub section: Section,
+    /// Token-index ranges belonging to `#[cfg(test)]` / `#[test]`
+    /// items — exempt from library-path lints.
+    test_ranges: Vec<(usize, usize)>,
+    /// All fn spans, in source order.
+    pub fns: Vec<FnSpan>,
+    /// line -> lints allowed on that line (an allow comment covers its
+    /// own line and the next).
+    allows: BTreeMap<u32, BTreeSet<String>>,
+}
+
+impl FileContext {
+    /// Builds the context for `src` at `path`. Crate and section are
+    /// inferred from the path unless the file opens with an explicit
+    /// `// srclint-fixture: crate=<name> section=<sec>` directive
+    /// (how the fixture corpus poses as real workspace files).
+    pub fn new(path: &Path, src: String) -> FileContext {
+        let tokens = lex(&src);
+        let (mut krate, mut section) = classify(path);
+        if let Some((k, s)) = fixture_directive(&src) {
+            krate = k;
+            section = s;
+        }
+        let test_ranges = find_test_ranges(&src, &tokens);
+        let fns = find_fns(&src, &tokens);
+        let allows = find_allows(&src, &tokens);
+        FileContext {
+            path: path.to_path_buf(),
+            src,
+            tokens,
+            krate,
+            section,
+            test_ranges,
+            fns,
+            allows,
+        }
+    }
+
+    /// Is token `i` inside a test-only item?
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_ranges.iter().any(|&(a, b)| i >= a && i < b)
+    }
+
+    /// Is `lint` suppressed at `line` by an allow comment on that
+    /// line or the line above?
+    pub fn is_allowed(&self, lint: &str, line: u32) -> bool {
+        self.allows
+            .get(&line)
+            .is_some_and(|s| s.contains(lint) || s.contains("all"))
+    }
+
+    /// The innermost fn whose body contains token `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| i >= f.body.0 && i < f.body.1)
+            .min_by_key(|f| f.body.1 - f.body.0)
+    }
+
+    /// Iterator over code-token indices (comments skipped).
+    pub fn code_tokens(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.tokens.len()).filter(|&i| !self.tokens[i].is_comment())
+    }
+
+    /// The previous code token before `i`, if any.
+    pub fn prev_code(&self, i: usize) -> Option<usize> {
+        (0..i).rev().find(|&j| !self.tokens[j].is_comment())
+    }
+
+    /// The next code token after `i`, if any.
+    pub fn next_code(&self, i: usize) -> Option<usize> {
+        (i + 1..self.tokens.len()).find(|&j| !self.tokens[j].is_comment())
+    }
+}
+
+/// Infers `(crate, section)` from a workspace-relative or absolute
+/// path: `crates/<name>/<section>/...`, with the repository root's
+/// own `src`/`tests` belonging to the root package.
+fn classify(path: &Path) -> (String, Section) {
+    let comps: Vec<&str> = path.iter().filter_map(|c| c.to_str()).collect();
+    for (i, c) in comps.iter().enumerate() {
+        if *c == "crates" && i + 2 < comps.len() {
+            let krate = comps[i + 1].to_string();
+            let section = match comps[i + 2] {
+                "src" => Section::Src,
+                "tests" => Section::Tests,
+                "benches" => Section::Benches,
+                "examples" => Section::Examples,
+                _ => Section::Other,
+            };
+            return (krate, section);
+        }
+    }
+    // Root package layout: src/, tests/, examples/ directly under the
+    // workspace root.
+    for (i, c) in comps.iter().enumerate() {
+        let section = match *c {
+            "src" => Section::Src,
+            "tests" => Section::Tests,
+            "benches" => Section::Benches,
+            "examples" => Section::Examples,
+            _ => continue,
+        };
+        if i + 1 < comps.len() {
+            return ("predmatch".to_string(), section);
+        }
+    }
+    (String::new(), Section::Other)
+}
+
+/// Parses the fixture header `// srclint-fixture: crate=x section=src`
+/// from the first line of the file.
+fn fixture_directive(src: &str) -> Option<(String, Section)> {
+    let first = src.lines().next()?;
+    let rest = first.trim().strip_prefix("// srclint-fixture:")?;
+    let mut krate = String::new();
+    let mut section = Section::Src;
+    for part in rest.split_whitespace() {
+        if let Some(v) = part.strip_prefix("crate=") {
+            krate = v.to_string();
+        } else if let Some(v) = part.strip_prefix("section=") {
+            section = match v {
+                "src" => Section::Src,
+                "tests" => Section::Tests,
+                "benches" => Section::Benches,
+                "examples" => Section::Examples,
+                _ => Section::Other,
+            };
+        }
+    }
+    Some((krate, section))
+}
+
+/// Finds token ranges covered by test-only items: an outer attribute
+/// containing the ident `test` (and not `not`, so `#[cfg(not(test))]`
+/// stays live code) followed by an item, covered to the item's end —
+/// the matching `}` of its first body brace, or a `;` for bodyless
+/// items.
+fn find_test_ranges(src: &str, tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct(src, '#') && next_is(src, tokens, i, '[') {
+            let attr_start = i;
+            let (has_test, has_not, after_attr) = scan_attr(src, tokens, i);
+            if has_test && !has_not {
+                let end = item_end(src, tokens, after_attr);
+                out.push((attr_start, end));
+                i = end;
+                continue;
+            }
+            i = after_attr;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+fn next_is(src: &str, tokens: &[Token], i: usize, p: char) -> bool {
+    tokens.get(i + 1).is_some_and(|t| t.is_punct(src, p))
+}
+
+/// Scans an attribute starting at the `#` token; returns whether it
+/// mentions `test`, whether it mentions `not`, and the index just
+/// past the closing `]`.
+fn scan_attr(src: &str, tokens: &[Token], hash: usize) -> (bool, bool, usize) {
+    let mut depth = 0usize;
+    let mut has_test = false;
+    let mut has_not = false;
+    let mut i = hash + 1;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct(src, '[') {
+            depth += 1;
+        } else if t.is_punct(src, ']') {
+            depth -= 1;
+            if depth == 0 {
+                return (has_test, has_not, i + 1);
+            }
+        } else if t.kind == TokenKind::Ident {
+            match t.text(src) {
+                "test" => has_test = true,
+                "not" => has_not = true,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    (has_test, has_not, i)
+}
+
+/// From the first token of an item (past its attributes), the token
+/// index just after the item ends. Skips any further attributes, then
+/// runs to the matching `}` of the first open brace — or to a `;`
+/// seen before any brace (e.g. `#[cfg(test)] use helpers;`).
+fn item_end(src: &str, tokens: &[Token], mut i: usize) -> usize {
+    // Skip stacked attributes (`#[cfg(test)] #[allow(...)] mod t {}`).
+    while i < tokens.len() && tokens[i].is_punct(src, '#') && next_is(src, tokens, i, '[') {
+        let (_, _, after) = scan_attr(src, tokens, i);
+        i = after;
+    }
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct(src, '{') {
+            depth += 1;
+        } else if t.is_punct(src, '}') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i + 1;
+            }
+        } else if t.is_punct(src, ';') && depth == 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Records every `fn` with its braced body range. Body detection is
+/// deliberately simple: the first `{` after the `fn` keyword at zero
+/// paren/bracket nesting opens the body. (Const-generic braces in
+/// signatures would fool this; the workspace has none.)
+fn find_fns(src: &str, tokens: &[Token]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident(src, "fn") {
+            // Name is the next code token (comments can intervene).
+            let name_ix = (i + 1..tokens.len()).find(|&j| !tokens[j].is_comment());
+            let name = match name_ix {
+                Some(j) if tokens[j].kind == TokenKind::Ident => tokens[j].text(src).to_string(),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            let fn_tok = i;
+            let mut paren = 0i32;
+            let mut bracket = 0i32;
+            let mut j = name_ix.unwrap_or(i) + 1;
+            let mut body = (0usize, 0usize);
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct(src, '(') {
+                    paren += 1;
+                } else if t.is_punct(src, ')') {
+                    paren -= 1;
+                } else if t.is_punct(src, '[') {
+                    bracket += 1;
+                } else if t.is_punct(src, ']') {
+                    bracket -= 1;
+                } else if t.is_punct(src, ';') && paren == 0 && bracket == 0 {
+                    // Bodyless: trait method signature or extern decl.
+                    break;
+                } else if t.is_punct(src, '{') && paren == 0 && bracket == 0 {
+                    let mut depth = 0i32;
+                    let start = j;
+                    while j < tokens.len() {
+                        if tokens[j].is_punct(src, '{') {
+                            depth += 1;
+                        } else if tokens[j].is_punct(src, '}') {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                    body = (start, (j + 1).min(tokens.len()));
+                    break;
+                }
+                j += 1;
+            }
+            out.push(FnSpan { name, fn_tok, body });
+            // Continue from just inside the body so nested fns are
+            // found too.
+            i = body.0.max(fn_tok) + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Collects `srclint:allow(a, b)` comments into a line -> lints map.
+/// An allow on line L covers L (trailing form) and L+1 (preceding
+/// form).
+fn find_allows(src: &str, tokens: &[Token]) -> BTreeMap<u32, BTreeSet<String>> {
+    let mut out: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+    for t in tokens.iter().filter(|t| t.is_comment()) {
+        let text = t.text(src);
+        let mut rest = text;
+        while let Some(at) = rest.find("srclint:allow(") {
+            rest = &rest[at + "srclint:allow(".len()..];
+            let Some(close) = rest.find(')') else { break };
+            for name in rest[..close].split(',') {
+                let name = name.trim().to_string();
+                if name.is_empty() {
+                    continue;
+                }
+                out.entry(t.line).or_default().insert(name.clone());
+                out.entry(t.line + 1).or_default().insert(name);
+            }
+            rest = &rest[close..];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(src: &str) -> FileContext {
+        FileContext::new(Path::new("crates/demo/src/lib.rs"), src.to_string())
+    }
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(
+            classify(Path::new("crates/predindex/src/sharded.rs")),
+            ("predindex".to_string(), Section::Src)
+        );
+        assert_eq!(
+            classify(Path::new("/abs/repo/crates/ibs/tests/prop.rs")).1,
+            Section::Tests
+        );
+        assert_eq!(
+            classify(Path::new("tests/end_to_end.rs")),
+            ("predmatch".to_string(), Section::Tests)
+        );
+    }
+
+    #[test]
+    fn test_mod_ranges_cover_bodies() {
+        let c = ctx(
+            "fn lib() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn t() { y.unwrap(); }\n}\n",
+        );
+        let unwraps: Vec<usize> = c
+            .code_tokens()
+            .filter(|&i| c.tokens[i].is_ident(&c.src, "unwrap"))
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!c.in_test(unwraps[0]));
+        assert!(c.in_test(unwraps[1]));
+    }
+
+    #[test]
+    fn cfg_not_test_is_live() {
+        let c = ctx("#[cfg(not(test))]\nfn live() { x.unwrap(); }\n");
+        let i = c
+            .code_tokens()
+            .find(|&i| c.tokens[i].is_ident(&c.src, "unwrap"))
+            .expect("token");
+        assert!(!c.in_test(i));
+    }
+
+    #[test]
+    fn fn_spans_and_nesting() {
+        let c = ctx("fn outer() { if x { fn inner() { b(); } } }\nfn flat() {}\n");
+        let names: Vec<&str> = c.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner", "flat"]);
+        let b_ix = c
+            .code_tokens()
+            .find(|&i| c.tokens[i].is_ident(&c.src, "b"))
+            .expect("token");
+        assert_eq!(c.enclosing_fn(b_ix).map(|f| f.name.as_str()), Some("inner"));
+    }
+
+    #[test]
+    fn allow_covers_own_and_next_line() {
+        let c = ctx("// srclint:allow(no-panic-in-lib): fine here\nfn f() { x.unwrap(); }\nfn g() { y.unwrap(); }\n");
+        assert!(c.is_allowed("no-panic-in-lib", 1));
+        assert!(c.is_allowed("no-panic-in-lib", 2));
+        assert!(!c.is_allowed("no-panic-in-lib", 3));
+        assert!(!c.is_allowed("safety-comment", 2));
+    }
+
+    #[test]
+    fn fixture_directive_overrides_path() {
+        let c = FileContext::new(
+            Path::new("crates/srclint/tests/fixtures/x.rs"),
+            "// srclint-fixture: crate=predindex section=src\nfn f() {}\n".to_string(),
+        );
+        assert_eq!(c.krate, "predindex");
+        assert_eq!(c.section, Section::Src);
+    }
+
+    #[test]
+    fn bodyless_fn_has_empty_body() {
+        let c = ctx("trait T { fn sig(&self); fn has_body(&self) { self.sig() } }");
+        assert_eq!(c.fns[0].name, "sig");
+        assert_eq!(c.fns[0].body, (0, 0));
+        assert_eq!(c.fns[1].name, "has_body");
+        assert!(c.fns[1].body.1 > c.fns[1].body.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! srclint — the workspace's own static-analysis pass.
+//!
+//! rustc and clippy check Rust's invariants; srclint checks *ours*:
+//! the discipline this codebase has accumulated that only reviewer
+//! memory enforced before. It is a std-only tool (hand-rolled lexer,
+//! no syn/proc-macro) so it builds in the same offline environment
+//! as everything else, and it runs in CI next to clippy:
+//!
+//! ```text
+//! cargo run -p srclint -- --deny            # whole workspace, CI mode
+//! cargo run -p srclint -- --format json     # machine-readable report
+//! cargo run -p srclint -- path/to/file.rs   # just these operands
+//! ```
+//!
+//! The suite (see [`lints::all`]): `safety-comment`,
+//! `no-panic-in-lib`, `lock-discipline`, `fsync-before-rename`,
+//! `metric-name-registry`. Findings are suppressed line-by-line with
+//! `// srclint:allow(<lint>): <one-line justification>` — the
+//! justification is convention, but the lint name is checked.
+
+#![deny(unreachable_pub)]
+#![forbid(unsafe_code)]
+
+pub mod context;
+pub mod diag;
+pub mod lexer;
+pub mod lints;
+pub mod walker;
+
+pub use diag::{render_json, Diagnostic, Severity};
+
+use context::FileContext;
+use lints::WorkspaceMeta;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// What to lint and from where.
+pub struct Config {
+    /// Workspace root; diagnostics are reported relative to it and
+    /// DESIGN.md is read from it.
+    pub root: PathBuf,
+    /// Explicit operands; empty means "walk the workspace".
+    pub paths: Vec<PathBuf>,
+}
+
+/// A finished run.
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Does the report fail the run? `deny` escalates warnings.
+    pub fn is_failure(&self, deny: bool) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Deny || (deny && d.severity == Severity::Warn))
+    }
+}
+
+/// Runs the full suite over `config`'s file set.
+pub fn run(config: &Config) -> io::Result<Report> {
+    let files = if config.paths.is_empty() {
+        walker::workspace_files(&config.root)?
+    } else {
+        walker::expand_paths(&config.paths)?
+    };
+    let meta = WorkspaceMeta {
+        root: config.root.clone(),
+        metric_families: fs::read_to_string(config.root.join("DESIGN.md"))
+            .ok()
+            .as_deref()
+            .and_then(lints::metric_names_design_families),
+    };
+    let suite = lints::all();
+    let mut diagnostics = Vec::new();
+    let files_scanned = files.len();
+    for path in files {
+        let src = fs::read_to_string(&path)?;
+        let ctx = FileContext::new(&path, src);
+        for lint in &suite {
+            (lint.check)(&ctx, &meta, &mut diagnostics);
+        }
+    }
+    for d in &mut diagnostics {
+        d.file = diag::relativize(&d.file, &config.root);
+    }
+    diagnostics.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    Ok(Report {
+        diagnostics,
+        files_scanned,
+    })
+}
+
+/// Convenience for tests: lint the workspace containing `start`.
+pub fn run_workspace(start: &Path) -> io::Result<Report> {
+    let root = walker::find_workspace_root(start).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::NotFound,
+            "no [workspace] Cargo.toml above start",
+        )
+    })?;
+    run(&Config {
+        root,
+        paths: Vec::new(),
+    })
+}

@@ -1,0 +1,47 @@
+//! `fsync-before-rename`: in the durability layer, a rename
+//! publishes a file. Publishing contents that were never synced is
+//! the classic torn-snapshot bug — after a crash the name points at
+//! garbage and recovery refuses to start. So any `durable` function
+//! that calls `fs::rename` must have called `sync_all`/`sync_data`
+//! earlier in its body (the tmp-file write path), keeping the
+//! write → sync → rename → dir-sync order machine-checked.
+
+use super::{emit, is_call, WorkspaceMeta};
+use crate::context::{FileContext, Section};
+use crate::diag::Diagnostic;
+
+const LINT: &str = "fsync-before-rename";
+
+pub(super) fn check(ctx: &FileContext, _meta: &WorkspaceMeta, diags: &mut Vec<Diagnostic>) {
+    if ctx.krate != "durable" || ctx.section != Section::Src {
+        return;
+    }
+    for f in &ctx.fns {
+        let (start, end) = f.body;
+        for i in start..end {
+            if ctx.tokens[i].is_comment() || ctx.in_test(i) {
+                continue;
+            }
+            if !is_call(ctx, i, "rename") {
+                continue;
+            }
+            let synced_before = (start..i).any(|j| {
+                !ctx.tokens[j].is_comment()
+                    && (is_call(ctx, j, "sync_all") || is_call(ctx, j, "sync_data"))
+            });
+            if !synced_before {
+                emit(
+                    ctx,
+                    diags,
+                    LINT,
+                    i,
+                    format!(
+                        "`{}` renames without a prior sync_all/sync_data in its body — \
+                         a crash can publish unsynced contents",
+                        f.name
+                    ),
+                );
+            }
+        }
+    }
+}

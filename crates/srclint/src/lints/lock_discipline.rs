@@ -1,0 +1,127 @@
+//! `lock-discipline`: predindex's shard `RwLock`s may only be
+//! acquired through the `lock_read`/`lock_write` helpers (which time
+//! the wait and emit the `shard_lock` span — a raw `.read()` is an
+//! invisible lock), and no function may contain more than one
+//! acquisition site: two live shard guards deadlock against the
+//! batch path's ordered acquisition unless the call site *is* an
+//! ordered batch path, in which case it says so with
+//! `srclint:allow(lock-discipline): <why>`.
+
+use super::{emit, is_method_call, WorkspaceMeta};
+use crate::context::{FileContext, Section};
+use crate::diag::Diagnostic;
+
+const LINT: &str = "lock-discipline";
+
+/// The blessed helpers — the only fns allowed to touch
+/// `self.shards[..].read()/.write()` directly.
+const HELPERS: &[&str] = &["lock_read", "lock_write"];
+
+pub(super) fn check(ctx: &FileContext, _meta: &WorkspaceMeta, diags: &mut Vec<Diagnostic>) {
+    if ctx.krate != "predindex" || ctx.section != Section::Src {
+        return;
+    }
+    // Acquisition sites per enclosing fn: (fn index in ctx.fns, token).
+    let mut sites: Vec<(usize, usize)> = Vec::new();
+
+    for i in ctx.code_tokens() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        let raw = (is_method_call(ctx, i, "read") || is_method_call(ctx, i, "write"))
+            && receiver_is_shard(ctx, i);
+        let via_helper =
+            is_method_call(ctx, i, "lock_read") || is_method_call(ctx, i, "lock_write");
+        if !raw && !via_helper {
+            continue;
+        }
+        let encl = ctx.enclosing_fn(i);
+        let in_helper = encl.is_some_and(|f| HELPERS.contains(&f.name.as_str()));
+        if raw && !in_helper {
+            emit(
+                ctx,
+                diags,
+                LINT,
+                i,
+                format!(
+                    "raw shard-lock acquisition `.{}()` — go through lock_read/lock_write \
+                     so the wait is timed and the `shard_lock` span fires",
+                    ctx.tokens[i].text(&ctx.src)
+                ),
+            );
+        }
+        if !in_helper {
+            if let Some(f) = encl {
+                let fi = ctx
+                    .fns
+                    .iter()
+                    .position(|g| std::ptr::eq(g, f))
+                    .unwrap_or(usize::MAX);
+                sites.push((fi, i));
+            }
+        }
+    }
+
+    // Second and later acquisition sites within one fn body.
+    for (n, &(fi, tok)) in sites.iter().enumerate() {
+        let earlier = sites[..n].iter().filter(|(g, _)| *g == fi).count();
+        if earlier >= 1 {
+            let name = ctx.fns.get(fi).map(|f| f.name.clone()).unwrap_or_default();
+            emit(
+                ctx,
+                diags,
+                LINT,
+                tok,
+                format!(
+                    "`{name}` has more than one shard-guard acquisition site — only the \
+                     ordered batch path may; if guards are strictly sequential, justify \
+                     with `srclint:allow({LINT})`"
+                ),
+            );
+        }
+    }
+}
+
+/// Walks the receiver chain left of `.read()`/`.write()` looking for
+/// the `shards` field: `self.shards[sid].read()`, `lock.read()` where
+/// `lock` came from iterating `shards`, etc. The walk stops at
+/// statement boundaries; an ident `shards` anywhere in the chain (or
+/// in the `for`-binding feeding it on the same statement) marks the
+/// receiver as a shard lock. `RwLock`s that are not shard locks
+/// (e.g. metrics maps) never mention `shards` and stay out of scope.
+fn receiver_is_shard(ctx: &FileContext, call: usize) -> bool {
+    let mut i = call;
+    let mut bracket = 0i32;
+    let mut paren = 0i32;
+    let mut steps = 0;
+    while let Some(j) = ctx.prev_code(i) {
+        steps += 1;
+        if steps > 40 {
+            break;
+        }
+        let t = &ctx.tokens[j];
+        if t.is_punct(&ctx.src, ']') {
+            bracket += 1;
+        } else if t.is_punct(&ctx.src, '[') {
+            bracket -= 1;
+        } else if t.is_punct(&ctx.src, ')') {
+            paren += 1;
+        } else if t.is_punct(&ctx.src, '(') {
+            paren -= 1;
+            if paren < 0 {
+                break;
+            }
+        } else if bracket == 0 && paren == 0 {
+            if t.is_ident(&ctx.src, "shards") {
+                return true;
+            }
+            if t.is_punct(&ctx.src, ';') || t.is_punct(&ctx.src, '{') || t.is_punct(&ctx.src, '}') {
+                break;
+            }
+        } else if t.is_ident(&ctx.src, "shards") {
+            return true;
+        }
+        i = j;
+    }
+    false
+}

@@ -1,0 +1,201 @@
+//! `metric-name-registry`: every metric family registered through
+//! `registry.counter(..)` / `registry.histogram(..)` must (1) be a
+//! *statically known* family — a string literal, or a `format!` whose
+//! literal prefix up to the first `{{`-escaped label brace is the
+//! family; (2) match the snake_case family grammar, counters ending
+//! `_total`; and (3) appear in DESIGN.md's canonical metric-families
+//! table. The table is what the README, the exposition smoke greps in
+//! CI, and dashboards key on — this lint is what keeps code and table
+//! from drifting.
+
+use super::{emit, is_method_call, WorkspaceMeta};
+use crate::context::{FileContext, Section};
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+
+const LINT: &str = "metric-name-registry";
+
+/// Crates that mint metric families.
+const METRIC_CRATES: &[&str] = &["telemetry", "predindex", "rules", "durable"];
+
+pub(super) fn check(ctx: &FileContext, meta: &WorkspaceMeta, diags: &mut Vec<Diagnostic>) {
+    if ctx.section != Section::Src || !METRIC_CRATES.contains(&ctx.krate.as_str()) {
+        return;
+    }
+    for i in ctx.code_tokens() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        let is_counter = is_method_call(ctx, i, "counter");
+        if !is_counter && !is_method_call(ctx, i, "histogram") {
+            continue;
+        }
+        let Some(open) = ctx.next_code(i) else {
+            continue;
+        };
+        match family_of_arg(ctx, open) {
+            Arg::Family(family) => {
+                if !family_grammar_ok(&family) {
+                    emit(
+                        ctx,
+                        diags,
+                        LINT,
+                        i,
+                        format!(
+                            "metric family `{family}` violates the grammar \
+                             `[a-z][a-z0-9_]*` (snake_case, ASCII)"
+                        ),
+                    );
+                } else if is_counter && !family.ends_with("_total") {
+                    emit(
+                        ctx,
+                        diags,
+                        LINT,
+                        i,
+                        format!("counter family `{family}` must end in `_total`"),
+                    );
+                } else if let Some(families) = &meta.metric_families {
+                    if !families.contains(&family) {
+                        emit(
+                            ctx,
+                            diags,
+                            LINT,
+                            i,
+                            format!(
+                                "metric family `{family}` is not in DESIGN.md's \
+                                 metric-families table — register it there"
+                            ),
+                        );
+                    }
+                }
+            }
+            Arg::DynamicFamily => emit(
+                ctx,
+                diags,
+                LINT,
+                i,
+                "metric family is interpolated — the family part of the name must be a \
+                 string literal (labels after `{{` may interpolate)"
+                    .to_string(),
+            ),
+            Arg::NotALiteral => emit(
+                ctx,
+                diags,
+                LINT,
+                i,
+                "metric name is not a string literal or format! with a literal family — \
+                 srclint cannot register it"
+                    .to_string(),
+            ),
+        }
+    }
+}
+
+enum Arg {
+    /// Family resolved statically.
+    Family(String),
+    /// `format!` with an interpolation before any `{{` label brace.
+    DynamicFamily,
+    /// Something srclint cannot see through (a variable, an
+    /// expression).
+    NotALiteral,
+}
+
+/// Inspects the first argument after the call's `(` token. Accepts
+/// `"literal"`, `&format!("literal{{label…")`, and
+/// `format!("literal{{label…")`.
+fn family_of_arg(ctx: &FileContext, open: usize) -> Arg {
+    let Some(mut a) = ctx.next_code(open) else {
+        return Arg::NotALiteral;
+    };
+    // Strip leading `&`s.
+    while ctx.tokens[a].is_punct(&ctx.src, '&') {
+        match ctx.next_code(a) {
+            Some(n) => a = n,
+            None => return Arg::NotALiteral,
+        }
+    }
+    if ctx.tokens[a].kind == TokenKind::Str {
+        let lit = literal_content(ctx.tokens[a].text(&ctx.src));
+        // In a plain literal a `{` begins the label block directly.
+        let family = lit.split('{').next().unwrap_or("").to_string();
+        return Arg::Family(family);
+    }
+    if ctx.tokens[a].is_ident(&ctx.src, "format") {
+        // format ! ( "literal…"
+        let Some(bang) = ctx.next_code(a) else {
+            return Arg::NotALiteral;
+        };
+        if !ctx.tokens[bang].is_punct(&ctx.src, '!') {
+            return Arg::NotALiteral;
+        }
+        let Some(paren) = ctx.next_code(bang) else {
+            return Arg::NotALiteral;
+        };
+        let Some(lit_ix) = ctx.next_code(paren) else {
+            return Arg::NotALiteral;
+        };
+        if ctx.tokens[lit_ix].kind != TokenKind::Str {
+            return Arg::NotALiteral;
+        }
+        let lit = literal_content(ctx.tokens[lit_ix].text(&ctx.src));
+        return match lit.find('{') {
+            // `{{` escapes a literal `{`: the family ends, labels
+            // begin. A single `{` interpolates inside the family.
+            Some(at) if lit[at..].starts_with("{{") => Arg::Family(lit[..at].to_string()),
+            Some(_) => Arg::DynamicFamily,
+            None => Arg::Family(lit.to_string()),
+        };
+    }
+    Arg::NotALiteral
+}
+
+/// Strips the quotes (and a `b` prefix) off a string-literal token's
+/// text.
+fn literal_content(text: &str) -> &str {
+    let t = text.strip_prefix('b').unwrap_or(text);
+    t.strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .unwrap_or(t)
+}
+
+fn family_grammar_ok(family: &str) -> bool {
+    let mut chars = family.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_lowercase() => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// Parses the canonical metric-families table out of DESIGN.md: the
+/// backticked first cell of every `|`-row under a heading containing
+/// "Metric famil". Returns `None` when the document or section is
+/// missing.
+pub fn design_families(design_md: &str) -> Option<std::collections::BTreeSet<String>> {
+    let mut in_section = false;
+    let mut found_any = false;
+    let mut out = std::collections::BTreeSet::new();
+    for line in design_md.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with('#') {
+            in_section = trimmed.contains("Metric famil");
+            continue;
+        }
+        if !in_section || !trimmed.starts_with('|') {
+            continue;
+        }
+        let first_cell = trimmed.trim_start_matches('|');
+        let Some(start) = first_cell.find('`') else {
+            continue;
+        };
+        let rest = &first_cell[start + 1..];
+        let Some(end) = rest.find('`') else { continue };
+        let name = &rest[..end];
+        if !name.is_empty() {
+            out.insert(name.to_string());
+            found_any = true;
+        }
+    }
+    found_any.then_some(out)
+}

@@ -1,0 +1,122 @@
+//! The lint suite. Each lint encodes one project invariant that
+//! rustc/clippy cannot check; each is scoped to the crates and
+//! sections where the invariant holds, and every finding can be
+//! suppressed at the line level with
+//! `// srclint:allow(<lint>): <one-line justification>`.
+
+mod fsync_rename;
+mod lock_discipline;
+mod metric_names;
+mod no_panic;
+mod safety_comment;
+
+pub use metric_names::design_families as metric_names_design_families;
+
+use crate::context::FileContext;
+use crate::diag::Diagnostic;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+/// Workspace-level facts lints can consult (beyond the single file
+/// they are looking at).
+pub struct WorkspaceMeta {
+    pub root: PathBuf,
+    /// Metric families declared in DESIGN.md's canonical table;
+    /// `None` when DESIGN.md (or the table) is absent, which turns
+    /// the registry cross-check off rather than failing every site.
+    pub metric_families: Option<BTreeSet<String>>,
+}
+
+/// One lint: a stable slug (the `srclint:allow` name) and a checker.
+pub struct Lint {
+    pub name: &'static str,
+    pub summary: &'static str,
+    pub check: fn(&FileContext, &WorkspaceMeta, &mut Vec<Diagnostic>),
+}
+
+/// The full suite, in reporting order.
+pub fn all() -> Vec<Lint> {
+    vec![
+        Lint {
+            name: "safety-comment",
+            summary: "every `unsafe` must be preceded by a // SAFETY: comment",
+            check: safety_comment::check,
+        },
+        Lint {
+            name: "no-panic-in-lib",
+            summary: "no unwrap/expect/panic!/unreachable! in library code paths",
+            check: no_panic::check,
+        },
+        Lint {
+            name: "lock-discipline",
+            summary: "predindex shard locks only via lock_read/lock_write; one guard per fn",
+            check: lock_discipline::check,
+        },
+        Lint {
+            name: "fsync-before-rename",
+            summary: "durable fns that rename must sync file contents first",
+            check: fsync_rename::check,
+        },
+        Lint {
+            name: "metric-name-registry",
+            summary: "metric families are snake_case literals listed in DESIGN.md",
+            check: metric_names::check,
+        },
+    ]
+}
+
+/// Is token `i` the identifier `name` invoked as a method
+/// (`recv.name(...)`)?
+pub(crate) fn is_method_call(ctx: &FileContext, i: usize, name: &str) -> bool {
+    ctx.tokens[i].is_ident(&ctx.src, name)
+        && ctx
+            .prev_code(i)
+            .is_some_and(|p| ctx.tokens[p].is_punct(&ctx.src, '.'))
+        && ctx
+            .next_code(i)
+            .is_some_and(|n| ctx.tokens[n].is_punct(&ctx.src, '('))
+}
+
+/// Is token `i` the identifier `name` invoked as a macro
+/// (`name!(...)`)? Skips definitions (`macro_rules! name`).
+pub(crate) fn is_macro_call(ctx: &FileContext, i: usize, name: &str) -> bool {
+    ctx.tokens[i].is_ident(&ctx.src, name)
+        && ctx
+            .next_code(i)
+            .is_some_and(|n| ctx.tokens[n].is_punct(&ctx.src, '!'))
+        && !ctx
+            .prev_code(i)
+            .is_some_and(|p| ctx.tokens[p].is_ident(&ctx.src, "macro_rules"))
+}
+
+/// Is token `i` the identifier `name` called as a plain or path-
+/// qualified function (`name(...)`, `fs::name(...)`)? Method-call
+/// receivers also pass — the distinction never matters to callers.
+pub(crate) fn is_call(ctx: &FileContext, i: usize, name: &str) -> bool {
+    ctx.tokens[i].is_ident(&ctx.src, name)
+        && ctx
+            .next_code(i)
+            .is_some_and(|n| ctx.tokens[n].is_punct(&ctx.src, '('))
+}
+
+/// Emits `msg` at token `i` unless an allow comment suppresses it.
+pub(crate) fn emit(
+    ctx: &FileContext,
+    diags: &mut Vec<Diagnostic>,
+    lint: &'static str,
+    i: usize,
+    msg: String,
+) {
+    let t = &ctx.tokens[i];
+    if ctx.is_allowed(lint, t.line) {
+        return;
+    }
+    diags.push(Diagnostic {
+        lint,
+        severity: crate::diag::Severity::Deny,
+        file: ctx.path.clone(),
+        line: t.line,
+        col: t.col,
+        message: msg,
+    });
+}

@@ -1,0 +1,70 @@
+//! `safety-comment`: every `unsafe` keyword — block or fn — must be
+//! justified by a nearby comment carrying `SAFETY:` (or a `# Safety`
+//! doc section for unsafe fns). The paper's data structures lean on
+//! structural invariants (mark-set rules, rotation bookkeeping); any
+//! `unsafe` that rides on those invariants must say which one it
+//! trusts. Applies to every crate and section: test code gets no
+//! pass on memory safety.
+
+use super::{emit, WorkspaceMeta};
+use crate::context::FileContext;
+use crate::diag::Diagnostic;
+
+const LINT: &str = "safety-comment";
+
+/// How far above the `unsafe` token the justifying comment may sit.
+const MAX_GAP_LINES: u32 = 3;
+
+pub(super) fn check(ctx: &FileContext, _meta: &WorkspaceMeta, diags: &mut Vec<Diagnostic>) {
+    for i in 0..ctx.tokens.len() {
+        if ctx.tokens[i].is_comment() || !ctx.tokens[i].is_ident(&ctx.src, "unsafe") {
+            continue;
+        }
+        let line = ctx.tokens[i].line;
+        // Nearest comment *block* before the keyword, close enough to
+        // be about it. A block of consecutive `//` lines lexes as one
+        // token per line, so walk the whole adjacent run — the
+        // `SAFETY:` opener may sit several comment lines up.
+        let preceding_ok = comment_block_before(ctx, i).is_some_and(|(first, last)| {
+            let t = &ctx.tokens[last];
+            let end_line = t.line + t.text(&ctx.src).matches('\n').count() as u32;
+            end_line + MAX_GAP_LINES >= line
+                && (first..=last).any(|j| is_safety_text(ctx.tokens[j].text(&ctx.src)))
+        });
+        // Or a trailing comment on the same line (`unsafe { .. } // SAFETY: ..`).
+        let trailing_ok = (i + 1..ctx.tokens.len())
+            .take_while(|&j| ctx.tokens[j].line == line)
+            .any(|j| ctx.tokens[j].is_comment() && is_safety_text(ctx.tokens[j].text(&ctx.src)));
+        if !preceding_ok && !trailing_ok {
+            emit(
+                ctx,
+                diags,
+                LINT,
+                i,
+                "`unsafe` without a `// SAFETY:` comment stating the invariant it relies on"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Token range `(first, last)` of the run of comment tokens directly
+/// preceding token `i`, where consecutive members sit on adjacent
+/// lines (blank lines break the run).
+fn comment_block_before(ctx: &FileContext, i: usize) -> Option<(usize, usize)> {
+    let last = (0..i).rev().find(|&j| ctx.tokens[j].is_comment())?;
+    let mut first = last;
+    while first > 0 {
+        let prev = first - 1;
+        if ctx.tokens[prev].is_comment() && ctx.tokens[prev].line + 1 == ctx.tokens[first].line {
+            first = prev;
+        } else {
+            break;
+        }
+    }
+    Some((first, last))
+}
+
+fn is_safety_text(text: &str) -> bool {
+    text.contains("SAFETY:") || text.contains("# Safety")
+}

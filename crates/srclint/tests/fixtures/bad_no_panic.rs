@@ -1,0 +1,30 @@
+// srclint-fixture: crate=predicate section=src
+// A fixture, not compiled: panicking calls in a library path.
+
+fn first(v: &[i32]) -> i32 {
+    *v.first().unwrap()
+}
+
+fn named(v: &[i32]) -> i32 {
+    *v.first().expect("non-empty")
+}
+
+fn dispatch(x: u8) -> u8 {
+    match x {
+        0 => 1,
+        _ => unreachable!("caller filtered"),
+    }
+}
+
+fn not_done() {
+    todo!()
+}
+
+fn chain(v: Option<Option<i32>>) -> i32 {
+    // An allow comment placed too far up: it covers its own line and
+    // the next, but the offending call sits two lines below it.
+    // srclint:allow(no-panic-in-lib): misplaced — does not reach the expect below
+    v.flatten()
+        .map(|x| x + 1)
+        .expect("still flagged")
+}

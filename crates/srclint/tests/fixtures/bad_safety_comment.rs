@@ -1,0 +1,18 @@
+// srclint-fixture: crate=ibs section=src
+// A fixture, not compiled: `unsafe` with no SAFETY comment anywhere
+// near it must be flagged — including inside test code, which gets no
+// pass on memory safety.
+
+fn read_first(v: &[u8]) -> u8 {
+    // The comment above the block talks about something unrelated.
+    unsafe { *v.get_unchecked(0) }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unsafe_in_tests_is_still_checked() {
+        let v = [1u8];
+        let _ = unsafe { *v.as_ptr() };
+    }
+}

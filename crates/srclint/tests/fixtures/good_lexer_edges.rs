@@ -1,0 +1,27 @@
+// srclint-fixture: crate=predicate section=src
+// A fixture, not compiled: lexer edge cases that would surface false
+// positives if mishandled. Everything below is clean.
+
+/* A block comment /* with a nested block */ still inside the outer:
+   unsafe { } and x.unwrap() are comment text, not code. */
+
+fn lifetimes_are_not_chars<'a>(x: &'a str) -> &'a str {
+    // 'a above must lex as a lifetime; the literals below as chars.
+    let _tick: char = '\'';
+    let _escaped: char = '\u{7f}';
+    let _plain: char = 'u';
+    x
+}
+
+fn raw_strings_hide_everything() -> &'static str {
+    r##"r#"nested quote"# and panic!("text") and unsafe { }"##
+}
+
+fn byte_strings_too() -> &'static [u8] {
+    br#"b.unwrap() // not a comment either"#
+}
+
+fn r_is_a_normal_ident(r: i32) -> i32 {
+    let r#match = r; // raw ident keyword
+    r#match
+}

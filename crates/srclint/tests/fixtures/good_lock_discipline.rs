@@ -1,0 +1,39 @@
+// srclint-fixture: crate=predindex section=src
+// A fixture, not compiled: the blessed patterns — helpers own the raw
+// acquisition, callers take one guard per fn, and the ordered batch
+// path declares itself.
+
+struct M {
+    shards: Vec<std::sync::RwLock<i32>>,
+}
+
+impl M {
+    fn lock_read(&self, sid: usize) -> std::sync::RwLockReadGuard<'_, i32> {
+        // srclint:allow(no-panic-in-lib): poisoned shard lock means a writer panicked
+        self.shards[sid].read().expect("poisoned")
+    }
+
+    fn lock_write(&self, sid: usize) -> std::sync::RwLockWriteGuard<'_, i32> {
+        // srclint:allow(no-panic-in-lib): poisoned shard lock means a writer panicked
+        self.shards[sid].write().expect("poisoned")
+    }
+
+    fn one_guard(&self, sid: usize) -> i32 {
+        *self.lock_read(sid)
+    }
+
+    fn ordered_batch(&self, sids: &[usize]) -> i32 {
+        let mut total = 0;
+        let first = self.lock_read(0);
+        for &sid in sids {
+            // srclint:allow(lock-discipline): this is the ordered batch-acquisition path — sids are sorted ascending
+            total += *self.lock_write(sid);
+        }
+        total + *first
+    }
+
+    fn other_rwlocks_are_out_of_scope(cache: &std::sync::RwLock<i32>) -> i32 {
+        // srclint:allow(no-panic-in-lib): fixture
+        *cache.read().expect("not a shard lock")
+    }
+}

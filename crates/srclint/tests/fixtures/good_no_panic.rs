@@ -1,0 +1,44 @@
+// srclint-fixture: crate=predicate section=src
+// A fixture, not compiled: every accepted way to live with the
+// no-panic rule in a library path.
+
+fn fallible(v: &[i32]) -> Option<i32> {
+    v.first().copied()
+}
+
+fn defaulted(v: &[i32]) -> i32 {
+    v.first().copied().unwrap_or(0)
+}
+
+fn justified(v: &[i32]) -> i32 {
+    // srclint:allow(no-panic-in-lib): v is rebuilt non-empty two lines up
+    *v.first().expect("non-empty by construction")
+}
+
+struct Parser;
+impl Parser {
+    fn expect(&self, _want: u8) -> Result<(), String> {
+        Ok(())
+    }
+    fn caller(&self) -> Result<(), String> {
+        // A user-defined `expect` on self is not Option::expect.
+        self.expect(1)
+    }
+}
+
+fn raw_strings_do_not_confuse_the_lexer() -> &'static str {
+    // The words below are string content, not calls.
+    r#"x.unwrap() and panic!("boom") inside a raw string"#
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v = vec![1];
+        assert_eq!(*v.first().unwrap(), 1);
+        if v.is_empty() {
+            panic!("impossible");
+        }
+    }
+}

@@ -1,0 +1,36 @@
+// srclint-fixture: crate=ibs section=src
+// A fixture, not compiled: every accepted placement of the SAFETY
+// justification.
+
+fn single_line(v: &[u8]) -> u8 {
+    // SAFETY: caller guarantees `v` is non-empty.
+    unsafe { *v.get_unchecked(0) }
+}
+
+fn multi_line_block(v: &[u8]) -> u8 {
+    // SAFETY: the id came off a live tree link, and links only ever
+    // point at in-bounds, occupied slots — dealloc unlinks before
+    // freeing, so the slot cannot have been recycled under us.
+    unsafe { *v.get_unchecked(0) }
+}
+
+fn opener_lines_up_the_block(v: &[u8]) -> u8 {
+    // A leading remark,
+    // then the SAFETY: marker on a later line of the same comment
+    // block, still counts — the block is read as a unit.
+    unsafe { *v.get_unchecked(0) }
+}
+
+fn trailing(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) } // SAFETY: bounds checked by caller.
+}
+
+/// Docs for an unsafe fn use the rustdoc convention instead.
+///
+/// # Safety
+///
+/// `p` must be valid for reads.
+unsafe fn deref(p: *const u8) -> u8 {
+    // SAFETY: forwarded contract — `p` is valid per this fn's docs.
+    unsafe { *p }
+}

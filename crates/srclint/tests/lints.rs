@@ -1,0 +1,172 @@
+//! Fixture-driven positive/negative tests for every lint, plus
+//! exit-code checks on the built binary. Fixtures live in
+//! `tests/fixtures/` (excluded from the workspace walk) and pose as
+//! workspace files via the `// srclint-fixture:` header.
+
+use srclint::{run, Config};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    srclint::walker::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above the srclint crate")
+}
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Lints one fixture and returns `(lint, line)` per finding.
+fn findings(name: &str) -> Vec<(String, u32)> {
+    let report = run(&Config {
+        root: workspace_root(),
+        paths: vec![fixture(name)],
+    })
+    .expect("fixture lints");
+    report
+        .diagnostics
+        .iter()
+        .map(|d| (d.lint.to_string(), d.line))
+        .collect()
+}
+
+fn lints_of(name: &str) -> BTreeSet<String> {
+    findings(name).into_iter().map(|(l, _)| l).collect()
+}
+
+// ---------------------------------------------------------------- good
+
+#[test]
+fn good_fixtures_are_clean() {
+    for name in [
+        "good_safety_comment.rs",
+        "good_no_panic.rs",
+        "good_lock_discipline.rs",
+        "good_fsync_rename.rs",
+        "good_metric_names.rs",
+        "good_lexer_edges.rs",
+    ] {
+        let found = findings(name);
+        assert!(found.is_empty(), "{name} should be clean, got {found:?}");
+    }
+}
+
+// ----------------------------------------------------------------- bad
+
+#[test]
+fn bad_safety_comment_flags_bare_unsafe() {
+    let found = findings("bad_safety_comment.rs");
+    assert_eq!(found.len(), 2, "{found:?}");
+    assert!(found.iter().all(|(l, _)| l == "safety-comment"));
+    // One in library code, one inside #[cfg(test)] — no test exemption
+    // for memory safety.
+    let lines: Vec<u32> = found.iter().map(|&(_, ln)| ln).collect();
+    assert_eq!(lines, vec![8, 16]);
+}
+
+#[test]
+fn bad_no_panic_flags_methods_macros_and_misplaced_allow() {
+    let found = findings("bad_no_panic.rs");
+    assert!(found.iter().all(|(l, _)| l == "no-panic-in-lib"));
+    let lines: Vec<u32> = found.iter().map(|&(_, ln)| ln).collect();
+    // unwrap, expect, unreachable!, todo!, and the expect two lines
+    // below a misplaced allow comment (allow covers its line + 1).
+    assert_eq!(lines, vec![5, 9, 15, 20, 29], "{found:?}");
+}
+
+#[test]
+fn bad_lock_discipline_flags_raw_and_double_acquisition() {
+    let found = findings("bad_lock_discipline.rs");
+    assert_eq!(lints_of("bad_lock_discipline.rs").len(), 1);
+    assert!(found.iter().all(|(l, _)| l == "lock-discipline"));
+    // One raw `.read()` outside the helpers, one second-guard site.
+    assert_eq!(found.len(), 2, "{found:?}");
+}
+
+#[test]
+fn bad_fsync_rename_flags_unsynced_and_late_sync() {
+    let found = findings("bad_fsync_rename.rs");
+    assert!(found.iter().all(|(l, _)| l == "fsync-before-rename"));
+    assert_eq!(found.len(), 2, "{found:?}");
+}
+
+#[test]
+fn bad_metric_names_flags_every_shape() {
+    let found = findings("bad_metric_names.rs");
+    assert!(found.iter().all(|(l, _)| l == "metric-name-registry"));
+    // missing _total, bad grammar, interpolated family, non-literal,
+    // and a conforming name absent from DESIGN.md's table.
+    assert_eq!(found.len(), 5, "{found:?}");
+}
+
+#[test]
+fn design_md_table_is_present_and_parsed() {
+    // The registry cross-check must be armed: if DESIGN.md loses its
+    // metric-families table, absent-family findings silently vanish.
+    let design = std::fs::read_to_string(workspace_root().join("DESIGN.md")).expect("DESIGN.md");
+    let families = srclint::lints::metric_names_design_families(&design)
+        .expect("DESIGN.md has a parseable metric-families table");
+    for expected in [
+        "predindex_match_tuples_total",
+        "predindex_shard_lock_wait_nanos",
+        "rules_fired_total",
+        "wal_fsync_nanos",
+        "durable_recovery_frames_total",
+    ] {
+        assert!(families.contains(expected), "table lost `{expected}`");
+    }
+}
+
+// -------------------------------------------------------------- binary
+
+fn run_bin(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_srclint"))
+        .args(args)
+        .current_dir(workspace_root())
+        .output()
+        .expect("binary runs");
+    let code = out.status.code().expect("exit code");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    (code, stdout)
+}
+
+#[test]
+fn deny_exits_nonzero_on_each_bad_fixture_and_zero_on_good() {
+    for name in [
+        "bad_safety_comment.rs",
+        "bad_no_panic.rs",
+        "bad_lock_discipline.rs",
+        "bad_fsync_rename.rs",
+        "bad_metric_names.rs",
+    ] {
+        let (code, _) = run_bin(&["--deny", fixture(name).to_str().expect("utf8 path")]);
+        assert_eq!(code, 1, "{name} should fail --deny");
+    }
+    for name in ["good_no_panic.rs", "good_metric_names.rs"] {
+        let (code, out) = run_bin(&["--deny", fixture(name).to_str().expect("utf8 path")]);
+        assert_eq!(code, 0, "{name} should pass --deny: {out}");
+    }
+}
+
+#[test]
+fn json_report_is_well_formed() {
+    let (code, out) = run_bin(&[
+        "--format",
+        "json",
+        fixture("bad_no_panic.rs").to_str().expect("utf8 path"),
+    ]);
+    assert_eq!(code, 1);
+    assert!(out.contains("\"schema\": \"srclint/report-v1\""), "{out}");
+    assert!(out.contains("\"lint\": \"no-panic-in-lib\""));
+    // Paths in the report are workspace-relative.
+    assert!(out.contains("crates/srclint/tests/fixtures/bad_no_panic.rs"));
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let (code, _) = run_bin(&["--definitely-not-a-flag"]);
+    assert_eq!(code, 2);
+}

@@ -50,6 +50,9 @@
 //! assert!(off.render_text().is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
 mod counter;
 mod explain;
 mod histogram;

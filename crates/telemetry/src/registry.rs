@@ -61,12 +61,14 @@ impl Registry {
         if !self.enabled {
             return Counter::disabled();
         }
+        // srclint:allow(no-panic-in-lib): a poisoned registry lock means a holder panicked; propagating is by design
         let mut metrics = self.metrics.lock().expect("registry lock poisoned");
         match metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Counter(Counter::live()))
         {
             Metric::Counter(c) => c.clone(),
+            // srclint:allow(no-panic-in-lib): documented panic — a counter/histogram name collision is a naming bug, not a runtime condition
             Metric::Histogram(_) => panic!("metric {name:?} is registered as a histogram"),
         }
     }
@@ -78,18 +80,21 @@ impl Registry {
         if !self.enabled {
             return Histogram::disabled();
         }
+        // srclint:allow(no-panic-in-lib): a poisoned registry lock means a holder panicked; propagating is by design
         let mut metrics = self.metrics.lock().expect("registry lock poisoned");
         match metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Histogram(Histogram::live()))
         {
             Metric::Histogram(h) => h.clone(),
+            // srclint:allow(no-panic-in-lib): documented panic — a counter/histogram name collision is a naming bug, not a runtime condition
             Metric::Counter(_) => panic!("metric {name:?} is registered as a counter"),
         }
     }
 
     /// Current value of a registered counter (test/report convenience).
     pub fn counter_value(&self, name: &str) -> Option<u64> {
+        // srclint:allow(no-panic-in-lib): a poisoned registry lock means a holder panicked; propagating is by design
         let metrics = self.metrics.lock().expect("registry lock poisoned");
         match metrics.get(name)? {
             Metric::Counter(c) => Some(c.get()),
@@ -99,6 +104,7 @@ impl Registry {
 
     /// `(count, sum)` of a registered histogram.
     pub fn histogram_totals(&self, name: &str) -> Option<(u64, u64)> {
+        // srclint:allow(no-panic-in-lib): a poisoned registry lock means a holder panicked; propagating is by design
         let metrics = self.metrics.lock().expect("registry lock poisoned");
         match metrics.get(name)? {
             Metric::Histogram(h) => Some((h.count(), h.sum())),
@@ -110,6 +116,7 @@ impl Registry {
     /// — collapses a labelled family (`foo_total{shard="..."}`) into
     /// one number.
     pub fn counter_family_total(&self, prefix: &str) -> u64 {
+        // srclint:allow(no-panic-in-lib): a poisoned registry lock means a holder panicked; propagating is by design
         let metrics = self.metrics.lock().expect("registry lock poisoned");
         metrics
             .iter()
@@ -123,6 +130,7 @@ impl Registry {
 
     /// Registered metric names in sorted order.
     pub fn names(&self) -> Vec<String> {
+        // srclint:allow(no-panic-in-lib): a poisoned registry lock means a holder panicked; propagating is by design
         let metrics = self.metrics.lock().expect("registry lock poisoned");
         metrics.keys().cloned().collect()
     }
@@ -133,6 +141,7 @@ impl Registry {
     /// bound); empty buckets below the highest occupied one are
     /// skipped, since cumulative counts make them redundant.
     pub fn render_text(&self) -> String {
+        // srclint:allow(no-panic-in-lib): a poisoned registry lock means a holder panicked; propagating is by design
         let metrics = self.metrics.lock().expect("registry lock poisoned");
         let mut out = String::new();
         let mut last_family = String::new();

@@ -206,6 +206,7 @@ impl Tracer {
 
     /// Events evicted from the ring so far.
     pub fn dropped(&self) -> u64 {
+        // srclint:allow(no-panic-in-lib): a poisoned trace ring means a holder panicked; propagating is by design
         self.inner.ring.lock().expect("trace ring poisoned").dropped
     }
 
@@ -217,6 +218,7 @@ impl Tracer {
         self.inner
             .ring
             .lock()
+            // srclint:allow(no-panic-in-lib): a poisoned trace ring means a holder panicked; propagating is by design
             .expect("trace ring poisoned")
             .push(self.inner.capacity, ev);
     }
@@ -297,12 +299,14 @@ impl Tracer {
         self.inner
             .ring
             .lock()
+            // srclint:allow(no-panic-in-lib): a poisoned trace ring means a holder panicked; propagating is by design
             .expect("trace ring poisoned")
             .snapshot()
     }
 
     /// Empties the ring and returns its contents oldest-first.
     pub fn drain(&self) -> Vec<TraceEvent> {
+        // srclint:allow(no-panic-in-lib): a poisoned trace ring means a holder panicked; propagating is by design
         let mut ring = self.inner.ring.lock().expect("trace ring poisoned");
         let out = ring.snapshot();
         ring.buf.clear();

@@ -58,6 +58,8 @@
 //! assert_eq!(matches, vec![id1]);
 //! ```
 
+#![deny(unreachable_pub)]
+
 pub use altindex;
 pub use durable;
 pub use ibs;

@@ -1,0 +1,75 @@
+//! Server metric handles, pre-resolved at startup.
+//!
+//! Families (all registered in DESIGN.md §11's canonical table):
+//! `server_connections_total`, `server_requests_total{op=…}`,
+//! `server_request_nanos{op=…}`, `server_busy_total`,
+//! `server_bytes_total{dir=…}`, `server_events_dropped_total`, and
+//! `server_queue_depth`. A disabled registry hands out disabled
+//! handles, so an unmetered server pays one branch per site.
+
+use crate::proto::OP_NAMES;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+use telemetry::{Counter, Histogram, Registry};
+
+/// Per-op request counter + latency histogram.
+struct OpMetrics {
+    requests: Counter,
+    nanos: Histogram,
+}
+
+/// The server's metric bundle.
+pub(crate) struct ServerMetrics {
+    /// Connections accepted (`server_connections_total`).
+    pub(crate) connections: Counter,
+    /// Requests bounced with `Busy` (`server_busy_total`).
+    pub(crate) busy: Counter,
+    /// Frame bytes received (`server_bytes_total{dir="in"}`).
+    pub(crate) bytes_in: Counter,
+    /// Frame bytes sent (`server_bytes_total{dir="out"}`).
+    pub(crate) bytes_out: Counter,
+    /// Subscription events dropped on full reply queues
+    /// (`server_events_dropped_total`).
+    pub(crate) events_dropped: Counter,
+    /// Engine-queue depth observed at each enqueue
+    /// (`server_queue_depth`).
+    pub(crate) queue_depth: Histogram,
+    /// Keyed by the labels in [`OP_NAMES`].
+    per_op: HashMap<&'static str, OpMetrics>,
+}
+
+impl ServerMetrics {
+    pub(crate) fn from_registry(registry: &Arc<Registry>) -> ServerMetrics {
+        let per_op = OP_NAMES
+            .iter()
+            .map(|&op| {
+                (
+                    op,
+                    OpMetrics {
+                        requests: registry
+                            .counter(&format!("server_requests_total{{op=\"{op}\"}}")),
+                        nanos: registry.histogram(&format!("server_request_nanos{{op=\"{op}\"}}")),
+                    },
+                )
+            })
+            .collect();
+        ServerMetrics {
+            connections: registry.counter("server_connections_total"),
+            busy: registry.counter("server_busy_total"),
+            bytes_in: registry.counter("server_bytes_total{dir=\"in\"}"),
+            bytes_out: registry.counter("server_bytes_total{dir=\"out\"}"),
+            events_dropped: registry.counter("server_events_dropped_total"),
+            queue_depth: registry.histogram("server_queue_depth"),
+            per_op,
+        }
+    }
+
+    /// One request served: count it and record queue-to-reply latency.
+    pub(crate) fn record_op(&self, op: &str, elapsed: Duration) {
+        if let Some(m) = self.per_op.get(op) {
+            m.requests.inc();
+            m.nanos.record(elapsed.as_nanos() as u64);
+        }
+    }
+}

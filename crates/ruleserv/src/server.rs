@@ -1,0 +1,650 @@
+//! The daemon: one engine thread, one session per connection.
+//!
+//! ## Threading model
+//!
+//! ```text
+//!                 ┌───────────────┐
+//!   conn A ──────▶│ reader thread │──┐ try_send          ┌───────────────┐
+//!           ◀─────│ writer thread │◀─┼──── reply slots ──│ engine thread │
+//!                 └───────────────┘  │  bounded mpsc     │ (owns the     │
+//!                 ┌───────────────┐  ├──────────────────▶│  durable      │
+//!   conn B ──────▶│ reader thread │──┘                   │  engine +     │
+//!           ◀─────│ writer thread │◀───────── events ────│  subscribers) │
+//!                 └───────────────┘                      └───────────────┘
+//! ```
+//!
+//! * **One engine thread** owns the [`DurableRuleEngine`]; every
+//!   mutation flows through a single bounded `mpsc` queue, so WAL
+//!   ordering stays exactly as serial as the in-process engine.
+//! * **One reader thread per connection** parses frames and forwards
+//!   them to the engine queue with `try_send`: a full queue produces an
+//!   immediate [`Reply::Busy`] instead of unbounded buffering — that is
+//!   the backpressure contract.
+//! * **One writer thread per connection** owns the socket's write half.
+//!   The reader allocates a *reply slot* (a oneshot channel) per
+//!   request and pushes the receiving end onto the writer's bounded
+//!   slot queue **in request order**; whoever fulfils the slot (the
+//!   engine for accepted requests, the reader itself for `Busy` and
+//!   `Pong`), the writer emits replies strictly in that order. Replies
+//!   can never be lost or reordered by construction. The slot queue's
+//!   bound caps per-connection pipelining: a client that keeps sending
+//!   past it blocks in TCP, which is backpressure too.
+//! * **Subscriptions** ride the same slot queues: the engine pushes
+//!   pre-fulfilled slots carrying [`Reply::Event`] frames. Events to a
+//!   connection whose queue is full are *dropped and counted*; the next
+//!   event that fits is preceded by a [`Reply::Lagged`] frame carrying
+//!   the drop count — a slow subscriber can stall its own stream, never
+//!   the engine.
+
+use crate::metrics::ServerMetrics;
+use crate::proto::{op_name, read_frame, record_op_name, Event, FireSummary, Reply, Request};
+use durable::{DurableRuleEngine, Record};
+use std::collections::HashMap;
+use std::io::{self, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use telemetry::wake_addr;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerOptions {
+    /// Engine-queue bound: requests beyond this many in flight get
+    /// [`Reply::Busy`].
+    pub queue_cap: usize,
+    /// Per-connection reply-slot bound — the maximum pipelining depth;
+    /// past it the reader stops reading and TCP pushes back.
+    pub pipeline_cap: usize,
+    /// Session read poll: how often an idle reader checks the stop
+    /// flag (also the shutdown latency ceiling for idle connections).
+    pub read_timeout: Duration,
+    /// Write timeout per reply frame; a client that stops draining for
+    /// this long gets its connection dropped.
+    pub write_timeout: Duration,
+    /// Crash harness: after this many applied operations the process
+    /// aborts *after* the WAL append but *before* the reply is sent —
+    /// the exact window recovery tests need. `None` in production.
+    pub crash_after: Option<u64>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            queue_cap: 1024,
+            pipeline_cap: 4096,
+            read_timeout: Duration::from_millis(500),
+            write_timeout: Duration::from_secs(10),
+            crash_after: None,
+        }
+    }
+}
+
+/// One reply slot: the writer emits whatever arrives here, in the
+/// order the receiving ends were queued.
+type Slot = mpsc::Sender<Reply>;
+/// The writer-side queue of slots to drain, in reply order.
+type SlotQueue = SyncSender<Receiver<Reply>>;
+
+/// A request crossing from a session reader into the engine thread.
+enum EngineMsg {
+    Apply {
+        record: Record,
+        slot: Slot,
+        enqueued: Instant,
+    },
+    Subscribe {
+        conn: u64,
+        pipe: SlotQueue,
+        slot: Slot,
+        enqueued: Instant,
+    },
+    Unsubscribe {
+        conn: u64,
+        slot: Slot,
+        enqueued: Instant,
+    },
+    Health {
+        slot: Slot,
+        enqueued: Instant,
+    },
+    Sync {
+        slot: Slot,
+        enqueued: Instant,
+    },
+    /// Session ended: forget its subscription.
+    Hangup {
+        conn: u64,
+    },
+}
+
+/// A running rule server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    engine: Option<JoinHandle<DurableRuleEngine>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (useful with a `:0` ephemeral-port bind).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stops accepting, lets every session observe
+    /// the stop flag, drains the engine queue, and hands the durable
+    /// engine back (`None` only if the engine thread panicked).
+    pub fn shutdown(mut self) -> Option<DurableRuleEngine> {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept; wildcard binds dial loopback.
+        let _ = TcpStream::connect(wake_addr(self.addr));
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        self.engine.take().and_then(|t| t.join().ok())
+    }
+}
+
+/// Binds `bind` (e.g. `"127.0.0.1:7878"`, or port `0` for ephemeral)
+/// and serves the wire protocol over `engine` until
+/// [`ServerHandle::shutdown`]. Metrics are recorded into the registry
+/// the engine was opened with (disabled registry = one branch per
+/// site).
+pub fn serve(
+    bind: &str,
+    engine: DurableRuleEngine,
+    opts: ServerOptions,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(bind)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let metrics = Arc::new(ServerMetrics::from_registry(engine.metrics()));
+    let depth = Arc::new(AtomicU64::new(0));
+
+    let (engine_tx, engine_rx) = mpsc::sync_channel::<EngineMsg>(opts.queue_cap.max(1));
+    let engine_thread = {
+        let stop = Arc::clone(&stop);
+        let metrics = Arc::clone(&metrics);
+        let depth = Arc::clone(&depth);
+        std::thread::Builder::new()
+            .name("ruleserv-engine".into())
+            .spawn(move || engine_loop(engine, engine_rx, &stop, &metrics, &depth, &opts))?
+    };
+
+    let accept_thread = {
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("ruleserv-accept".into())
+            .spawn(move || {
+                let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+                let mut next_conn: u64 = 0;
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(conn) = conn else { continue };
+                    metrics.connections.inc();
+                    let id = next_conn;
+                    next_conn += 1;
+                    if let Ok(handle) = spawn_session(
+                        id,
+                        conn,
+                        engine_tx.clone(),
+                        Arc::clone(&stop),
+                        Arc::clone(&metrics),
+                        Arc::clone(&depth),
+                        opts,
+                    ) {
+                        sessions.push(handle);
+                    }
+                    // Reap finished sessions so a long-lived daemon
+                    // does not accumulate join handles.
+                    sessions.retain(|h| !h.is_finished());
+                }
+                // `engine_tx` drops here; sessions each hold a clone
+                // until they exit (bounded by the read poll).
+                for h in sessions {
+                    let _ = h.join();
+                }
+            })?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept: Some(accept_thread),
+        engine: Some(engine_thread),
+    })
+}
+
+/// Spawns the reader (returned handle) and writer threads for one
+/// connection. The reader joins the writer before exiting, so joining
+/// the reader tears down the whole session.
+fn spawn_session(
+    conn_id: u64,
+    conn: TcpStream,
+    engine_tx: SyncSender<EngineMsg>,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<ServerMetrics>,
+    depth: Arc<AtomicU64>,
+    opts: ServerOptions,
+) -> io::Result<JoinHandle<()>> {
+    conn.set_nodelay(true).ok();
+    conn.set_read_timeout(Some(opts.read_timeout)).ok();
+    conn.set_write_timeout(Some(opts.write_timeout)).ok();
+    let write_half = conn.try_clone()?;
+
+    let (pipe_tx, pipe_rx) = mpsc::sync_channel::<Receiver<Reply>>(opts.pipeline_cap.max(1));
+    let writer = {
+        let metrics = Arc::clone(&metrics);
+        std::thread::Builder::new()
+            .name(format!("ruleserv-w{conn_id}"))
+            .spawn(move || writer_loop(write_half, pipe_rx, &metrics))?
+    };
+
+    std::thread::Builder::new()
+        .name(format!("ruleserv-r{conn_id}"))
+        .spawn(move || {
+            reader_loop(conn_id, conn, &engine_tx, &pipe_tx, &stop, &metrics, &depth);
+            // Session over: release the subscription (best effort; a
+            // shut-down engine has already dropped everything).
+            let _ = engine_tx.send(EngineMsg::Hangup { conn: conn_id });
+            drop(pipe_tx);
+            let _ = writer.join();
+        })
+}
+
+/// A `Read` adapter that turns read-timeout ticks into stop-flag polls:
+/// idle waits keep blocking until bytes arrive or the server stops
+/// (then: clean EOF). Mid-frame timeouts keep the partial-frame state
+/// intact because `read` simply retries.
+struct PollRead<'a> {
+    inner: &'a TcpStream,
+    stop: &'a AtomicBool,
+}
+
+impl Read for PollRead<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            match self.inner.read(buf) {
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if self.stop.load(Ordering::SeqCst) {
+                        return Ok(0);
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn reader_loop(
+    conn_id: u64,
+    conn: TcpStream,
+    engine_tx: &SyncSender<EngineMsg>,
+    pipe_tx: &SlotQueue,
+    stop: &AtomicBool,
+    metrics: &ServerMetrics,
+    depth: &AtomicU64,
+) {
+    let mut stream = PollRead { inner: &conn, stop };
+    loop {
+        // Checked per frame, not just on idle timeouts: a client that
+        // never stops sending must not be able to hold off shutdown.
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let (opcode, payload) = match read_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            // Clean close, torn frame, or corruption all end the
+            // session; there is no way to resynchronise a byte stream.
+            Ok(None) | Err(_) => return,
+        };
+        metrics.bytes_in.add(8 + 1 + payload.len() as u64);
+        let request = match Request::decode(opcode, &payload) {
+            Ok(r) => r,
+            Err(_) => return,
+        };
+        let op = op_name(&request);
+        let enqueued = Instant::now();
+
+        // Reply slot first, *then* the engine handoff: the slot queue
+        // is what fixes reply order, so it must observe requests in
+        // arrival order before anyone can fulfil them.
+        let (slot, slot_rx) = mpsc::channel::<Reply>();
+        if pipe_tx.send(slot_rx).is_err() {
+            return; // writer died (socket error)
+        }
+
+        let msg = match request {
+            Request::Ping => {
+                // Answered here: liveness of the session must not
+                // depend on engine-queue headroom.
+                metrics.record_op(op, enqueued.elapsed());
+                let _ = slot.send(Reply::Pong);
+                continue;
+            }
+            Request::Apply(record) => EngineMsg::Apply {
+                record,
+                slot,
+                enqueued,
+            },
+            Request::Subscribe => EngineMsg::Subscribe {
+                conn: conn_id,
+                pipe: pipe_tx.clone(),
+                slot,
+                enqueued,
+            },
+            Request::Unsubscribe => EngineMsg::Unsubscribe {
+                conn: conn_id,
+                slot,
+                enqueued,
+            },
+            Request::Health => EngineMsg::Health { slot, enqueued },
+            Request::Sync => EngineMsg::Sync { slot, enqueued },
+        };
+        // Count the message before handing it over: the engine thread
+        // decrements after processing, and may get there before a
+        // post-send increment would run (which would wrap below zero).
+        let d = depth.fetch_add(1, Ordering::Relaxed) + 1;
+        match engine_tx.try_send(msg) {
+            Ok(()) => {
+                metrics.queue_depth.record(d);
+            }
+            Err(TrySendError::Full(msg)) => {
+                depth.fetch_sub(1, Ordering::Relaxed);
+                // The backpressure contract: an explicit Busy now, not
+                // an unbounded buffer. The slot is already queued, so
+                // the reply still lands in request order.
+                metrics.busy.inc();
+                let _ = slot_of(msg).send(Reply::Busy);
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                depth.fetch_sub(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+}
+
+/// Extracts the reply slot from a bounced message.
+fn slot_of(msg: EngineMsg) -> Slot {
+    match msg {
+        EngineMsg::Apply { slot, .. }
+        | EngineMsg::Subscribe { slot, .. }
+        | EngineMsg::Unsubscribe { slot, .. }
+        | EngineMsg::Health { slot, .. }
+        | EngineMsg::Sync { slot, .. } => slot,
+        // Hangup is never try_sent with backpressure handling.
+        EngineMsg::Hangup { .. } => mpsc::channel().0,
+    }
+}
+
+/// The writer: drain slots in order, batch flushes. Exits when every
+/// slot producer (reader + engine subscription) is gone or the socket
+/// fails.
+fn writer_loop(conn: TcpStream, pipe_rx: Receiver<Receiver<Reply>>, metrics: &ServerMetrics) {
+    let mut out = BufWriter::with_capacity(64 * 1024, conn);
+    loop {
+        // Prefer the non-blocking path so consecutive ready replies
+        // share one flush; block (after flushing) only when idle.
+        let slot_rx = match pipe_rx.try_recv() {
+            Ok(rx) => rx,
+            Err(mpsc::TryRecvError::Empty) => {
+                if out.flush().is_err() {
+                    return;
+                }
+                match pipe_rx.recv() {
+                    Ok(rx) => rx,
+                    Err(_) => return,
+                }
+            }
+            Err(mpsc::TryRecvError::Disconnected) => {
+                let _ = out.flush();
+                return;
+            }
+        };
+        // A dropped sender (engine shut down before fulfilling) skips
+        // the slot; the connection is going down anyway.
+        let Ok(reply) = slot_rx.recv() else { continue };
+        let (opcode, payload) = reply.encode();
+        metrics.bytes_out.add(8 + 1 + payload.len() as u64);
+        if crate::proto::write_frame(&mut out, opcode, &payload).is_err() {
+            return;
+        }
+    }
+}
+
+/// One subscriber: where to push events, and how many were dropped
+/// since the last one that fit.
+struct Subscriber {
+    pipe: SlotQueue,
+    lagged: u64,
+}
+
+impl Subscriber {
+    /// Best-effort push of one pre-fulfilled slot.
+    fn push(&mut self, reply: Reply, metrics: &ServerMetrics) {
+        if self.lagged > 0 {
+            let lag = Reply::Lagged(self.lagged);
+            if try_push(&self.pipe, lag) {
+                self.lagged = 0;
+            } else {
+                metrics.events_dropped.inc();
+                self.lagged += 1; // the event below is dropped too
+                return;
+            }
+        }
+        if !try_push(&self.pipe, reply) {
+            metrics.events_dropped.inc();
+            self.lagged += 1;
+        }
+    }
+}
+
+/// Queues an already-fulfilled slot; `false` when the pipe is full or
+/// the connection is gone.
+fn try_push(pipe: &SlotQueue, reply: Reply) -> bool {
+    let (tx, rx) = mpsc::channel();
+    let _ = tx.send(reply);
+    pipe.try_send(rx).is_ok()
+}
+
+fn engine_loop(
+    mut engine: DurableRuleEngine,
+    rx: Receiver<EngineMsg>,
+    stop: &AtomicBool,
+    metrics: &ServerMetrics,
+    depth: &AtomicU64,
+    opts: &ServerOptions,
+) -> DurableRuleEngine {
+    let mut subscribers: HashMap<u64, Subscriber> = HashMap::new();
+    let mut applied: u64 = 0;
+    loop {
+        // Checked every iteration (not only on idle timeouts) so a
+        // saturating workload cannot postpone shutdown indefinitely.
+        if stop.load(Ordering::SeqCst) {
+            // Drain what the readers managed to enqueue before they
+            // saw the flag, then retire.
+            while let Ok(msg) = rx.try_recv() {
+                handle_msg(
+                    msg,
+                    &mut engine,
+                    &mut subscribers,
+                    metrics,
+                    depth,
+                    &mut applied,
+                    opts,
+                );
+            }
+            break;
+        }
+        let msg = match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(msg) => msg,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        };
+        handle_msg(
+            msg,
+            &mut engine,
+            &mut subscribers,
+            metrics,
+            depth,
+            &mut applied,
+            opts,
+        );
+    }
+    engine
+}
+
+fn handle_msg(
+    msg: EngineMsg,
+    engine: &mut DurableRuleEngine,
+    subscribers: &mut HashMap<u64, Subscriber>,
+    metrics: &ServerMetrics,
+    depth: &AtomicU64,
+    applied: &mut u64,
+    opts: &ServerOptions,
+) {
+    if !matches!(msg, EngineMsg::Hangup { .. }) {
+        depth.fetch_sub(1, Ordering::Relaxed);
+    }
+    match msg {
+        EngineMsg::Apply {
+            record,
+            slot,
+            enqueued,
+        } => {
+            let op = record_op_name(&record);
+            let seq = engine.next_seq();
+            let reply = apply_record(engine, record, seq);
+            *applied += 1;
+            if opts.crash_after == Some(*applied) {
+                // The recovery-test window: the WAL append (and under
+                // SyncPolicy::Always the fsync) has happened, the
+                // reply has not. A real crash here must replay the op.
+                std::process::abort();
+            }
+            if let Reply::Fire(summary) = &reply {
+                if !summary.fired.is_empty() && !subscribers.is_empty() {
+                    for (rule_id, rule) in &summary.fired {
+                        let event = Reply::Event(Event {
+                            seq,
+                            rule_id: *rule_id,
+                            rule: rule.clone(),
+                        });
+                        for sub in subscribers.values_mut() {
+                            sub.push(event.clone(), metrics);
+                        }
+                    }
+                }
+            }
+            metrics.record_op(op, enqueued.elapsed());
+            let _ = slot.send(reply);
+        }
+        EngineMsg::Subscribe {
+            conn,
+            pipe,
+            slot,
+            enqueued,
+        } => {
+            subscribers.insert(conn, Subscriber { pipe, lagged: 0 });
+            metrics.record_op("subscribe", enqueued.elapsed());
+            let _ = slot.send(Reply::Unit);
+        }
+        EngineMsg::Unsubscribe {
+            conn,
+            slot,
+            enqueued,
+        } => {
+            subscribers.remove(&conn);
+            metrics.record_op("unsubscribe", enqueued.elapsed());
+            let _ = slot.send(Reply::Unit);
+        }
+        EngineMsg::Health { slot, enqueued } => {
+            metrics.record_op("health", enqueued.elapsed());
+            let _ = slot.send(Reply::Health(engine.health_text()));
+        }
+        EngineMsg::Sync { slot, enqueued } => {
+            let reply = match engine.sync() {
+                Ok(()) => Reply::Unit,
+                Err(e) => Reply::Err(e.to_string()),
+            };
+            metrics.record_op("sync", enqueued.elapsed());
+            let _ = slot.send(reply);
+        }
+        EngineMsg::Hangup { conn } => {
+            subscribers.remove(&conn);
+        }
+    }
+}
+
+/// Executes one logged mutation and shapes its reply.
+fn apply_record(engine: &mut DurableRuleEngine, record: Record, seq: u64) -> Reply {
+    let fire = |report: rules::FireReport| {
+        Reply::Fire(FireSummary {
+            seq,
+            ops_applied: report.ops_applied as u64,
+            fired: report
+                .fired
+                .into_iter()
+                .map(|(id, name)| (id.0, name))
+                .collect(),
+        })
+    };
+    match record {
+        Record::CreateRelation { schema } => match engine.create_relation(schema) {
+            Ok(()) => Reply::Unit,
+            Err(e) => Reply::Err(e.to_string()),
+        },
+        Record::DropRelation { name } => match engine.drop_relation(&name) {
+            Ok(_) => Reply::Unit,
+            Err(e) => Reply::Err(e.to_string()),
+        },
+        Record::AddRule { spec } => match engine.add_rule(spec) {
+            Ok(id) => Reply::RuleId(id.0),
+            Err(e) => Reply::Err(e.to_string()),
+        },
+        Record::RemoveRule { id } => match engine.remove_rule(rules::RuleId(id)) {
+            Ok(_) => Reply::Unit,
+            Err(e) => Reply::Err(e.to_string()),
+        },
+        Record::Insert { relation, values } => match engine.insert(&relation, values) {
+            Ok(report) => fire(report),
+            Err(e) => Reply::Err(e.to_string()),
+        },
+        Record::Update {
+            relation,
+            id,
+            values,
+        } => match engine.update(&relation, relation::TupleId(id), values) {
+            Ok(report) => fire(report),
+            Err(e) => Reply::Err(e.to_string()),
+        },
+        Record::Delete { relation, id } => match engine.delete(&relation, relation::TupleId(id)) {
+            Ok(report) => fire(report),
+            Err(e) => Reply::Err(e.to_string()),
+        },
+        Record::InsertBatch { relation, rows } => match engine.insert_batch(&relation, rows) {
+            Ok(report) => fire(report),
+            Err(e) => Reply::Err(e.to_string()),
+        },
+    }
+}

@@ -29,6 +29,7 @@ const LIB_CRATES: &[&str] = &[
     "rules",
     "durable",
     "telemetry",
+    "ruleserv",
     "srclint",
 ];
 

@@ -66,7 +66,7 @@ pub use explain::{MatchTrace, ResidualTrace, StabTrace};
 pub use histogram::{bucket_index, bucket_upper_bound, Histogram, HISTOGRAM_BUCKETS};
 pub use recorder::{FlightRecorder, PanicHookGuard};
 pub use registry::Registry;
-pub use server::{serve, HealthFn, ServerHandle};
+pub use server::{serve, wake_addr, HealthFn, ServerHandle};
 pub use trace::{
     chrome_trace_json, Span, SpanEventKind, TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY,
 };

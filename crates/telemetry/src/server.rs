@@ -11,11 +11,12 @@
 //! * `GET /trace`   — drains the trace ring as Chrome trace-event
 //!   JSON; save the body and load it in Perfetto.
 //!
-//! This is deliberately not a web framework: requests are handled
-//! serially on the accept thread, only the request line is parsed, and
-//! anything unrecognised is a 404. Shutdown is graceful — the handle
-//! sets a stop flag, wakes the (blocking) accept with a self-connect,
-//! and joins the thread.
+//! This is deliberately not a web framework: each connection is
+//! answered by a short-lived thread (so a stalled scraper can never
+//! hold a liveness probe hostage), only the request line is routed on,
+//! and anything unrecognised is a 404. Shutdown is graceful — the
+//! handle sets a stop flag, wakes the (blocking) accept with a
+//! self-connect, and joins the accept thread.
 //!
 //! ```
 //! use std::io::{Read, Write};
@@ -38,11 +39,15 @@
 use crate::registry::Registry;
 use crate::trace::Tracer;
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Upper bound on request-header lines drained per request; anything
+/// longer is a hostile client and gets its reply early.
+const MAX_HEADER_LINES: usize = 256;
 
 /// The `/health` body producer: returns `key value` lines. Opaque so
 /// higher layers (the durable engine knows its WAL sequence and shard
@@ -81,12 +86,29 @@ impl ServerHandle {
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // The accept call blocks; a throwaway connection unblocks it
-        // so it can observe the flag.
-        let _ = TcpStream::connect(self.addr);
+        // so it can observe the flag. A wildcard bind (`0.0.0.0:p`)
+        // is not itself a connectable destination everywhere, so dial
+        // the loopback equivalent instead of the bound address.
+        let _ = TcpStream::connect(wake_addr(self.addr));
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
     }
+}
+
+/// The address a local client should dial to reach a listener bound at
+/// `addr`: for a concrete IP that is the address itself, but wildcard
+/// binds (`0.0.0.0` / `[::]`) listen everywhere without being a valid
+/// destination on every platform, so substitute the matching loopback.
+pub fn wake_addr(addr: SocketAddr) -> SocketAddr {
+    let mut addr = addr;
+    if addr.ip().is_unspecified() {
+        match addr {
+            SocketAddr::V4(_) => addr.set_ip(IpAddr::V4(Ipv4Addr::LOCALHOST)),
+            SocketAddr::V6(_) => addr.set_ip(IpAddr::V6(Ipv6Addr::LOCALHOST)),
+        }
+    }
+    addr
 }
 
 /// Binds `bind` (e.g. `"127.0.0.1:9184"`, or port `0` for ephemeral)
@@ -102,6 +124,7 @@ pub fn serve(
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = Arc::clone(&stop);
+    let health = Arc::new(health);
     let thread = std::thread::Builder::new()
         .name("telemetry-exposition".into())
         .spawn(move || {
@@ -110,10 +133,23 @@ pub fn serve(
                     break;
                 }
                 let Ok(conn) = conn else { continue };
-                // A stalled client must not wedge the accept thread.
+                // Even with per-connection threads a stalled client
+                // should release its thread promptly.
                 let _ = conn.set_read_timeout(Some(Duration::from_secs(2)));
                 let _ = conn.set_write_timeout(Some(Duration::from_secs(2)));
-                let _ = handle(conn, &registry, &tracer, health.as_deref());
+                // One short-lived thread per connection: a client that
+                // connects and sends nothing ties up only its own
+                // thread for the read timeout, never the accept loop —
+                // liveness probes must not queue behind a stalled
+                // scraper.
+                let registry = Arc::clone(&registry);
+                let tracer = tracer.clone();
+                let health = Arc::clone(&health);
+                let _ = std::thread::Builder::new()
+                    .name("telemetry-conn".into())
+                    .spawn(move || {
+                        let _ = handle(conn, &registry, &tracer, health.as_deref());
+                    });
             }
         })?;
     Ok(ServerHandle {
@@ -132,6 +168,18 @@ fn handle(
     let mut reader = BufReader::new(conn);
     let mut request_line = String::new();
     reader.read_line(&mut request_line)?;
+    // Drain the request headers up to the blank line before replying.
+    // Answering while the client is still writing headers is an HTTP
+    // violation: a keep-alive client (curl) sees the response overlap
+    // its request, and a reply-then-close can RST away the body. The
+    // line cap bounds a malicious never-ending header stream; the
+    // read timeout bounds a stalled one.
+    for _ in 0..MAX_HEADER_LINES {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
     // "GET /path HTTP/1.1" — only the path matters here.
     let path = request_line.split_whitespace().nth(1).unwrap_or("");
     let (status, content_type, body) = match path {
@@ -223,6 +271,101 @@ mod tests {
                 c.read_to_string(&mut s).unwrap_or(0) == 0
             }
         );
+    }
+
+    #[test]
+    fn shutdown_unblocks_a_wildcard_bind() {
+        // Regression: the shutdown self-connect used the bound address
+        // verbatim, and connecting to 0.0.0.0 can fail — leaving the
+        // accept thread blocked and `join` hung forever.
+        let server = serve(
+            "0.0.0.0:0",
+            Arc::new(Registry::disabled()),
+            Tracer::disabled(),
+            None,
+        )
+        .unwrap();
+        assert!(server.addr().ip().is_unspecified());
+        let done = std::thread::spawn(move || server.shutdown());
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !done.is_finished() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "shutdown of a 0.0.0.0 bind hung"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        done.join().unwrap();
+    }
+
+    #[test]
+    fn wake_addr_rewrites_only_unspecified_ips() {
+        let wild: SocketAddr = "0.0.0.0:9184".parse().unwrap();
+        assert_eq!(wake_addr(wild), "127.0.0.1:9184".parse().unwrap());
+        let wild6: SocketAddr = "[::]:9184".parse().unwrap();
+        assert_eq!(wake_addr(wild6), "[::1]:9184".parse().unwrap());
+        let concrete: SocketAddr = "192.0.2.7:80".parse().unwrap();
+        assert_eq!(wake_addr(concrete), concrete);
+    }
+
+    #[test]
+    fn a_stalled_connection_does_not_block_other_requests() {
+        let server = serve(
+            "127.0.0.1:0",
+            Arc::new(Registry::disabled()),
+            Tracer::disabled(),
+            None,
+        )
+        .unwrap();
+        // Connect and send nothing: under the old serial accept loop
+        // this held every later request hostage for the full 2 s read
+        // timeout.
+        let stalled = TcpStream::connect(server.addr()).unwrap();
+        let started = std::time::Instant::now();
+        let (head, body) = get(server.addr(), "/health");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert_eq!(body, "up 1\n");
+        assert!(
+            started.elapsed() < Duration::from_millis(1500),
+            "/health queued behind a stalled connection: {:?}",
+            started.elapsed()
+        );
+        drop(stalled);
+        server.shutdown();
+    }
+
+    #[test]
+    fn headers_are_drained_before_the_reply() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("rules_fired_total").add(3);
+        let server = serve(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            Tracer::disabled(),
+            None,
+        )
+        .unwrap();
+        // Dribble the headers out slowly: the server must wait for the
+        // blank line (i.e. consume the full request) before replying.
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        write!(conn, "GET /metrics HTTP/1.1\r\nHost: t\r\n").unwrap();
+        conn.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        write!(conn, "User-Agent: dribble\r\nAccept: */*\r\n\r\n").unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert!(head.contains("Connection: close"));
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("Content-Length header")
+            .parse()
+            .unwrap();
+        assert_eq!(content_length, body.len());
+        assert!(body.contains("rules_fired_total 3"));
+        server.shutdown();
     }
 
     #[test]

@@ -16,9 +16,11 @@
 use crate::record::{ActionSpec, Record, RuleSpec};
 use crate::snapshot::{read_snapshot, CondSnap};
 use crate::wal::read_wal;
-use predicate::{parse_conjunct, parse_dnf, FunctionRegistry, Predicate};
+use predicate::{
+    parse_condition, parse_conditions, parse_conjunct, FunctionRegistry, ParsedCondition, Predicate,
+};
 use relation::{Database, TupleId};
-use rules::{Action, Rule, RuleContext, RuleEngine, RuleId};
+use rules::{Action, JoinCondition, Rule, RuleContext, RuleEngine, RuleId};
 use std::collections::HashMap;
 use std::io;
 use std::path::Path;
@@ -148,13 +150,22 @@ pub(crate) fn build_rule(
     funcs: &FunctionRegistry,
     actions: &ActionRegistry,
 ) -> Result<Rule, RecoverError> {
-    let conditions = parse_dnf(&spec.condition, funcs).map_err(|e| RecoverError::Parse {
+    let mut conditions = Vec::new();
+    let mut joins = Vec::new();
+    let parsed = parse_conditions(&spec.condition, funcs).map_err(|e| RecoverError::Parse {
         condition: spec.condition.clone(),
         error: e.to_string(),
     })?;
+    for cond in parsed {
+        match cond {
+            ParsedCondition::Single(p) => conditions.push(p),
+            ParsedCondition::Join(j) => joins.push(j),
+        }
+    }
     Ok(Rule {
         name: spec.name.clone(),
         conditions,
+        joins,
         mask: spec.mask,
         action: resolve_action(&spec.action, actions)?,
         priority: spec.priority,
@@ -197,20 +208,35 @@ pub fn replay_traced(
             let mut specs = HashMap::new();
             for r in snap.rules {
                 let mut conditions: Vec<Predicate> = Vec::with_capacity(r.conds.len());
+                let mut joins: Vec<JoinCondition> = Vec::new();
                 for c in &r.conds {
-                    conditions.push(match c {
+                    match c {
                         CondSnap::Source(src) => {
-                            parse_conjunct(src, funcs).map_err(|e| RecoverError::Parse {
+                            conditions.push(parse_conjunct(src, funcs).map_err(|e| {
+                                RecoverError::Parse {
+                                    condition: src.clone(),
+                                    error: e.to_string(),
+                                }
+                            })?)
+                        }
+                        CondSnap::Unsatisfiable(rel) => {
+                            conditions.push(Predicate::unsatisfiable(rel.clone()))
+                        }
+                        CondSnap::Join(src) => {
+                            match parse_condition(src, funcs).map_err(|e| RecoverError::Parse {
                                 condition: src.clone(),
                                 error: e.to_string(),
-                            })?
+                            })? {
+                                ParsedCondition::Single(p) => conditions.push(p),
+                                ParsedCondition::Join(j) => joins.push(j),
+                            }
                         }
-                        CondSnap::Unsatisfiable(rel) => Predicate::unsatisfiable(rel.clone()),
-                    });
+                    }
                 }
                 let rule = Rule {
                     name: r.name,
                     conditions,
+                    joins,
                     mask: r.mask,
                     action: resolve_action(&r.action, actions)?,
                     priority: r.priority,
@@ -225,6 +251,22 @@ pub fn replay_traced(
                         detail: e.to_string(),
                     })?;
             engine.set_firing_limit(snap.firing_limit as usize);
+            // Restoring reseeded every join memo from the restored
+            // tuples; the memo invariant (tokens = all valid premise
+            // prefixes) makes that reconstruction bit-identical to the
+            // pre-crash incremental state, so a digest mismatch means
+            // the snapshot pair (tuples, rules) is not the state the
+            // fingerprint was taken over.
+            let rebuilt = engine.join_fingerprint();
+            if rebuilt != snap.join_fingerprint {
+                return Err(RecoverError::Corrupt {
+                    what: "join memo fingerprint",
+                    detail: format!(
+                        "rebuilt memo digests to {rebuilt:#018x}, snapshot recorded {:#018x}",
+                        snap.join_fingerprint
+                    ),
+                });
+            }
             (engine, specs, snap.last_seq)
         }
         None => (RuleEngine::new(Database::new()), HashMap::new(), 0),

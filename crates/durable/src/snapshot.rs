@@ -33,8 +33,9 @@ use std::path::Path;
 
 /// File magic for snapshot files.
 pub const SNAP_MAGIC: &[u8; 8] = b"PMSNAP\0\0";
-/// Current snapshot format version.
-pub const SNAP_VERSION: u16 = 1;
+/// Current snapshot format version. Version 2 added join (multi-
+/// premise) conditions and the join-memo fingerprint.
+pub const SNAP_VERSION: u16 = 2;
 /// Snapshot file name inside a durable directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.bin";
 /// Temporary name used during atomic replacement.
@@ -69,6 +70,9 @@ pub enum CondSnap {
     /// clause-level spelling, so it is stored as a marker and
     /// reconstructed with [`predicate::Predicate::unsatisfiable`].
     Unsatisfiable(String),
+    /// A multi-premise join conjunct, stored as re-parseable source
+    /// text (`JoinCondition::to_source`).
+    Join(String),
 }
 
 /// Decoded snapshot contents.
@@ -89,6 +93,12 @@ pub struct SnapshotData {
     pub firing_limit: u64,
     /// The engine log.
     pub log: Vec<String>,
+    /// [`rules::RuleEngine::join_fingerprint`] at capture time.
+    /// Recovery rebuilds every join memo by reseeding from the restored
+    /// database and verifies the rebuilt state digests identically —
+    /// a mismatch means the snapshot pair (tuples, rules) is not the
+    /// state the memo was built over, i.e. corruption.
+    pub join_fingerprint: u64,
 }
 
 /// Why a snapshot could not be taken.
@@ -162,6 +172,17 @@ pub fn capture(
                 }
             }
         }
+        for join in &rule.joins {
+            match join.to_source() {
+                Some(src) => conds.push(CondSnap::Join(src)),
+                None => {
+                    return Err(SnapshotError::Unrepresentable {
+                        rule: rule.name.clone(),
+                        detail: "join condition has no source spelling".into(),
+                    })
+                }
+            }
+        }
         rules.push(RuleSnap {
             id: id.0,
             name: rule.name.clone(),
@@ -182,6 +203,7 @@ pub fn capture(
         total_fired: engine.total_fired(),
         firing_limit: engine.firing_limit() as u64,
         log: engine.log().to_vec(),
+        join_fingerprint: engine.join_fingerprint(),
     })
 }
 
@@ -211,6 +233,10 @@ fn encode_body(s: &SnapshotData) -> Vec<u8> {
                     w.u8(1);
                     w.str(rel);
                 }
+                CondSnap::Join(src) => {
+                    w.u8(2);
+                    w.str(src);
+                }
             }
         }
     }
@@ -221,6 +247,7 @@ fn encode_body(s: &SnapshotData) -> Vec<u8> {
     for line in &s.log {
         w.str(line);
     }
+    w.u64(s.join_fingerprint);
     w.into_bytes()
 }
 
@@ -256,6 +283,7 @@ fn decode_body(bytes: &[u8]) -> Result<SnapshotData, CodecError> {
             conds.push(match r.u8()? {
                 0 => CondSnap::Source(r.str()?),
                 1 => CondSnap::Unsatisfiable(r.str()?),
+                2 => CondSnap::Join(r.str()?),
                 tag => {
                     return Err(CodecError::BadTag {
                         what: "condition snapshot",
@@ -285,6 +313,7 @@ fn decode_body(bytes: &[u8]) -> Result<SnapshotData, CodecError> {
     for _ in 0..n_log {
         log.push(r.str()?);
     }
+    let join_fingerprint = r.u64()?;
     if !r.is_empty() {
         return Err(CodecError::Invalid(format!(
             "{} trailing bytes after snapshot body",
@@ -299,6 +328,7 @@ fn decode_body(bytes: &[u8]) -> Result<SnapshotData, CodecError> {
         total_fired,
         firing_limit,
         log,
+        join_fingerprint,
     })
 }
 
@@ -407,12 +437,14 @@ mod tests {
                 conds: vec![
                     CondSnap::Source("emp.a > 1".into()),
                     CondSnap::Unsatisfiable("emp".into()),
+                    CondSnap::Join("dept.dno = emp.dno".into()),
                 ],
             }],
             next_rule: 4,
             total_fired: 17,
             firing_limit: 10_000,
             log: vec!["one".into(), "two".into()],
+            join_fingerprint: 0xdead_beef,
         }
     }
 

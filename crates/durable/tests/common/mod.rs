@@ -92,10 +92,11 @@ pub fn fingerprint(engine: &RuleEngine) -> String {
         out.push_str(&r);
     }
     out.push_str(&format!(
-        "next_rule={} total_fired={} limit={}\n",
+        "next_rule={} total_fired={} limit={} join_fp={:#018x}\n",
         engine.next_rule_id(),
         engine.total_fired(),
-        engine.firing_limit()
+        engine.firing_limit(),
+        engine.join_fingerprint()
     ));
     for line in engine.log() {
         out.push_str("log ");
@@ -123,8 +124,16 @@ pub fn test_actions() -> ActionRegistry {
 /// `spec`, sharing the registry's action `Arc`s — the shadow engine's
 /// rules must behave bit-identically.
 pub fn shadow_rule(spec: &RuleSpec, actions: &ActionRegistry) -> Rule {
-    let conditions =
-        predicate::parse_dnf(&spec.condition, &FunctionRegistry::default()).expect("test spec");
+    let mut conditions = Vec::new();
+    let mut joins = Vec::new();
+    for cond in predicate::parse_conditions(&spec.condition, &FunctionRegistry::default())
+        .expect("test spec")
+    {
+        match cond {
+            predicate::ParsedCondition::Single(p) => conditions.push(p),
+            predicate::ParsedCondition::Join(j) => joins.push(j),
+        }
+    }
     let action = match &spec.action {
         ActionSpec::Log(m) => Action::Log(m.clone()),
         ActionSpec::Named(n) => Action::Callback(actions.get(n).expect("registered")),
@@ -132,6 +141,7 @@ pub fn shadow_rule(spec: &RuleSpec, actions: &ActionRegistry) -> Rule {
     Rule {
         name: spec.name.clone(),
         conditions,
+        joins,
         mask: spec.mask,
         action,
         priority: spec.priority,

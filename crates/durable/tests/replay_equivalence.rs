@@ -36,7 +36,7 @@ fn schema_for(r: usize) -> Schema {
     }
 }
 
-const CONDS: [&str; 8] = [
+const CONDS: [&str; 11] = [
     "emp.a > 10",
     "emp.a < 0 or emp.a > 90",
     "isodd(emp.a)",
@@ -45,6 +45,11 @@ const CONDS: [&str; 8] = [
     "emp.a < 0 and emp.a > 0", // unsatisfiable
     "emp.a >= 0 and emp.s < \"zz\"",
     "emp.a > 5 or dept.b < 2",
+    // Multi-premise join conditions: the beta memos these build must
+    // survive snapshot + WAL replay bit-identically.
+    "emp.a = dept.b",
+    "emp.a = dept.b and dept.b > 0",
+    "emp.a = dept.b and dept.b = audit.n",
 ];
 
 const STRS: [&str; 4] = ["", "a", "mx", "zz"];
@@ -82,7 +87,7 @@ fn arb_step() -> impl Strategy<Value = Step> {
     prop_oneof![
         1 => (0usize..3).prop_map(|r| Step::C(Cmd::Create(schema_for(r)))),
         1 => (0usize..3).prop_map(|r| Step::C(Cmd::Drop(RELS[r].into()))),
-        3 => (0usize..8, 0usize..3, -1i32..3, any::<bool>())
+        3 => (0usize..11, 0usize..3, -1i32..3, any::<bool>())
             .prop_map(|(c, m, p, named)| Step::C(Cmd::AddRule(rule_spec(c, m, p, named)))),
         1 => (0u32..8).prop_map(|id| Step::C(Cmd::RemoveRule(id))),
         8 => (0usize..3, -100i64..100, 0usize..4)
@@ -128,6 +133,7 @@ proptest! {
             Step::C(Cmd::Create(schema_for(2))),
             Step::C(Cmd::AddRule(rule_spec(0, 0, 0, true))),
             Step::C(Cmd::AddRule(rule_spec(3, 1, 2, false))),
+            Step::C(Cmd::AddRule(rule_spec(8, 0, 1, false))),
         ];
         for step in prelude.iter().chain(steps.iter()) {
             match step {

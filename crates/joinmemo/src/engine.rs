@@ -1,0 +1,272 @@
+//! The join-memo engine: every registered join condition's memo, plus
+//! relation routing for retraction and the crate's metric families.
+
+use crate::compile::CompiledJoin;
+use crate::memo::{InsertOutcome, JoinMemo};
+use relation::fx::FnvHashMap;
+use relation::{Catalog, Tuple};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use telemetry::{Counter, Histogram, Registry};
+
+use crate::memo::Binding;
+
+/// Per-condition statistics, for `:memo`, stats surfaces, and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Engine-assigned condition key.
+    pub key: u64,
+    /// Premise relations, in premise order.
+    pub relations: Vec<String>,
+    /// Alpha-memory size per premise.
+    pub alpha_counts: Vec<usize>,
+    /// Token count per level; the last entry is complete matches.
+    pub level_counts: Vec<usize>,
+    /// Rough resident bytes.
+    pub approx_bytes: u64,
+}
+
+struct Metrics {
+    /// Candidate partial matches / tuples examined while extending.
+    probes: Counter,
+    /// Tokens removed by deletions.
+    retractions: Counter,
+    /// Live partial-match count, sampled after each memo mutation.
+    partials: Histogram,
+    /// Rough resident memo bytes, sampled after each memo mutation.
+    bytes: Histogram,
+}
+
+impl Metrics {
+    fn disabled() -> Metrics {
+        Metrics {
+            probes: Counter::disabled(),
+            retractions: Counter::disabled(),
+            partials: Histogram::disabled(),
+            bytes: Histogram::disabled(),
+        }
+    }
+
+    fn from_registry(registry: &Arc<Registry>) -> Metrics {
+        Metrics {
+            probes: registry.counter("join_probes_total"),
+            retractions: registry.counter("join_retractions_total"),
+            partials: registry.histogram("join_partial_matches"),
+            bytes: registry.histogram("join_memo_bytes"),
+        }
+    }
+}
+
+/// All join memos of one rule engine.
+pub struct JoinEngine {
+    memos: FnvHashMap<u64, JoinMemo>,
+    /// relation -> [(condition key, premise index)]
+    by_relation: FnvHashMap<String, Vec<(u64, usize)>>,
+    metrics: Metrics,
+}
+
+impl Default for JoinEngine {
+    fn default() -> Self {
+        JoinEngine::new()
+    }
+}
+
+impl JoinEngine {
+    /// An empty engine with disabled metrics.
+    pub fn new() -> JoinEngine {
+        JoinEngine {
+            memos: FnvHashMap::default(),
+            by_relation: FnvHashMap::default(),
+            metrics: Metrics::disabled(),
+        }
+    }
+
+    /// Mints this crate's metric families from `registry` (a disabled
+    /// registry resets the handles to no-ops).
+    pub fn attach_metrics(&mut self, registry: &Arc<Registry>) {
+        self.metrics = if registry.is_enabled() {
+            Metrics::from_registry(registry)
+        } else {
+            Metrics::disabled()
+        };
+    }
+
+    /// True if no conditions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.memos.is_empty()
+    }
+
+    /// Registers a compiled condition under the caller-chosen `key`
+    /// (the rules engine uses a monotonic counter). The memo starts
+    /// empty; use [`seed`](Self::seed) to fill it from existing tuples.
+    pub fn register(&mut self, key: u64, compiled: CompiledJoin) {
+        for i in 0..compiled.arity() {
+            self.by_relation
+                .entry(compiled.relation(i).to_string())
+                .or_default()
+                .push((key, i));
+        }
+        self.memos.insert(key, JoinMemo::new(compiled));
+    }
+
+    /// Removes a condition and its memo.
+    pub fn unregister(&mut self, key: u64) {
+        if let Some(memo) = self.memos.remove(&key) {
+            for i in 0..memo.plan().arity() {
+                if let Some(v) = self.by_relation.get_mut(memo.plan().relation(i)) {
+                    v.retain(|&(k, _)| k != key);
+                    if v.is_empty() {
+                        self.by_relation.remove(memo.plan().relation(i));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Condition keys that have a premise over `relation`, with the
+    /// premise index, sorted by key.
+    pub fn premises_over(&self, relation: &str) -> Vec<(u64, usize)> {
+        let mut v = self.by_relation.get(relation).cloned().unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+
+    /// Feeds an alpha-matching tuple into premise `premise` of
+    /// condition `key`. Returns the completed matches (sorted by
+    /// tuple-id vector) plus probe/creation counts.
+    pub fn insert(&mut self, key: u64, premise: usize, tid: u32, tuple: &Tuple) -> InsertOutcome {
+        let Some(memo) = self.memos.get_mut(&key) else {
+            return InsertOutcome::default();
+        };
+        let out = memo.insert(premise, tid, tuple);
+        self.metrics.probes.add(out.probes);
+        self.metrics.partials.record(memo.partial_count() as u64);
+        self.metrics.bytes.record(memo.approx_bytes());
+        out
+    }
+
+    /// Retracts tuple `tid` of `relation` from every memo with a
+    /// premise over it. Returns the number of tokens retracted.
+    pub fn retract(&mut self, relation: &str, tid: u32) -> u64 {
+        let mut total = 0;
+        for (key, premise) in self.premises_over(relation) {
+            if let Some(memo) = self.memos.get_mut(&key) {
+                total += memo.retract(premise, tid);
+                self.metrics.partials.record(memo.partial_count() as u64);
+                self.metrics.bytes.record(memo.approx_bytes());
+            }
+        }
+        self.metrics.retractions.add(total);
+        total
+    }
+
+    /// Seeds condition `key` from every existing tuple of `catalog`
+    /// that passes its premises' alpha tests, premise by premise in
+    /// ascending tuple-id order. Returns each complete match exactly
+    /// once, in the (deterministic) order seeding discovered it.
+    pub fn seed(&mut self, key: u64, catalog: &Catalog) -> Vec<Binding> {
+        let Some(memo) = self.memos.get(&key) else {
+            return Vec::new();
+        };
+        let arity = memo.plan().arity();
+        let mut completions = Vec::new();
+        for i in 0..arity {
+            // Collect first: the scan borrows the memo immutably.
+            let matching: Vec<(u32, Tuple)> = {
+                let memo = &self.memos[&key];
+                let rel_name = memo.plan().relation(i);
+                match catalog.relation(rel_name) {
+                    Some(rel) => memo
+                        .plan()
+                        .alpha(i)
+                        .scan(rel)
+                        .map(|(tid, t)| (tid.0, t.clone()))
+                        .collect(),
+                    None => Vec::new(),
+                }
+            };
+            for (tid, tuple) in matching {
+                let out = self.insert(key, i, tid, &tuple);
+                completions.extend(out.bindings);
+            }
+        }
+        completions
+    }
+
+    /// Rebuilds every memo from scratch against the current database:
+    /// discard all alpha entries and tokens, then re-seed each
+    /// condition from `catalog`. Restores the memo invariant (tokens =
+    /// all valid premise prefixes over current tuples) after a caller
+    /// mutated the database without driving the corresponding events
+    /// through [`insert`](Self::insert)/[`retract`](Self::retract) —
+    /// the rules engine uses this when a cascade aborts midway.
+    pub fn reseed_all(&mut self, catalog: &Catalog) {
+        let keys: Vec<u64> = {
+            let mut k: Vec<u64> = self.memos.keys().copied().collect();
+            k.sort_unstable();
+            k
+        };
+        for key in keys {
+            if let Some(memo) = self.memos.get_mut(&key) {
+                memo.reset();
+            }
+            self.seed(key, catalog);
+        }
+    }
+
+    /// Statistics for every registered condition, sorted by key.
+    pub fn stats(&self) -> Vec<MemoStats> {
+        let mut out: Vec<MemoStats> = self
+            .memos
+            .iter()
+            .map(|(&key, memo)| MemoStats {
+                key,
+                relations: (0..memo.plan().arity())
+                    .map(|i| memo.plan().relation(i).to_string())
+                    .collect(),
+                alpha_counts: memo.alpha_counts(),
+                level_counts: memo.level_counts().to_vec(),
+                approx_bytes: memo.approx_bytes(),
+            })
+            .collect();
+        out.sort_by_key(|s| s.key);
+        out
+    }
+
+    /// Statistics for one condition.
+    pub fn stats_for(&self, key: u64) -> Option<MemoStats> {
+        self.stats().into_iter().find(|s| s.key == key)
+    }
+
+    /// Complete matches of condition `key` as sorted tuple-id vectors.
+    pub fn complete_matches(&self, key: u64) -> Vec<Vec<u32>> {
+        self.memos
+            .get(&key)
+            .map(|m| m.complete_matches())
+            .unwrap_or_default()
+    }
+
+    /// Total live partial (non-complete) matches across all memos.
+    pub fn total_partials(&self) -> usize {
+        self.memos.values().map(|m| m.partial_count()).sum()
+    }
+
+    /// Order-independent digest of every memo's state. Keys do not
+    /// enter the digest (they are engine-internal and differ across
+    /// restores); each memo contributes its condition source plus its
+    /// state hash, summed, so identical rule sets over identical
+    /// databases digest identically no matter how they were built.
+    pub fn fingerprint(&self) -> u64 {
+        let mut acc: u64 = 0x243f_6a88_85a3_08d3;
+        for memo in self.memos.values() {
+            let mut h = relation::fx::FnvHasher::default();
+            memo.plan()
+                .condition()
+                .to_source()
+                .unwrap_or_default()
+                .hash(&mut h);
+            acc = acc.wrapping_add(h.finish() ^ memo.fingerprint());
+        }
+        acc
+    }
+}

@@ -1,0 +1,381 @@
+//! Beta-node partial-match stores for one compiled join.
+//!
+//! A *token* is a partial match: tuple ids for premises `0..=k` (its
+//! *level* is `k`). The memo maintains the invariant that the token set
+//! equals **every** valid prefix over the currently known alpha tuples:
+//! seeding a fresh memo from the same database state therefore
+//! reproduces the exact token set an incremental run arrived at, which
+//! is what makes the [`fingerprint`](JoinMemo::fingerprint) comparable
+//! across crash/recovery boundaries.
+//!
+//! Stores are hash-keyed by join values (the equality steps of the
+//! premise being extended); ordering steps filter candidates as they
+//! are probed. Insertion at premise `k` extends *left* (probing the
+//! level `k-1` store for prefixes that accept the new tuple) and then
+//! *right* (probing the alpha stores of premises `k+1..` to grow the
+//! newly created tokens as far as the known tuples allow). Deletion
+//! retracts the alpha entry and every token that contains the tuple.
+
+use crate::compile::CompiledJoin;
+use relation::fx::FnvHashMap;
+use relation::{Tuple, TupleId, Value};
+use std::hash::{Hash, Hasher};
+
+/// One complete match: the bound tuple of every premise, in premise
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Binding {
+    /// `(relation, tuple id, tuple)` per premise.
+    pub tuples: Vec<(String, TupleId, Tuple)>,
+}
+
+impl Binding {
+    /// The premise tuple ids, in premise order.
+    pub fn tuple_ids(&self) -> Vec<u32> {
+        self.tuples.iter().map(|(_, id, _)| id.0).collect()
+    }
+}
+
+/// Effect of one insertion, for metrics and EXPLAIN narration.
+#[derive(Debug, Clone, Default)]
+pub struct InsertOutcome {
+    /// Complete matches created by this insertion, sorted by tuple-id
+    /// vector.
+    pub bindings: Vec<Binding>,
+    /// Candidate partial matches / tuples examined.
+    pub probes: u64,
+    /// Tokens created (all levels, including complete ones).
+    pub created: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    tids: Vec<u32>,
+}
+
+/// The memo for one compiled join condition.
+#[derive(Debug)]
+pub(crate) struct JoinMemo {
+    plan: CompiledJoin,
+    /// Per premise: tuple id -> tuple (the alpha memory).
+    alpha: Vec<FnvHashMap<u32, Tuple>>,
+    /// Per premise: equality-key -> tuple ids (for rightward probes).
+    alpha_key: Vec<FnvHashMap<Vec<Value>, Vec<u32>>>,
+    /// All live tokens by id.
+    tokens: FnvHashMap<u64, Token>,
+    next_token: u64,
+    /// Per level `0..n-1`: equality-key -> token ids, keyed for
+    /// extension into premise `level + 1` (the beta stores).
+    level_key: Vec<FnvHashMap<Vec<Value>, Vec<u64>>>,
+    /// `(premise, tuple id)` -> tokens containing that tuple, for
+    /// retraction.
+    by_tuple: FnvHashMap<(u32, u32), Vec<u64>>,
+    /// Token count per level.
+    level_counts: Vec<usize>,
+    /// Rough resident size, maintained incrementally.
+    approx_bytes: u64,
+}
+
+fn value_bytes(v: &Value) -> u64 {
+    match v {
+        Value::Str(s) => 24 + s.len() as u64,
+        _ => 16,
+    }
+}
+
+fn tuple_bytes(t: &Tuple) -> u64 {
+    24 + t.values().iter().map(value_bytes).sum::<u64>()
+}
+
+impl JoinMemo {
+    pub(crate) fn new(plan: CompiledJoin) -> JoinMemo {
+        let n = plan.arity();
+        JoinMemo {
+            plan,
+            alpha: vec![FnvHashMap::default(); n],
+            alpha_key: vec![FnvHashMap::default(); n],
+            tokens: FnvHashMap::default(),
+            next_token: 0,
+            level_key: vec![FnvHashMap::default(); n.saturating_sub(1)],
+            by_tuple: FnvHashMap::default(),
+            level_counts: vec![0; n],
+            approx_bytes: 0,
+        }
+    }
+
+    pub(crate) fn plan(&self) -> &CompiledJoin {
+        &self.plan
+    }
+
+    /// Discards every alpha entry and token, keeping the plan — the
+    /// first step of a from-scratch reseed.
+    pub(crate) fn reset(&mut self) {
+        *self = JoinMemo::new(self.plan.clone());
+    }
+
+    /// Token count per level (`counts[k]` = partial matches over
+    /// premises `0..=k`; the last entry counts complete matches).
+    pub(crate) fn level_counts(&self) -> &[usize] {
+        &self.level_counts
+    }
+
+    /// Alpha-memory size per premise.
+    pub(crate) fn alpha_counts(&self) -> Vec<usize> {
+        self.alpha.iter().map(|m| m.len()).collect()
+    }
+
+    /// Partial (non-complete) token count.
+    pub(crate) fn partial_count(&self) -> usize {
+        let n = self.level_counts.len();
+        self.level_counts[..n - 1].iter().sum()
+    }
+
+    pub(crate) fn approx_bytes(&self) -> u64 {
+        self.approx_bytes
+    }
+
+    /// Equality-key of a premise-`j` tuple when probed from the left.
+    fn alpha_key_of(&self, j: usize, tuple: &Tuple) -> Vec<Value> {
+        self.plan
+            .plan(j)
+            .eq
+            .iter()
+            .map(|s| tuple.get(s.right_attr).clone())
+            .collect()
+    }
+
+    /// Equality-key a partial match over `0..j` presents to premise `j`.
+    fn probe_key_of(&self, j: usize, tids: &[u32]) -> Vec<Value> {
+        self.plan
+            .plan(j)
+            .eq
+            .iter()
+            .map(|s| {
+                self.alpha[s.left_premise][&tids[s.left_premise]]
+                    .get(s.left_attr)
+                    .clone()
+            })
+            .collect()
+    }
+
+    /// Ordering steps of premise `j` against candidate `tuple`.
+    fn residual_ok(&self, j: usize, tids: &[u32], tuple: &Tuple) -> bool {
+        self.plan.plan(j).residual.iter().all(|s| {
+            let left = self.alpha[s.left_premise][&tids[s.left_premise]].get(s.left_attr);
+            s.op.holds(left, tuple.get(s.right_attr))
+        })
+    }
+
+    fn store_token(&mut self, tids: Vec<u32>) -> Option<Binding> {
+        let n = self.plan.arity();
+        let level = tids.len() - 1;
+        let id = self.next_token;
+        self.next_token += 1;
+        self.approx_bytes += 48 + 4 * tids.len() as u64;
+        if level + 1 < n {
+            let key = self.probe_key_of(level + 1, &tids);
+            self.level_key[level].entry(key).or_default().push(id);
+        }
+        for (p, &t) in tids.iter().enumerate() {
+            self.by_tuple.entry((p as u32, t)).or_default().push(id);
+        }
+        self.level_counts[level] += 1;
+        let complete = level + 1 == n;
+        let binding = complete.then(|| self.binding_of(&tids));
+        self.tokens.insert(id, Token { tids });
+        binding
+    }
+
+    fn binding_of(&self, tids: &[u32]) -> Binding {
+        Binding {
+            tuples: tids
+                .iter()
+                .enumerate()
+                .map(|(p, &t)| {
+                    (
+                        self.plan.relation(p).to_string(),
+                        TupleId(t),
+                        self.alpha[p][&t].clone(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Feeds one alpha-matching tuple of premise `k` into the memo.
+    /// The caller is responsible for the alpha test (at runtime the
+    /// predicate index performs it; seeding uses
+    /// [`CompiledJoin::alpha`]).
+    pub(crate) fn insert(&mut self, k: usize, tid: u32, tuple: &Tuple) -> InsertOutcome {
+        let n = self.plan.arity();
+        let mut out = InsertOutcome::default();
+        if self.alpha[k].contains_key(&tid) {
+            return out; // duplicate feed (e.g. two premise pids) — ignore
+        }
+        self.alpha[k].insert(tid, tuple.clone());
+        self.approx_bytes += 16 + tuple_bytes(tuple);
+        let akey = self.alpha_key_of(k, tuple);
+        self.alpha_key[k].entry(akey).or_default().push(tid);
+
+        // Leftward: prefixes over 0..k that accept the new tuple.
+        let mut frontier: Vec<Vec<u32>> = Vec::new();
+        if k == 0 {
+            frontier.push(vec![tid]);
+        } else {
+            let key = self.alpha_key_of(k, tuple);
+            if let Some(cands) = self.level_key[k - 1].get(&key) {
+                out.probes += cands.len() as u64;
+                for &cid in cands {
+                    let tids = &self.tokens[&cid].tids;
+                    if self.residual_ok(k, tids, tuple) {
+                        let mut ext = tids.clone();
+                        ext.push(tid);
+                        frontier.push(ext);
+                    }
+                }
+            }
+        }
+
+        // Rightward: grow the new prefixes across premises k+1..n.
+        let mut created = frontier;
+        for j in k + 1..n {
+            let mut next = Vec::new();
+            for tids in &created {
+                let key = self.probe_key_of(j, tids);
+                if let Some(cands) = self.alpha_key[j].get(&key) {
+                    out.probes += cands.len() as u64;
+                    for &cand in cands {
+                        let cand_tuple = &self.alpha[j][&cand];
+                        if self.residual_ok(j, tids, cand_tuple) {
+                            let mut ext = tids.clone();
+                            ext.push(cand);
+                            next.push(ext);
+                        }
+                    }
+                }
+            }
+            // Store this level's tokens before moving right.
+            for tids in created {
+                out.created += 1;
+                if let Some(b) = self.store_token(tids) {
+                    out.bindings.push(b);
+                }
+            }
+            created = next;
+        }
+        for tids in created {
+            out.created += 1;
+            if let Some(b) = self.store_token(tids) {
+                out.bindings.push(b);
+            }
+        }
+        out.bindings.sort_by_key(|b| b.tuple_ids());
+        out
+    }
+
+    /// Retracts a tuple of premise `k`: removes its alpha entry and
+    /// every token containing it. Returns the number of tokens
+    /// retracted.
+    pub(crate) fn retract(&mut self, k: usize, tid: u32) -> u64 {
+        let n = self.plan.arity();
+        let Some(victims) = self.by_tuple.remove(&(k as u32, tid)) else {
+            // Tuple may still be in alpha with no tokens (n>=1 always
+            // tokenizes prefixes through premise 0, so premise 0 tuples
+            // always have tokens; later premises may not).
+            self.drop_alpha(k, tid);
+            return 0;
+        };
+        let mut retracted = 0;
+        for id in victims {
+            let Some(tok) = self.tokens.remove(&id) else {
+                continue;
+            };
+            retracted += 1;
+            let level = tok.tids.len() - 1;
+            self.level_counts[level] -= 1;
+            self.approx_bytes = self
+                .approx_bytes
+                .saturating_sub(48 + 4 * tok.tids.len() as u64);
+            if level + 1 < n {
+                let key = self.probe_key_of(level + 1, &tok.tids);
+                if let Some(bucket) = self.level_key[level].get_mut(&key) {
+                    bucket.retain(|&x| x != id);
+                    if bucket.is_empty() {
+                        self.level_key[level].remove(&key);
+                    }
+                }
+            }
+            for (p, &t) in tok.tids.iter().enumerate() {
+                if (p as u32, t) == (k as u32, tid) {
+                    continue;
+                }
+                if let Some(bucket) = self.by_tuple.get_mut(&(p as u32, t)) {
+                    bucket.retain(|&x| x != id);
+                    if bucket.is_empty() {
+                        self.by_tuple.remove(&(p as u32, t));
+                    }
+                }
+            }
+        }
+        self.drop_alpha(k, tid);
+        retracted
+    }
+
+    fn drop_alpha(&mut self, k: usize, tid: u32) {
+        if let Some(tuple) = self.alpha[k].remove(&tid) {
+            self.approx_bytes = self.approx_bytes.saturating_sub(16 + tuple_bytes(&tuple));
+            let key = self.alpha_key_of(k, &tuple);
+            if let Some(bucket) = self.alpha_key[k].get_mut(&key) {
+                bucket.retain(|&x| x != tid);
+                if bucket.is_empty() {
+                    self.alpha_key[k].remove(&key);
+                }
+            }
+        }
+    }
+
+    /// All complete matches as tuple-id vectors, sorted.
+    pub(crate) fn complete_matches(&self) -> Vec<Vec<u32>> {
+        let n = self.plan.arity();
+        let mut out: Vec<Vec<u32>> = self
+            .tokens
+            .values()
+            .filter(|t| t.tids.len() == n)
+            .map(|t| t.tids.clone())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Order-independent digest of the memo state (alpha memories and
+    /// the full token set, token ids excluded). Two memos over the same
+    /// condition hold identical state iff their fingerprints match —
+    /// the sum over per-item hashes is insensitive to insertion order.
+    pub(crate) fn fingerprint(&self) -> u64 {
+        let mut acc: u64 = 0x9e37_79b9_7f4a_7c15;
+        for (p, m) in self.alpha.iter().enumerate() {
+            for (tid, tuple) in m {
+                let mut h = relation::fx::FnvHasher::default();
+                0u8.hash(&mut h);
+                p.hash(&mut h);
+                tid.hash(&mut h);
+                tuple.values().hash(&mut h);
+                acc = acc.wrapping_add(mix(h.finish()));
+            }
+        }
+        for tok in self.tokens.values() {
+            let mut h = relation::fx::FnvHasher::default();
+            1u8.hash(&mut h);
+            tok.tids.hash(&mut h);
+            acc = acc.wrapping_add(mix(h.finish()));
+        }
+        acc
+    }
+}
+
+/// Final avalanche (SplitMix64 tail) so the wrapping sum mixes well.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}

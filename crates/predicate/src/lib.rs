@@ -34,13 +34,17 @@
 
 mod clause;
 mod functions;
+mod join;
 mod parser;
 mod predicate;
 pub mod selectivity;
 
 pub use clause::{Clause, PredFn};
 pub use functions::FunctionRegistry;
-pub use parser::{lex, parse_conjunct, parse_dnf, LexError, ParseError, Token};
+pub use join::{JoinCondition, JoinOp, JoinTest, ParsedCondition};
+pub use parser::{
+    lex, parse_condition, parse_conditions, parse_conjunct, parse_dnf, LexError, ParseError, Token,
+};
 pub use predicate::{BindError, BoundClause, BoundPredicate, Predicate};
 
 /// Parses a single conjunctive predicate using the built-in function
@@ -53,6 +57,12 @@ pub fn parse_predicate(input: &str) -> Result<Predicate, ParseError> {
 /// using the built-in function registry.
 pub fn parse_predicates(input: &str) -> Result<Vec<Predicate>, ParseError> {
     parse_dnf(input, &FunctionRegistry::default())
+}
+
+/// Join-aware variant of [`parse_predicates`]: conjuncts that reference
+/// more than one relation come back as [`ParsedCondition::Join`].
+pub fn parse_rule_conditions(input: &str) -> Result<Vec<ParsedCondition>, ParseError> {
+    parse_conditions(input, &FunctionRegistry::default())
 }
 
 #[cfg(test)]
@@ -232,5 +242,123 @@ mod tests {
         assert!(b.matches(&Tuple::new(vec![Value::Float(2.5), Value::str("abc")])));
         assert!(!b.matches(&Tuple::new(vec![Value::Float(2.4), Value::str("abc")])));
         assert!(!b.matches(&Tuple::new(vec![Value::Float(3.0), Value::str("zzz")])));
+    }
+}
+
+#[cfg(test)]
+mod join_tests {
+    use super::*;
+
+    fn cond(src: &str) -> ParsedCondition {
+        parse_condition(src, &FunctionRegistry::default()).unwrap()
+    }
+
+    #[test]
+    fn legacy_entry_points_still_reject_joins() {
+        assert!(matches!(
+            parse_predicate("emp.a < emp.b"),
+            Err(ParseError::BadComparison(_))
+        ));
+        assert!(matches!(
+            parse_predicate("emp.age < 5 and dept.size > 3"),
+            Err(ParseError::MultipleRelations { .. })
+        ));
+    }
+
+    #[test]
+    fn single_relation_conjunct_stays_single() {
+        let c = cond("emp.age > 50 and emp.salary < 1000");
+        let p = c.as_single().unwrap();
+        assert_eq!(p.relation(), "emp");
+        assert_eq!(p.clauses().len(), 2);
+    }
+
+    #[test]
+    fn equality_join_parses_with_sorted_premises() {
+        let c = cond("emp.dno = dept.dno and dept.floor = 1");
+        let j = c.as_join().unwrap();
+        assert_eq!(j.arity(), 2);
+        // Sorted by relation name: dept before emp.
+        assert_eq!(j.premises()[0].relation(), "dept");
+        assert_eq!(j.premises()[1].relation(), "emp");
+        assert_eq!(j.premises()[0].clauses().len(), 1); // floor = 1
+        assert!(j.premises()[1].clauses().is_empty());
+        assert_eq!(j.tests().len(), 1);
+        let t = &j.tests()[0];
+        assert_eq!((t.left, t.right), (0, 1));
+        assert_eq!(t.left_attr, "dno");
+        assert_eq!(t.right_attr, "dno");
+        assert_eq!(t.op, JoinOp::Eq);
+    }
+
+    #[test]
+    fn interval_join_flips_to_canonical_direction() {
+        // emp < mgr stays as-is; mgr > emp flips to emp < mgr.
+        let a = cond("emp.salary < mgr.salary");
+        let b = cond("mgr.salary > emp.salary");
+        assert_eq!(a.as_join().unwrap(), b.as_join().unwrap());
+        let t = &a.as_join().unwrap().tests()[0];
+        assert_eq!(t.op, JoinOp::Lt);
+        assert_eq!(a.as_join().unwrap().premises()[t.left].relation(), "emp");
+    }
+
+    #[test]
+    fn three_premise_chain() {
+        let c = cond("emp.dno = dept.dno and dept.bno = bldg.bno and bldg.floors > 2");
+        let j = c.as_join().unwrap();
+        assert_eq!(j.arity(), 3);
+        let rels: Vec<_> = j.premises().iter().map(|p| p.relation()).collect();
+        assert_eq!(rels, vec!["bldg", "dept", "emp"]);
+        assert_eq!(j.tests().len(), 2);
+    }
+
+    #[test]
+    fn join_source_round_trips() {
+        for src in [
+            "emp.dno = dept.dno and dept.floor = 1",
+            "emp.salary < mgr.salary",
+            "emp.dno = dept.dno and dept.bno = bldg.bno and bldg.floors > 2",
+            "emp.age > 30 and dept.size < 10", // cross product, no tests
+        ] {
+            let j = cond(src).as_join().unwrap().clone();
+            let rendered = j.to_source().unwrap();
+            let reparsed = cond(&rendered);
+            assert_eq!(reparsed.as_join().unwrap(), &j, "round-trip of {src:?}");
+        }
+    }
+
+    #[test]
+    fn join_not_equal_splits_into_two_conjuncts() {
+        let cs = parse_rule_conditions("emp.dno != dept.dno").unwrap();
+        assert_eq!(cs.len(), 2);
+        let ops: Vec<_> = cs
+            .iter()
+            .map(|c| c.as_join().unwrap().tests()[0].op)
+            .collect();
+        assert!(ops.contains(&JoinOp::Lt) && ops.contains(&JoinOp::Gt));
+    }
+
+    #[test]
+    fn self_join_rejected() {
+        assert!(matches!(
+            parse_rule_conditions("emp.mgr = emp.id"),
+            Err(ParseError::BadComparison(_))
+        ));
+    }
+
+    #[test]
+    fn unsatisfiable_premise_collapses_conjunct() {
+        let c = cond("emp.dno = dept.dno and 5 <= dept.floor <= 3");
+        let p = c.as_single().unwrap();
+        assert!(!p.is_satisfiable());
+        assert_eq!(p.relation(), "dept");
+    }
+
+    #[test]
+    fn disjunction_mixes_single_and_join_conjuncts() {
+        let cs = parse_rule_conditions("emp.age > 60 or emp.dno = dept.dno").unwrap();
+        assert_eq!(cs.len(), 2);
+        assert!(cs[0].as_single().is_some());
+        assert!(cs[1].as_join().is_some());
     }
 }

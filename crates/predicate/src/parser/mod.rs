@@ -4,4 +4,4 @@ mod lexer;
 mod parse;
 
 pub use lexer::{lex, LexError, Token};
-pub use parse::{parse_conjunct, parse_dnf, ParseError};
+pub use parse::{parse_condition, parse_conditions, parse_conjunct, parse_dnf, ParseError};

@@ -20,10 +20,12 @@
 
 use crate::clause::Clause;
 use crate::functions::FunctionRegistry;
+use crate::join::{JoinCondition, JoinOp, JoinTest, ParsedCondition};
 use crate::parser::lexer::{lex, LexError, Token};
 use crate::predicate::Predicate;
 use interval::{Interval, Lower, Upper};
 use relation::Value;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Parse errors.
@@ -106,6 +108,22 @@ enum Leaf {
         attr: String,
         value: Value,
     },
+    /// Cross-relation comparison (`a.x ρ b.y`), only produced when the
+    /// parser runs in join-aware mode ([`parse_conditions`]).
+    Join {
+        left_rel: String,
+        left_attr: String,
+        op: JoinOp,
+        right_rel: String,
+        right_attr: String,
+    },
+    /// `a.x != b.y`, expanded to `< or >` during DNF.
+    JoinNotEqual {
+        left_rel: String,
+        left_attr: String,
+        right_rel: String,
+        right_attr: String,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -115,13 +133,17 @@ enum Expr {
     Leaf(Leaf),
 }
 
-/// Parses `input` into one predicate per disjunct of its DNF.
-pub fn parse_dnf(input: &str, funcs: &FunctionRegistry) -> Result<Vec<Predicate>, ParseError> {
+/// Lexes and parses `input`, returning its DNF conjuncts as leaf lists.
+fn parse_to_conjuncts(input: &str, allow_join: bool) -> Result<Vec<Vec<Leaf>>, ParseError> {
     let tokens = lex(input)?;
     if tokens.is_empty() {
         return Err(ParseError::Empty);
     }
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        allow_join,
+    };
     let expr = p.expr()?;
     if p.pos != p.tokens.len() {
         return Err(ParseError::Unexpected {
@@ -129,8 +151,12 @@ pub fn parse_dnf(input: &str, funcs: &FunctionRegistry) -> Result<Vec<Predicate>
             expected: "end of input".into(),
         });
     }
-    let conjuncts = dnf(&expr);
-    conjuncts
+    Ok(dnf(&expr))
+}
+
+/// Parses `input` into one predicate per disjunct of its DNF.
+pub fn parse_dnf(input: &str, funcs: &FunctionRegistry) -> Result<Vec<Predicate>, ParseError> {
+    parse_to_conjuncts(input, false)?
         .into_iter()
         .map(|leaves| build_predicate(leaves, funcs))
         .collect()
@@ -141,6 +167,33 @@ pub fn parse_conjunct(input: &str, funcs: &FunctionRegistry) -> Result<Predicate
     let mut preds = parse_dnf(input, funcs)?;
     match (preds.pop(), preds.is_empty()) {
         (Some(p), true) => Ok(p),
+        _ => Err(ParseError::DisjunctionNotAllowed),
+    }
+}
+
+/// Join-aware variant of [`parse_dnf`]: each DNF conjunct becomes either
+/// a single-relation [`Predicate`] or a multi-relation
+/// [`JoinCondition`], depending on how many relations it references.
+/// Cross-relation comparisons (`emp.dno = dept.dno`) are accepted here
+/// and only here.
+pub fn parse_conditions(
+    input: &str,
+    funcs: &FunctionRegistry,
+) -> Result<Vec<ParsedCondition>, ParseError> {
+    parse_to_conjuncts(input, true)?
+        .into_iter()
+        .map(|leaves| build_condition(leaves, funcs))
+        .collect()
+}
+
+/// Parses `input` as a single join-aware conjunct (no `or`, no `!=`).
+pub fn parse_condition(
+    input: &str,
+    funcs: &FunctionRegistry,
+) -> Result<ParsedCondition, ParseError> {
+    let mut conds = parse_conditions(input, funcs)?;
+    match (conds.pop(), conds.is_empty()) {
+        (Some(c), true) => Ok(c),
         _ => Err(ParseError::DisjunctionNotAllowed),
     }
 }
@@ -179,6 +232,27 @@ fn dnf(expr: &Expr) -> Vec<Vec<Leaf>> {
                 interval: Some(Interval::greater_than(value.clone())),
             }],
         ],
+        Expr::Leaf(Leaf::JoinNotEqual {
+            left_rel,
+            left_attr,
+            right_rel,
+            right_attr,
+        }) => vec![
+            vec![Leaf::Join {
+                left_rel: left_rel.clone(),
+                left_attr: left_attr.clone(),
+                op: JoinOp::Lt,
+                right_rel: right_rel.clone(),
+                right_attr: right_attr.clone(),
+            }],
+            vec![Leaf::Join {
+                left_rel: left_rel.clone(),
+                left_attr: left_attr.clone(),
+                op: JoinOp::Gt,
+                right_rel: right_rel.clone(),
+                right_attr: right_attr.clone(),
+            }],
+        ],
         Expr::Leaf(l) => vec![vec![l.clone()]],
     }
 }
@@ -206,8 +280,20 @@ fn build_predicate(leaves: Vec<Leaf>, funcs: &FunctionRegistry) -> Result<Predic
                     .ok_or_else(|| ParseError::UnknownFunction(name.clone()))?;
                 (rel, Some(Clause::Func { name, attr, func }))
             }
-            // srclint:allow(no-panic-in-lib): dnf() expands every NotEqual into two Range alternatives before this loop runs
-            Leaf::NotEqual { .. } => unreachable!("expanded during DNF"),
+            Leaf::NotEqual { .. } | Leaf::JoinNotEqual { .. } => {
+                // srclint:allow(no-panic-in-lib): dnf() expands every NotEqual into two Range alternatives before this loop runs
+                unreachable!("expanded during DNF")
+            }
+            Leaf::Join {
+                left_rel,
+                right_rel,
+                ..
+            } => {
+                return Err(ParseError::MultipleRelations {
+                    first: left_rel,
+                    second: right_rel,
+                })
+            }
         };
         match &relation {
             None => relation = Some(rel),
@@ -232,6 +318,115 @@ fn build_predicate(leaves: Vec<Leaf>, funcs: &FunctionRegistry) -> Result<Predic
     })
 }
 
+/// Join-aware conjunct builder: one relation and no cross-relation
+/// tests degrade to a plain [`Predicate`]; otherwise a
+/// [`JoinCondition`] is assembled with premises sorted by relation
+/// name. A conjunct with any unsatisfiable premise collapses to a
+/// single unsatisfiable predicate over the first (sorted) relation.
+fn build_condition(
+    leaves: Vec<Leaf>,
+    funcs: &FunctionRegistry,
+) -> Result<ParsedCondition, ParseError> {
+    let mut tests = Vec::new();
+    let mut simple = Vec::new();
+    for leaf in leaves {
+        match leaf {
+            Leaf::Join {
+                left_rel,
+                left_attr,
+                op,
+                right_rel,
+                right_attr,
+            } => tests.push((left_rel, left_attr, op, right_rel, right_attr)),
+            other => simple.push(other),
+        }
+    }
+
+    // Group ordinary clauses per relation (BTreeMap: deterministic,
+    // already sorted by relation name — the canonical premise order).
+    let mut by_rel: BTreeMap<String, (Vec<Clause>, bool)> = BTreeMap::new();
+    for leaf in simple {
+        let (rel, clause, sat) = match leaf {
+            Leaf::Range {
+                rel,
+                attr,
+                interval,
+            } => match interval {
+                Some(iv) => (rel, Some(Clause::Range { attr, interval: iv }), true),
+                None => (rel, None, false),
+            },
+            Leaf::Func { rel, attr, name } => {
+                let func = funcs
+                    .get(&name)
+                    .ok_or_else(|| ParseError::UnknownFunction(name.clone()))?;
+                (rel, Some(Clause::Func { name, attr, func }), true)
+            }
+            Leaf::NotEqual { .. } | Leaf::Join { .. } | Leaf::JoinNotEqual { .. } => {
+                // srclint:allow(no-panic-in-lib): dnf() expands NotEqual leaves and the loop above diverts Join leaves
+                unreachable!("expanded during DNF or diverted above")
+            }
+        };
+        let entry = by_rel.entry(rel).or_insert_with(|| (Vec::new(), true));
+        if let Some(c) = clause {
+            entry.0.push(c);
+        }
+        entry.1 &= sat;
+    }
+    for (lrel, _, _, rrel, _) in &tests {
+        by_rel
+            .entry(lrel.clone())
+            .or_insert_with(|| (Vec::new(), true));
+        by_rel
+            .entry(rrel.clone())
+            .or_insert_with(|| (Vec::new(), true));
+    }
+
+    if by_rel.is_empty() {
+        return Err(ParseError::Empty);
+    }
+    if by_rel.len() == 1 && tests.is_empty() {
+        let (rel, (clauses, sat)) = by_rel.into_iter().next().ok_or(ParseError::Empty)?;
+        let p = Predicate::new(rel.clone(), clauses);
+        return Ok(ParsedCondition::Single(if sat && p.is_satisfiable() {
+            p
+        } else {
+            Predicate::unsatisfiable(rel)
+        }));
+    }
+
+    let mut premises = Vec::with_capacity(by_rel.len());
+    let mut unsat = false;
+    for (rel, (clauses, sat)) in by_rel {
+        let p = Predicate::new(rel, clauses);
+        unsat |= !sat || !p.is_satisfiable();
+        premises.push(p);
+    }
+    if unsat {
+        let rel = premises[0].relation().to_string();
+        return Ok(ParsedCondition::Single(Predicate::unsatisfiable(rel)));
+    }
+    let index_of = |rel: &str| premises.iter().position(|p| p.relation() == rel);
+    let mut join_tests = Vec::with_capacity(tests.len());
+    for (lrel, lattr, op, rrel, rattr) in tests {
+        let (Some(l), Some(r)) = (index_of(&lrel), index_of(&rrel)) else {
+            return Err(ParseError::Empty);
+        };
+        join_tests.push(JoinTest {
+            left: l,
+            left_attr: lattr,
+            op,
+            right: r,
+            right_attr: rattr,
+        });
+    }
+    match JoinCondition::new(premises, join_tests) {
+        Some(j) => Ok(ParsedCondition::Join(j)),
+        None => Err(ParseError::BadComparison(
+            "degenerate join condition".into(),
+        )),
+    }
+}
+
 /// One of the two comparison operand kinds.
 #[derive(Debug, Clone)]
 enum Operand {
@@ -242,6 +437,9 @@ enum Operand {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Accept cross-relation comparisons (`a.x = b.y`) as join leaves
+    /// instead of rejecting them. Set by [`parse_conditions`].
+    allow_join: bool,
 }
 
 impl Parser {
@@ -407,10 +605,42 @@ impl Parser {
             (Operand::Literal(_), Operand::Literal(_)) => {
                 return Err(ParseError::BadComparison("both sides are literals".into()))
             }
-            (Operand::Attr { .. }, Operand::Attr { .. }) => {
-                return Err(ParseError::BadComparison(
-                    "both sides are attributes (join predicates are not supported)".into(),
-                ))
+            (
+                Operand::Attr {
+                    rel: left_rel,
+                    attr: left_attr,
+                },
+                Operand::Attr {
+                    rel: right_rel,
+                    attr: right_attr,
+                },
+            ) => {
+                if !self.allow_join {
+                    return Err(ParseError::BadComparison(
+                        "both sides are attributes (join predicates are not supported)".into(),
+                    ));
+                }
+                if left_rel == right_rel {
+                    return Err(ParseError::BadComparison(format!(
+                        "both sides reference relation {left_rel:?} (self-joins are not supported)"
+                    )));
+                }
+                let leaf = match op {
+                    Token::Lt => join_leaf(left_rel, left_attr, JoinOp::Lt, right_rel, right_attr),
+                    Token::Le => join_leaf(left_rel, left_attr, JoinOp::Le, right_rel, right_attr),
+                    Token::Gt => join_leaf(left_rel, left_attr, JoinOp::Gt, right_rel, right_attr),
+                    Token::Ge => join_leaf(left_rel, left_attr, JoinOp::Ge, right_rel, right_attr),
+                    Token::Eq => join_leaf(left_rel, left_attr, JoinOp::Eq, right_rel, right_attr),
+                    Token::Ne => Leaf::JoinNotEqual {
+                        left_rel,
+                        left_attr,
+                        right_rel,
+                        right_attr,
+                    },
+                    // srclint:allow(no-panic-in-lib): comparison() only dispatches here for tokens cmp_op() accepted
+                    _ => unreachable!("cmp_op filtered"),
+                };
+                return Ok(Expr::Leaf(leaf));
             }
         };
         let leaf = match op {
@@ -503,6 +733,22 @@ impl Parser {
             attr,
             interval,
         }))
+    }
+}
+
+fn join_leaf(
+    left_rel: String,
+    left_attr: String,
+    op: JoinOp,
+    right_rel: String,
+    right_attr: String,
+) -> Leaf {
+    Leaf::Join {
+        left_rel,
+        left_attr,
+        op,
+        right_rel,
+        right_attr,
     }
 }
 

@@ -8,11 +8,16 @@
 //! further database operations whose events are matched in turn —
 //! forward chaining, with a firing limit as the runaway guard.
 //!
-//! Join conditions are out of scope, exactly as in the paper ("this
-//! paper does not address the issue of how join predicates will be
-//! processed"); §6 sketches the two-layer network that would sit on top.
+//! Multi-relation (join) conditions — which the paper left out of scope
+//! and §6 sketched as a two-layer network — are handled by the
+//! `joinmemo` beta layer: each premise of a join condition registers in
+//! the predicate index like any single-relation condition (Figure 1
+//! stays the alpha layer), matched premise tuples feed the join memo,
+//! and complete matches enter the agenda with all bound tuples.
 
-use crate::rule::{Action, DbOp, Rule, RuleContext, RuleId};
+use crate::rule::{Action, BoundTuple, DbOp, Rule, RuleContext, RuleId};
+use joinmemo::{Binding, CompileError, CompiledJoin, JoinEngine, MemoStats};
+use predicate::JoinCondition;
 use predindex::{IndexError, MatchTrace, Matcher, PredicateId, ShardStats, ShardedPredicateIndex};
 use relation::fx::FnvHashMap;
 use relation::{CatalogError, Database, Relation, Schema, Tuple, TupleEvent, TupleId, Value};
@@ -33,6 +38,9 @@ pub enum EngineError {
     FiringLimit { limit: usize },
     /// No rule with the given id.
     NoSuchRule(RuleId),
+    /// A join condition failed to compile (unknown relation/attribute,
+    /// cross-relation type mismatch).
+    Join(CompileError),
 }
 
 impl fmt::Display for EngineError {
@@ -44,11 +52,18 @@ impl fmt::Display for EngineError {
                 write!(f, "forward chaining exceeded {limit} firings (rule loop?)")
             }
             EngineError::NoSuchRule(id) => write!(f, "no such rule {id}"),
+            EngineError::Join(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+impl From<CompileError> for EngineError {
+    fn from(e: CompileError) -> Self {
+        EngineError::Join(e)
+    }
+}
 
 impl From<IndexError> for EngineError {
     fn from(e: IndexError) -> Self {
@@ -62,18 +77,43 @@ impl From<CatalogError> for EngineError {
     }
 }
 
+/// One rule firing with its bound tuples (empty for single-relation
+/// firings) — the detailed counterpart of [`FireReport::fired`].
+#[derive(Debug, Clone)]
+pub struct Firing {
+    /// The fired rule.
+    pub rule: RuleId,
+    /// The rule's name.
+    pub name: String,
+    /// For multi-premise firings: every premise's bound tuple, in
+    /// premise order. Empty for single-relation firings.
+    pub bindings: Vec<BoundTuple>,
+}
+
 /// What happened while processing one external mutation.
 #[derive(Debug, Clone, Default)]
 pub struct FireReport {
     /// `(rule, rule name)` in firing order, across the whole chain.
     pub fired: Vec<(RuleId, String)>,
+    /// The same firings with their join bindings attached (parallel to
+    /// `fired`).
+    pub firings: Vec<Firing>,
     /// Number of database operations applied (1 external + cascaded).
     pub ops_applied: usize,
 }
 
+/// What [`RuleEngine::register_joins`] hands back: one memo key per
+/// condition, the premise predicate ids entered into the alpha index,
+/// and the complete matches discovered while seeding.
+type RegisteredJoins = (Vec<u64>, Vec<Vec<PredicateId>>, Vec<Binding>);
+
 struct StoredRule {
     rule: Rule,
     predicate_ids: Vec<PredicateId>,
+    /// Per join condition (parallel to `rule.joins`): the engine-wide
+    /// memo key and the premise predicate ids registered in the index.
+    join_keys: Vec<u64>,
+    join_pids: Vec<Vec<PredicateId>>,
     fired: u64,
 }
 
@@ -119,7 +159,14 @@ pub struct RuleEngine {
     index: ShardedPredicateIndex,
     rules: FnvHashMap<u32, StoredRule>,
     pred_to_rule: FnvHashMap<u32, u32>,
+    /// Premise predicate id -> (rule, memo key, premise index): routes
+    /// alpha matches of join premises into the beta layer.
+    pred_to_premise: FnvHashMap<u32, (u32, u64, usize)>,
+    joins: JoinEngine,
     next_rule: u32,
+    /// Engine-wide memo-key counter — keys stay stable across
+    /// `drop_relation`'s vector compaction.
+    next_join: u64,
     log: Vec<String>,
     firing_limit: usize,
     total_fired: u64,
@@ -138,7 +185,10 @@ impl RuleEngine {
             index: ShardedPredicateIndex::new(),
             rules: FnvHashMap::default(),
             pred_to_rule: FnvHashMap::default(),
+            pred_to_premise: FnvHashMap::default(),
+            joins: JoinEngine::new(),
             next_rule: 0,
+            next_join: 0,
             log: Vec::new(),
             firing_limit: 10_000,
             total_fired: 0,
@@ -175,6 +225,7 @@ impl RuleEngine {
             EngineMetrics::disabled()
         };
         self.index.attach_telemetry(&registry, tracer.clone());
+        self.joins.attach_metrics(&registry);
         self.registry = registry;
         self.tracer = tracer;
     }
@@ -238,6 +289,28 @@ impl RuleEngine {
                     i += 1;
                 }
             }
+            // A join condition with *any* premise over the dropped
+            // relation can never complete again — unregister it whole
+            // (`joins` / `join_keys` / `join_pids` are parallel).
+            let mut j = 0;
+            while j < stored.rule.joins.len() {
+                let touches = stored.rule.joins[j]
+                    .premises()
+                    .iter()
+                    .any(|p| p.relation() == name);
+                if touches {
+                    let key = stored.join_keys.remove(j);
+                    let pids = stored.join_pids.remove(j);
+                    stored.rule.joins.remove(j);
+                    for pid in pids {
+                        self.index.remove(pid);
+                        self.pred_to_premise.remove(&pid.0);
+                    }
+                    self.joins.unregister(key);
+                } else {
+                    j += 1;
+                }
+            }
         }
         Ok(rel)
     }
@@ -259,8 +332,17 @@ impl RuleEngine {
     }
 
     /// Registers a rule; its condition predicates enter the predicate
-    /// index.
+    /// index. Join conditions additionally register every premise in
+    /// the index (alpha layer) and seed a beta memo from the tuples
+    /// already in the database — seeding does **not** fire the rule
+    /// (see [`add_rule_retroactive`](Self::add_rule_retroactive)), it
+    /// only brings the partial-match state up to date so the next
+    /// insert extends the right prefixes.
     pub fn add_rule(&mut self, rule: Rule) -> Result<RuleId, EngineError> {
+        Ok(self.add_rule_inner(rule)?.0)
+    }
+
+    fn add_rule_inner(&mut self, rule: Rule) -> Result<(RuleId, Vec<Binding>), EngineError> {
         let mut predicate_ids = Vec::with_capacity(rule.conditions.len());
         for pred in &rule.conditions {
             match self.index.insert(pred.clone(), self.db.catalog()) {
@@ -274,20 +356,84 @@ impl RuleEngine {
                 }
             }
         }
-        let id = RuleId(self.next_rule);
-        self.next_rule += 1;
-        for &pid in &predicate_ids {
-            self.pred_to_rule.insert(pid.0, id.0);
+        match self.register_joins(self.next_rule, &rule.joins) {
+            Ok((join_keys, join_pids, seeds)) => {
+                let id = RuleId(self.next_rule);
+                self.next_rule += 1;
+                for &pid in &predicate_ids {
+                    self.pred_to_rule.insert(pid.0, id.0);
+                }
+                self.rules.insert(
+                    id.0,
+                    StoredRule {
+                        rule,
+                        predicate_ids,
+                        join_keys,
+                        join_pids,
+                        fired: 0,
+                    },
+                );
+                Ok((id, seeds))
+            }
+            Err(e) => {
+                for pid in predicate_ids {
+                    self.index.remove(pid);
+                }
+                Err(e)
+            }
         }
-        self.rules.insert(
-            id.0,
-            StoredRule {
-                rule,
-                predicate_ids,
-                fired: 0,
-            },
-        );
-        Ok(id)
+    }
+
+    /// Compiles and registers `joins` for rule `rid`: each premise
+    /// enters the predicate index, each condition gets a stable memo
+    /// key, and each memo is seeded from the existing tuples. Returns
+    /// the keys, premise predicate ids, and the complete matches
+    /// seeding discovered. Rolls itself back on failure.
+    fn register_joins(
+        &mut self,
+        rid: u32,
+        joins: &[JoinCondition],
+    ) -> Result<RegisteredJoins, EngineError> {
+        // Compile everything first: compilation is pure, so a failure
+        // here leaves nothing to roll back.
+        let mut compiled = Vec::with_capacity(joins.len());
+        for join in joins {
+            compiled.push(CompiledJoin::compile(join, self.db.catalog())?);
+        }
+        // Alpha layer: every premise is an ordinary single-relation
+        // predicate in the Figure 1 index.
+        let mut join_pids: Vec<Vec<PredicateId>> = Vec::with_capacity(compiled.len());
+        for cj in &compiled {
+            let mut pids = Vec::with_capacity(cj.arity());
+            for premise in cj.condition().premises() {
+                match self.index.insert(premise.clone(), self.db.catalog()) {
+                    Ok(pid) => pids.push(pid),
+                    Err(e) => {
+                        for pid in pids.into_iter().chain(join_pids.into_iter().flatten()) {
+                            self.index.remove(pid);
+                        }
+                        return Err(e.into());
+                    }
+                }
+            }
+            join_pids.push(pids);
+        }
+        // Beta layer: stable keys, premise routing, memo registration,
+        // and a silent seed (the memo must hold every valid premise
+        // prefix over the current tuples before the next event).
+        let mut join_keys = Vec::with_capacity(compiled.len());
+        let mut seeds = Vec::new();
+        for (cj, pids) in compiled.into_iter().zip(&join_pids) {
+            let key = self.next_join;
+            self.next_join += 1;
+            for (premise, pid) in pids.iter().enumerate() {
+                self.pred_to_premise.insert(pid.0, (rid, key, premise));
+            }
+            self.joins.register(key, cj);
+            seeds.extend(self.joins.seed(key, self.db.catalog()));
+            join_keys.push(key);
+        }
+        Ok((join_keys, join_pids, seeds))
     }
 
     /// Registers a rule and immediately fires it on every tuple already
@@ -301,7 +447,7 @@ impl RuleEngine {
         &mut self,
         rule: Rule,
     ) -> Result<(RuleId, FireReport), EngineError> {
-        let id = self.add_rule(rule)?;
+        let (id, join_seeds) = self.add_rule_inner(rule)?;
         let stored = &self.rules[&id.0];
         // Collect matching existing tuples per condition, deduplicated
         // per tuple (a tuple matching several disjuncts fires once).
@@ -342,10 +488,49 @@ impl RuleEngine {
                     limit: self.firing_limit,
                 });
             }
-            let follow_ups = self.fire_one(id.0, &seed, &mut report)?;
+            let follow_ups = self.fire_one(id.0, &seed, &[], &mut report)?;
             for ev in follow_ups {
                 let r = self.chain(ev)?;
                 report.fired.extend(r.fired);
+                report.firings.extend(r.firings);
+                report.ops_applied += r.ops_applied;
+            }
+        }
+        // Join backfill: every complete match seeding discovered fires
+        // once, presented as an insert of its last premise's tuple
+        // (seeding runs premises in ascending order, so that is the
+        // tuple whose arrival would have completed the match).
+        for binding in join_seeds {
+            if !self.rules[&id.0].rule.mask.on_insert {
+                break;
+            }
+            if report.fired.len() >= self.firing_limit {
+                return Err(EngineError::FiringLimit {
+                    limit: self.firing_limit,
+                });
+            }
+            let Some((relation, tid, tuple)) = binding.tuples.last().cloned() else {
+                continue;
+            };
+            let ev = TupleEvent::Inserted {
+                relation,
+                id: tid,
+                tuple,
+            };
+            let bound: Vec<BoundTuple> = binding
+                .tuples
+                .iter()
+                .map(|(relation, id, tuple)| BoundTuple {
+                    relation: relation.clone(),
+                    id: *id,
+                    tuple: tuple.clone(),
+                })
+                .collect();
+            let follow_ups = self.fire_one(id.0, &ev, &bound, &mut report)?;
+            for ev in follow_ups {
+                let r = self.chain(ev)?;
+                report.fired.extend(r.fired);
+                report.firings.extend(r.firings);
                 report.ops_applied += r.ops_applied;
             }
         }
@@ -361,6 +546,13 @@ impl RuleEngine {
         for pid in &stored.predicate_ids {
             self.index.remove(*pid);
             self.pred_to_rule.remove(&pid.0);
+        }
+        for (key, pids) in stored.join_keys.iter().zip(&stored.join_pids) {
+            for pid in pids {
+                self.index.remove(*pid);
+                self.pred_to_premise.remove(&pid.0);
+            }
+            self.joins.unregister(*key);
         }
         Ok(stored.rule)
     }
@@ -404,6 +596,46 @@ impl RuleEngine {
             }
         }
         let report = self.chain(ev)?;
+        // Beta-layer narration: which join premises the tuple
+        // alpha-matched, the memo state those matches produced, and the
+        // complete matches that fired during the chain.
+        for pid in trace.matched() {
+            let Some(&(rid, key, premise)) = self.pred_to_premise.get(&pid) else {
+                continue;
+            };
+            let Some(stored) = self.rules.get(&rid) else {
+                continue;
+            };
+            let mut line = format!(
+                "premise {} of rule {:?} matched",
+                premise + 1,
+                stored.rule.name
+            );
+            if let Some(stats) = self.joins.stats_for(key) {
+                line.push_str(&format!(
+                    " ({}); tokens per level {:?}, {} complete",
+                    stats.relations.join(" ⋈ "),
+                    stats.level_counts,
+                    stats.level_counts.last().copied().unwrap_or(0),
+                ));
+            }
+            trace.join_steps.push(line);
+        }
+        for firing in &report.firings {
+            if firing.bindings.is_empty() {
+                continue;
+            }
+            let bound: Vec<String> = firing
+                .bindings
+                .iter()
+                .map(|b| format!("{}#{}{}", b.relation, b.id.0, b.tuple))
+                .collect();
+            trace.join_steps.push(format!(
+                "complete match fired rule {:?}: {}",
+                firing.name,
+                bound.join(" * ")
+            ));
+        }
         Ok((trace, report))
     }
 
@@ -447,6 +679,21 @@ impl RuleEngine {
         self.chain_level(vec![first])
     }
 
+    /// The recognize-act cycle, level by level, with abort repair: if
+    /// the chain errors midway (firing limit, bad cascaded operation),
+    /// the database holds tuples whose events never reached the beta
+    /// layer, so the join memos are rebuilt wholesale from the
+    /// post-abort database before the error propagates. The rebuild is
+    /// deterministic, so WAL replay — which re-executes the same
+    /// command into the same error — repairs to the same memo.
+    fn chain_level(&mut self, level: Vec<TupleEvent>) -> Result<FireReport, EngineError> {
+        let result = self.chain_level_inner(level);
+        if result.is_err() && !self.joins.is_empty() {
+            self.joins.reseed_all(self.db.catalog());
+        }
+        result
+    }
+
     /// The recognize-act cycle, level by level: batch-match every event
     /// queued at this level in one [`ShardedPredicateIndex::match_batch`]
     /// call, then walk the events in arrival order — agenda, fire, queue
@@ -455,7 +702,7 @@ impl RuleEngine {
     /// set cannot change mid-chain: firing only queues database
     /// operations), but the matching stage parallelizes across the
     /// batch.
-    fn chain_level(&mut self, mut level: Vec<TupleEvent>) -> Result<FireReport, EngineError> {
+    fn chain_level_inner(&mut self, mut level: Vec<TupleEvent>) -> Result<FireReport, EngineError> {
         let mut report = FireReport::default();
         let mut depth = 0u64;
         // Cheap handle copy so span guards don't hold a `self` borrow.
@@ -495,30 +742,77 @@ impl RuleEngine {
                 report.ops_applied += 1;
                 self.metrics.ops.inc();
 
-                // Build the agenda: one instantiation per *rule* (a rule
-                // whose DNF has several matching disjuncts still fires
-                // once), ordered by priority descending, then
-                // registration recency (newest first), OPS5-style.
-                let mut agenda: Vec<(i32, u32)> = Vec::new();
+                // Beta-layer maintenance runs on *every* event,
+                // regardless of rule masks (masks gate firing, not
+                // memo consistency): updates and deletes first retract
+                // the tuple's old tokens, then the insert/update
+                // post-state extends partial matches through every
+                // premise it alpha-matched.
+                let (tid, post): (u32, Option<&Tuple>) = match event {
+                    TupleEvent::Inserted { id, tuple, .. } => (id.0, Some(tuple)),
+                    TupleEvent::Updated { id, new, .. } => (id.0, Some(new)),
+                    TupleEvent::Deleted { id, .. } => (id.0, None),
+                };
+                if !matches!(event, TupleEvent::Inserted { .. }) && !self.joins.is_empty() {
+                    self.joins.retract(event.relation(), tid);
+                }
+
+                // Build the agenda: one instantiation per *rule* for
+                // single-relation conditions (a rule whose DNF has
+                // several matching disjuncts still fires once), plus
+                // one instantiation per newly *completed join match*,
+                // ordered by priority descending, then registration
+                // recency (newest first), OPS5-style. The stable sort
+                // keeps a rule's plain instantiation ahead of its join
+                // instantiations at equal (priority, rule).
+                let mut agenda: Vec<(i32, u32, Option<Vec<BoundTuple>>)> = Vec::new();
+                let mut join_entries: Vec<(i32, u32, Option<Vec<BoundTuple>>)> = Vec::new();
                 for pid in matched {
-                    let rid = self.pred_to_rule[&pid.0];
+                    if let Some(&(rid, key, premise)) = self.pred_to_premise.get(&pid.0) {
+                        let Some(tuple) = post else {
+                            continue; // deletes only retract
+                        };
+                        let out = self.joins.insert(key, premise, tid, tuple);
+                        let stored = &self.rules[&rid];
+                        if !stored.rule.mask.accepts(event) {
+                            continue;
+                        }
+                        for binding in out.bindings {
+                            let bound = binding
+                                .tuples
+                                .into_iter()
+                                .map(|(relation, id, tuple)| BoundTuple {
+                                    relation,
+                                    id,
+                                    tuple,
+                                })
+                                .collect();
+                            join_entries.push((stored.rule.priority, rid, Some(bound)));
+                        }
+                        continue;
+                    }
+                    let Some(&rid) = self.pred_to_rule.get(&pid.0) else {
+                        continue;
+                    };
                     let stored = &self.rules[&rid];
                     if !stored.rule.mask.accepts(event) {
                         continue;
                     }
-                    if !agenda.iter().any(|&(_, r)| r == rid) {
-                        agenda.push((stored.rule.priority, rid));
+                    if !agenda.iter().any(|(_, r, _)| *r == rid) {
+                        agenda.push((stored.rule.priority, rid, None));
                     }
                 }
+                agenda.extend(join_entries);
                 agenda.sort_by(|a, b| b.0.cmp(&a.0).then(b.1.cmp(&a.1)));
 
-                for (_, rid) in agenda {
+                for (_, rid, bound) in agenda {
                     if report.fired.len() >= self.firing_limit {
                         return Err(EngineError::FiringLimit {
                             limit: self.firing_limit,
                         });
                     }
-                    next.extend(self.fire_one(rid, event, &mut report)?);
+                    let bindings = bound.as_deref().unwrap_or(&[]);
+                    next.extend(self.fire_one(rid, event, bindings, &mut report)?);
                 }
             }
             level = next;
@@ -534,6 +828,7 @@ impl RuleEngine {
         &mut self,
         rid: u32,
         event: &TupleEvent,
+        bindings: &[BoundTuple],
         report: &mut FireReport,
     ) -> Result<Vec<TupleEvent>, EngineError> {
         let tuple = match event {
@@ -549,22 +844,32 @@ impl RuleEngine {
         self.total_fired += 1;
         self.metrics.fired.inc();
         report.fired.push((RuleId(rid), rule_name.clone()));
+        report.firings.push(Firing {
+            rule: RuleId(rid),
+            name: rule_name.clone(),
+            bindings: bindings.to_vec(),
+        });
         let tracer = self.tracer.clone();
         let _fire = tracer.span_with("rule_fire", || vec![("rule", rule_name.clone())]);
 
         let mut ops = Vec::new();
         match action {
             Action::Log(msg) => {
-                self.log.push(format!(
-                    "[{rule_name}] {msg}: {}{}",
-                    event.relation(),
-                    tuple
-                ));
+                let mut line = format!("[{rule_name}] {msg}: {}{}", event.relation(), tuple);
+                if !bindings.is_empty() {
+                    let parts: Vec<String> = bindings
+                        .iter()
+                        .map(|b| format!("{}#{}{}", b.relation, b.id.0, b.tuple))
+                        .collect();
+                    line.push_str(&format!(" [{}]", parts.join(" * ")));
+                }
+                self.log.push(line);
             }
             Action::Callback(f) => {
                 let mut ctx = RuleContext {
                     event,
                     rule_name: &rule_name,
+                    bindings,
                     log: &mut self.log,
                     ops: &mut ops,
                 };
@@ -681,22 +986,89 @@ impl RuleEngine {
                 StoredRule {
                     rule,
                     predicate_ids,
+                    join_keys: Vec::new(),
+                    join_pids: Vec::new(),
                     fired,
                 },
             );
         }
-        Ok(RuleEngine {
+        let mut engine = RuleEngine {
             db,
             index,
             rules: stored,
             pred_to_rule,
+            pred_to_premise: FnvHashMap::default(),
+            joins: JoinEngine::new(),
             next_rule: min_next,
+            next_join: 0,
             log,
             firing_limit: 10_000,
             total_fired,
             registry: Arc::new(Registry::disabled()),
             metrics: EngineMetrics::disabled(),
             tracer: Tracer::disabled(),
+        };
+        // Re-register join conditions and reseed their memos from the
+        // restored database (in rule-id order for determinism). The
+        // memo invariant — tokens are exactly the valid premise
+        // prefixes over the current tuples — makes the reseeded state
+        // identical to the pre-crash incremental state, which
+        // [`join_fingerprint`](Self::join_fingerprint) lets callers
+        // verify.
+        let mut rids: Vec<u32> = engine.rules.keys().copied().collect();
+        rids.sort_unstable();
+        for rid in rids {
+            let joins = engine.rules[&rid].rule.joins.clone();
+            if joins.is_empty() {
+                continue;
+            }
+            let (join_keys, join_pids, _) = engine.register_joins(rid, &joins)?;
+            // srclint:allow(no-panic-in-lib): rid came from the map's own keys
+            let s = engine.rules.get_mut(&rid).expect("restored rule exists");
+            s.join_keys = join_keys;
+            s.join_pids = join_pids;
+        }
+        Ok(engine)
+    }
+
+    /// Per-rule join-memo statistics, sorted by rule id: one
+    /// [`MemoStats`] per join condition. Rules without join conditions
+    /// are omitted.
+    pub fn join_stats(&self) -> Vec<(RuleId, String, Vec<MemoStats>)> {
+        let mut out: Vec<(RuleId, String, Vec<MemoStats>)> = self
+            .rules
+            .iter()
+            .filter(|(_, s)| !s.join_keys.is_empty())
+            .map(|(&rid, s)| {
+                let stats = s
+                    .join_keys
+                    .iter()
+                    .filter_map(|&k| self.joins.stats_for(k))
+                    .collect();
+                (RuleId(rid), s.rule.name.clone(), stats)
+            })
+            .collect();
+        out.sort_by_key(|(rid, _, _)| *rid);
+        out
+    }
+
+    /// Order-independent digest of the whole join-memo state —
+    /// identical rule sets over identical databases digest identically
+    /// no matter how the state was built (incrementally or reseeded),
+    /// which is what the durable layer checks after crash recovery.
+    pub fn join_fingerprint(&self) -> u64 {
+        self.joins.fingerprint()
+    }
+
+    /// Complete join matches of rule `id`: per join condition, the
+    /// sorted tuple-id vectors (premise order) currently complete in
+    /// the memo. `None` for unknown rules.
+    pub fn join_matches(&self, id: RuleId) -> Option<Vec<Vec<Vec<u32>>>> {
+        self.rules.get(&id.0).map(|s| {
+            s.join_keys
+                .iter()
+                .map(|&k| self.joins.complete_matches(k))
+                .collect()
         })
     }
 }

@@ -44,8 +44,12 @@
 mod engine;
 mod rule;
 
-pub use engine::{EngineError, FireReport, RuleEngine};
-pub use rule::{Action, DbOp, EventMask, Rule, RuleBuilder, RuleContext, RuleId};
+pub use engine::{EngineError, FireReport, Firing, RuleEngine};
+pub use rule::{Action, BoundTuple, DbOp, EventMask, Rule, RuleBuilder, RuleContext, RuleId};
+// The join vocabulary, re-exported so applications can hold join
+// conditions and memo stats without naming the lower crates.
+pub use joinmemo::MemoStats;
+pub use predicate::{JoinCondition, ParsedCondition};
 // The observability vocabulary, re-exported so applications can hold
 // traces and registries without naming the lower crates.
 pub use predindex::{MatchTrace, ResidualTrace, ShardStats, StabTrace};
@@ -686,6 +690,414 @@ mod counter_tests {
         assert_eq!(counts[&hot], 10);
         assert_eq!(counts[&cold], 1);
         assert_eq!(e.total_fired(), 11);
+    }
+}
+
+#[cfg(test)]
+mod join_tests {
+    use super::*;
+    use relation::{AttrType, Database, Schema, TupleId, Value};
+
+    fn engine() -> RuleEngine {
+        let mut db = Database::new();
+        db.create_relation(
+            Schema::builder("emp")
+                .attr("name", AttrType::Str)
+                .attr("dno", AttrType::Int)
+                .attr("salary", AttrType::Int)
+                .build(),
+        )
+        .unwrap();
+        db.create_relation(
+            Schema::builder("dept")
+                .attr("dno", AttrType::Int)
+                .attr("floor", AttrType::Int)
+                .build(),
+        )
+        .unwrap();
+        RuleEngine::new(db)
+    }
+
+    fn emp(name: &str, dno: i64, salary: i64) -> Vec<Value> {
+        vec![Value::str(name), Value::Int(dno), Value::Int(salary)]
+    }
+
+    fn dept(dno: i64, floor: i64) -> Vec<Value> {
+        vec![Value::Int(dno), Value::Int(floor)]
+    }
+
+    #[test]
+    fn join_rule_fires_when_match_completes() {
+        let mut e = engine();
+        let id = e
+            .add_rule(
+                Rule::builder("same-dept")
+                    .when("emp.dno = dept.dno and dept.floor = 1")
+                    .unwrap()
+                    .then(Action::log("first-floor employee"))
+                    .build(),
+            )
+            .unwrap();
+        // dept arrives first: partial match only.
+        assert!(e.insert("dept", dept(4, 1)).unwrap().fired.is_empty());
+        // emp completes it.
+        let r = e.insert("emp", emp("al", 4, 100)).unwrap();
+        assert_eq!(r.fired, vec![(id, "same-dept".to_string())]);
+        // The log line names both bound tuples.
+        assert!(e.log()[0].contains("dept#"), "log: {:?}", e.log());
+        assert!(e.log()[0].contains("emp#"), "log: {:?}", e.log());
+        // Wrong floor or wrong dno never completes.
+        assert!(e.insert("dept", dept(5, 2)).unwrap().fired.is_empty());
+        assert!(e.insert("emp", emp("bo", 5, 1)).unwrap().fired.is_empty());
+        assert_eq!(e.join_matches(id).unwrap()[0].len(), 1);
+    }
+
+    #[test]
+    fn join_rule_fires_in_reverse_arrival_order() {
+        let mut e = engine();
+        e.add_rule(
+            Rule::builder("same-dept")
+                .when("emp.dno = dept.dno")
+                .unwrap()
+                .then(Action::log("joined"))
+                .build(),
+        )
+        .unwrap();
+        assert!(e.insert("emp", emp("al", 4, 100)).unwrap().fired.is_empty());
+        let r = e.insert("dept", dept(4, 1)).unwrap();
+        assert_eq!(r.fired.len(), 1);
+    }
+
+    #[test]
+    fn callback_sees_all_bound_tuples() {
+        let mut e = engine();
+        e.add_rule(
+            Rule::builder("pair")
+                .when("emp.dno = dept.dno")
+                .unwrap()
+                .then(Action::callback(|ctx| {
+                    let names: Vec<String> = ctx
+                        .bindings
+                        .iter()
+                        .map(|b| format!("{}#{}", b.relation, b.id.0))
+                        .collect();
+                    ctx.log(names.join("+"));
+                }))
+                .build(),
+        )
+        .unwrap();
+        e.insert("dept", dept(4, 1)).unwrap();
+        e.insert("emp", emp("al", 4, 100)).unwrap();
+        // Premises are sorted by relation name: dept before emp.
+        assert_eq!(e.log(), &["dept#0+emp#0".to_string()]);
+    }
+
+    #[test]
+    fn delete_retracts_and_reinsert_fires_once() {
+        let mut e = engine();
+        let id = e
+            .add_rule(
+                Rule::builder("j")
+                    .when("emp.dno = dept.dno")
+                    .unwrap()
+                    .then(Action::log("match"))
+                    .build(),
+            )
+            .unwrap();
+        e.insert("dept", dept(4, 1)).unwrap();
+        let r = e.insert("emp", emp("al", 4, 100)).unwrap();
+        assert_eq!(r.fired.len(), 1);
+        // Delete the emp tuple: the complete match is retracted.
+        e.delete("emp", TupleId(0)).unwrap();
+        assert!(e.join_matches(id).unwrap()[0].is_empty());
+        // Reinsert: exactly ONE new firing, not two (the regression the
+        // retraction protocol exists to prevent).
+        let r = e.insert("emp", emp("al", 4, 100)).unwrap();
+        assert_eq!(r.fired.len(), 1);
+        assert_eq!(e.join_matches(id).unwrap()[0].len(), 1);
+        assert_eq!(e.total_fired(), 2);
+    }
+
+    #[test]
+    fn update_rebinds_the_join() {
+        let mut e = engine();
+        let id = e
+            .add_rule(
+                Rule::builder("j")
+                    .when("emp.dno = dept.dno")
+                    .unwrap()
+                    .then(Action::log("match"))
+                    .build(),
+            )
+            .unwrap();
+        e.insert("dept", dept(4, 1)).unwrap();
+        e.insert("dept", dept(5, 2)).unwrap();
+        e.insert("emp", emp("al", 4, 100)).unwrap();
+        assert_eq!(e.join_matches(id).unwrap()[0], vec![vec![0, 0]]);
+        // Move al to dept 5: old match retracts, new one forms and
+        // fires again (an update is a retract + extend).
+        let r = e.update("emp", TupleId(0), emp("al", 5, 100)).unwrap();
+        assert_eq!(r.fired.len(), 1);
+        assert_eq!(e.join_matches(id).unwrap()[0], vec![vec![1, 0]]);
+        // Move al to a dept with no tuple: no matches at all.
+        e.update("emp", TupleId(0), emp("al", 9, 100)).unwrap();
+        assert!(e.join_matches(id).unwrap()[0].is_empty());
+    }
+
+    #[test]
+    fn interval_join_condition() {
+        let mut e = engine();
+        e.add_rule(
+            Rule::builder("earns-more-than-floor")
+                .when("emp.dno = dept.dno and emp.salary > dept.floor")
+                .unwrap()
+                .then(Action::log("above"))
+                .build(),
+        )
+        .unwrap();
+        e.insert("dept", dept(4, 50)).unwrap();
+        assert!(e.insert("emp", emp("lo", 4, 10)).unwrap().fired.is_empty());
+        assert_eq!(e.insert("emp", emp("hi", 4, 90)).unwrap().fired.len(), 1);
+    }
+
+    #[test]
+    fn retroactive_join_backfills_existing_matches() {
+        let mut e = engine();
+        e.insert("dept", dept(1, 1)).unwrap();
+        e.insert("dept", dept(2, 2)).unwrap();
+        e.insert("emp", emp("al", 1, 100)).unwrap();
+        e.insert("emp", emp("bo", 2, 100)).unwrap();
+        e.insert("emp", emp("cy", 1, 100)).unwrap();
+        let (id, report) = e
+            .add_rule_retroactive(
+                Rule::builder("first-floor")
+                    .when("emp.dno = dept.dno and dept.floor = 1")
+                    .unwrap()
+                    .then(Action::log("backfill"))
+                    .build(),
+            )
+            .unwrap();
+        // al and cy join dept 1 (floor 1); bo joins dept 2 (floor 2).
+        assert_eq!(report.fired.len(), 2);
+        assert!(report.firings.iter().all(|f| f.bindings.len() == 2));
+        assert_eq!(e.join_matches(id).unwrap()[0].len(), 2);
+        // And the memo keeps working incrementally afterwards.
+        assert_eq!(e.insert("emp", emp("di", 1, 1)).unwrap().fired.len(), 1);
+    }
+
+    #[test]
+    fn plain_add_rule_seeds_memo_without_firing() {
+        let mut e = engine();
+        e.insert("dept", dept(1, 1)).unwrap();
+        e.insert("emp", emp("al", 1, 100)).unwrap();
+        let id = e
+            .add_rule(
+                Rule::builder("j")
+                    .when("emp.dno = dept.dno")
+                    .unwrap()
+                    .then(Action::log("m"))
+                    .build(),
+            )
+            .unwrap();
+        // The existing pair is memoized (so deletes retract correctly)
+        // but did NOT fire.
+        assert_eq!(e.total_fired(), 0);
+        assert_eq!(e.join_matches(id).unwrap()[0].len(), 1);
+        // A later emp extends against the seeded dept token.
+        assert_eq!(e.insert("emp", emp("bo", 1, 1)).unwrap().fired.len(), 1);
+    }
+
+    #[test]
+    fn remove_rule_unregisters_join_premises() {
+        let mut e = engine();
+        let id = e
+            .add_rule(
+                Rule::builder("j")
+                    .when("emp.dno = dept.dno")
+                    .unwrap()
+                    .then(Action::log("m"))
+                    .build(),
+            )
+            .unwrap();
+        e.insert("dept", dept(4, 1)).unwrap();
+        e.remove_rule(id).unwrap();
+        assert!(e.insert("emp", emp("al", 4, 1)).unwrap().fired.is_empty());
+        assert!(e.join_stats().is_empty());
+    }
+
+    #[test]
+    fn drop_relation_unregisters_whole_join_condition() {
+        let mut e = engine();
+        let id = e
+            .add_rule(
+                Rule::builder("j")
+                    .when("emp.dno = dept.dno")
+                    .unwrap()
+                    .then(Action::log("m"))
+                    .build(),
+            )
+            .unwrap();
+        e.insert("dept", dept(4, 1)).unwrap();
+        e.drop_relation("dept").unwrap();
+        // The join can never complete again — emp inserts are inert.
+        assert!(e.insert("emp", emp("al", 4, 1)).unwrap().fired.is_empty());
+        assert!(e.rule(id).unwrap().joins.is_empty());
+        assert!(e.join_stats().is_empty());
+    }
+
+    #[test]
+    fn restore_reseeds_memo_with_identical_fingerprint() {
+        let mut e = engine();
+        e.add_rule(
+            Rule::builder("j")
+                .when("emp.dno = dept.dno and dept.floor = 1")
+                .unwrap()
+                .then(Action::log("m"))
+                .build(),
+        )
+        .unwrap();
+        e.insert("dept", dept(1, 1)).unwrap();
+        e.insert("dept", dept(2, 2)).unwrap();
+        e.insert("emp", emp("al", 1, 100)).unwrap();
+        e.insert("emp", emp("bo", 2, 100)).unwrap();
+        let fp = e.join_fingerprint();
+
+        let rules: Vec<(RuleId, Rule, u64)> = e
+            .rules_detail()
+            .map(|(id, r, n)| (id, r.clone(), n))
+            .collect();
+        let mut restored = RuleEngine::restore(
+            e.db().clone(),
+            rules,
+            e.next_rule_id(),
+            e.total_fired(),
+            e.log().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(restored.join_fingerprint(), fp);
+        assert_eq!(
+            restored.join_matches(RuleId(0)).unwrap(),
+            e.join_matches(RuleId(0)).unwrap()
+        );
+        // The restored memo keeps extending incrementally.
+        assert_eq!(
+            restored.insert("emp", emp("cy", 1, 1)).unwrap().fired.len(),
+            1
+        );
+        assert_ne!(restored.join_fingerprint(), fp);
+    }
+
+    #[test]
+    fn mixed_plain_and_join_rule_alternatives() {
+        // One rule: a plain disjunct OR a join disjunct.
+        let mut e = engine();
+        let id = e
+            .add_rule(
+                Rule::builder("either")
+                    .when("emp.salary > 1000000 or emp.dno = dept.dno")
+                    .unwrap()
+                    .then(Action::log("hit"))
+                    .build(),
+            )
+            .unwrap();
+        assert_eq!(e.rule(id).unwrap().conditions.len(), 1);
+        assert_eq!(e.rule(id).unwrap().joins.len(), 1);
+        // Plain disjunct fires alone.
+        assert_eq!(
+            e.insert("emp", emp("rich", 9, 2_000_000))
+                .unwrap()
+                .fired
+                .len(),
+            1
+        );
+        // Join disjunct completes independently.
+        e.insert("dept", dept(4, 1)).unwrap();
+        assert_eq!(e.insert("emp", emp("al", 4, 10)).unwrap().fired.len(), 1);
+    }
+
+    #[test]
+    fn three_premise_chain() {
+        let mut e = engine();
+        e.create_relation(
+            Schema::builder("proj")
+                .attr("dno", AttrType::Int)
+                .attr("budget", AttrType::Int)
+                .build(),
+        )
+        .unwrap();
+        let id = e
+            .add_rule(
+                Rule::builder("triple")
+                    .when("emp.dno = dept.dno and dept.dno = proj.dno")
+                    .unwrap()
+                    .then(Action::log("3-way"))
+                    .build(),
+            )
+            .unwrap();
+        e.insert("emp", emp("al", 4, 1)).unwrap();
+        e.insert("proj", vec![Value::Int(4), Value::Int(9)])
+            .unwrap();
+        // Last arrival completes the 3-way join.
+        let r = e.insert("dept", dept(4, 1)).unwrap();
+        assert_eq!(r.fired.len(), 1);
+        assert_eq!(r.firings[0].bindings.len(), 3);
+        assert_eq!(e.join_matches(id).unwrap()[0], vec![vec![0, 0, 0]]);
+    }
+
+    #[test]
+    fn explain_insert_narrates_join_steps() {
+        let mut e = engine();
+        e.add_rule(
+            Rule::builder("same-dept")
+                .when("emp.dno = dept.dno")
+                .unwrap()
+                .then(Action::log("m"))
+                .build(),
+        )
+        .unwrap();
+        let (trace, _) = e.explain_insert("dept", dept(4, 1)).unwrap();
+        assert!(
+            trace
+                .join_steps
+                .iter()
+                .any(|s| s.contains("premise 1 of rule \"same-dept\"")),
+            "join steps: {:?}",
+            trace.join_steps
+        );
+        let (trace, report) = e.explain_insert("emp", emp("al", 4, 1)).unwrap();
+        assert_eq!(report.fired.len(), 1);
+        assert!(
+            trace
+                .join_steps
+                .iter()
+                .any(|s| s.contains("complete match fired rule \"same-dept\"")),
+            "join steps: {:?}",
+            trace.join_steps
+        );
+        assert!(trace.to_string().contains("join memo (beta layer)"));
+    }
+
+    #[test]
+    fn join_metrics_families_record() {
+        let mut e = engine();
+        e.attach_metrics(std::sync::Arc::new(Registry::new()));
+        e.add_rule(
+            Rule::builder("j")
+                .when("emp.dno = dept.dno")
+                .unwrap()
+                .then(Action::log("m"))
+                .build(),
+        )
+        .unwrap();
+        e.insert("dept", dept(4, 1)).unwrap();
+        e.insert("emp", emp("al", 4, 1)).unwrap();
+        e.delete("emp", TupleId(0)).unwrap();
+        let m = e.metrics();
+        assert!(m.counter_value("join_probes_total").unwrap() >= 1);
+        assert!(m.counter_value("join_retractions_total").unwrap() >= 1);
+        let (samples, _) = m.histogram_totals("join_partial_matches").unwrap();
+        assert!(samples >= 2);
+        assert!(m.histogram_totals("join_memo_bytes").is_some());
     }
 }
 

@@ -1,7 +1,8 @@
-//! Rule definitions: `if condition then action` (§1 of the paper).
+//! Rule definitions: `if condition then action` (§1 of the paper),
+//! extended with multi-premise (join) conditions.
 
-use predicate::{parse_predicates, ParseError, Predicate};
-use relation::{TupleEvent, Value};
+use predicate::{parse_rule_conditions, JoinCondition, ParseError, ParsedCondition, Predicate};
+use relation::{Tuple, TupleEvent, TupleId, Value};
 use std::fmt;
 use std::sync::Arc;
 
@@ -67,12 +68,26 @@ pub enum DbOp {
     DeleteCurrent,
 }
 
+/// One premise's bound tuple in a multi-premise (join) firing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundTuple {
+    /// The premise's relation.
+    pub relation: String,
+    /// Id of the bound tuple.
+    pub id: TupleId,
+    /// The bound tuple's values at binding time.
+    pub tuple: Tuple,
+}
+
 /// Execution context handed to a firing rule's action.
 pub struct RuleContext<'a> {
     /// The event that matched the rule's condition.
     pub event: &'a TupleEvent,
     /// The firing rule's name.
     pub rule_name: &'a str,
+    /// For multi-premise firings: every premise's bound tuple, in
+    /// premise order. Empty for single-relation firings.
+    pub bindings: &'a [BoundTuple],
     pub(crate) log: &'a mut Vec<String>,
     pub(crate) ops: &'a mut Vec<DbOp>,
 }
@@ -123,9 +138,12 @@ impl fmt::Debug for Action {
 #[derive(Debug, Clone)]
 pub struct Rule {
     pub name: String,
-    /// The selection condition, already split into DNF conjuncts: the
-    /// rule fires when *any* conjunct matches.
+    /// The single-relation condition conjuncts, already split into DNF:
+    /// the rule fires when *any* conjunct matches.
     pub conditions: Vec<Predicate>,
+    /// Multi-premise (join) conjuncts — further DNF alternatives whose
+    /// complete matches fire the rule through the join memo layer.
+    pub joins: Vec<JoinCondition>,
     pub mask: EventMask,
     pub action: Action,
     /// Higher fires first when several rules match one event.
@@ -138,6 +156,7 @@ impl Rule {
         RuleBuilder {
             name: name.into(),
             conditions: Vec::new(),
+            joins: Vec::new(),
             mask: EventMask::INSERT_UPDATE,
             action: Action::log("fired"),
             priority: 0,
@@ -149,6 +168,7 @@ impl Rule {
 pub struct RuleBuilder {
     name: String,
     conditions: Vec<Predicate>,
+    joins: Vec<JoinCondition>,
     mask: EventMask,
     action: Action,
     priority: i32,
@@ -156,15 +176,30 @@ pub struct RuleBuilder {
 
 impl RuleBuilder {
     /// Sets the condition from source text (disjunctions allowed; they
-    /// are split into separate predicates per the paper).
+    /// are split into separate predicates per the paper). Conjuncts
+    /// that reference more than one relation become join conditions
+    /// (`emp.dno = dept.dno and dept.floor = 1`).
     pub fn when(mut self, condition: &str) -> Result<Self, ParseError> {
-        self.conditions = parse_predicates(condition)?;
+        self.conditions.clear();
+        self.joins.clear();
+        for cond in parse_rule_conditions(condition)? {
+            match cond {
+                ParsedCondition::Single(p) => self.conditions.push(p),
+                ParsedCondition::Join(j) => self.joins.push(j),
+            }
+        }
         Ok(self)
     }
 
     /// Sets the condition from already-built predicates.
     pub fn when_predicates(mut self, preds: Vec<Predicate>) -> Self {
         self.conditions = preds;
+        self
+    }
+
+    /// Adds an already-built join condition as a further alternative.
+    pub fn when_join(mut self, join: JoinCondition) -> Self {
+        self.joins.push(join);
         self
     }
 
@@ -190,13 +225,14 @@ impl RuleBuilder {
     /// condition is a programming error, not a data error).
     pub fn build(self) -> Rule {
         assert!(
-            !self.conditions.is_empty(),
+            !self.conditions.is_empty() || !self.joins.is_empty(),
             "rule {:?} has no condition",
             self.name
         );
         Rule {
             name: self.name,
             conditions: self.conditions,
+            joins: self.joins,
             mask: self.mask,
             action: self.action,
             priority: self.priority,

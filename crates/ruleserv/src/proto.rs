@@ -42,14 +42,15 @@
 //! | `0x85` | `HEALTH`  | `str` — the engine's health text            |
 //! | `0x86` | `ERR`     | `str` — the operation failed (it may still be WAL-logged; see durable's semantics) |
 //! | `0x87` | `BUSY`    | empty — engine queue full, op NOT logged; retry |
-//! | `0x88` | `EVENT`   | `u64 seq, u32 rule_id, str name` — one rule firing |
+//! | `0x88` | `EVENT`   | `u64 seq, u32 rule_id, str name` — one rule firing. A firing of a multi-premise (join) rule appends its bound tuples: `u32 n, n × (str relation, u32 tuple_id, u32 k, k × value)`. The suffix is absent (not zero-length) for plain firings, so the frame is byte-identical to the pre-join encoding |
 //! | `0x89` | `LAGGED`  | `u64 n` — n events were dropped because this connection's reply queue was full |
 //!
 //! Strings use [`relation::codec`]'s length-prefixed UTF-8 encoding.
 
 use durable::crc::Crc32;
 use durable::Record;
-use relation::codec::{CodecError, Reader, Writer};
+use relation::codec::{self, CodecError, Reader, Writer};
+use relation::Value;
 use std::io::{self, Read, Write};
 
 /// Upper bound on a frame's `len` field — same ceiling as the WAL's
@@ -263,8 +264,20 @@ pub struct FireSummary {
     pub fired: Vec<(u32, String)>,
 }
 
+/// One tuple bound by a premise of a multi-premise rule firing, in
+/// premise order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventBinding {
+    /// The premise's relation.
+    pub relation: String,
+    /// The bound tuple's id within that relation.
+    pub tuple_id: u32,
+    /// The bound tuple's values.
+    pub values: Vec<Value>,
+}
+
 /// One rule firing pushed to a subscribed connection.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Event {
     /// WAL sequence number of the mutation that fired the rule.
     pub seq: u64,
@@ -272,6 +285,12 @@ pub struct Event {
     pub rule_id: u32,
     /// The firing rule's name.
     pub rule: String,
+    /// For join-rule firings: every bound tuple, one per premise in
+    /// premise order. Empty for single-relation firings — and encoded
+    /// by *omission* (no trailing count), so old-format frames decode
+    /// and plain firings encode byte-identically to servers that
+    /// predate joins.
+    pub bindings: Vec<EventBinding>,
 }
 
 /// A server reply (or pushed frame).
@@ -334,6 +353,17 @@ impl Reply {
                 w.u64(e.seq);
                 w.u32(e.rule_id);
                 w.str(&e.rule);
+                if !e.bindings.is_empty() {
+                    w.u32(e.bindings.len() as u32);
+                    for b in &e.bindings {
+                        w.str(&b.relation);
+                        w.u32(b.tuple_id);
+                        w.u32(b.values.len() as u32);
+                        for v in &b.values {
+                            codec::encode_value(&mut w, v);
+                        }
+                    }
+                }
                 (OP_EVENT, w.into_bytes())
             }
             Reply::Lagged(n) => {
@@ -385,7 +415,44 @@ impl Reply {
                 let seq = r.u64()?;
                 let rule_id = r.u32()?;
                 let rule = r.str()?;
-                Reply::Event(Event { seq, rule_id, rule })
+                // The bindings suffix is optional: frames from (or for)
+                // peers that predate joins simply end here.
+                let mut bindings = Vec::new();
+                if !r.is_empty() {
+                    let n = r.u32()? as usize;
+                    if n > r.remaining() {
+                        return Err(ProtoError::Corrupt(format!(
+                            "binding count {n} exceeds remaining {}",
+                            r.remaining()
+                        )));
+                    }
+                    for _ in 0..n {
+                        let relation = r.str()?;
+                        let tuple_id = r.u32()?;
+                        let k = r.u32()? as usize;
+                        if k > r.remaining() {
+                            return Err(ProtoError::Corrupt(format!(
+                                "value count {k} exceeds remaining {}",
+                                r.remaining()
+                            )));
+                        }
+                        let mut values = Vec::with_capacity(k);
+                        for _ in 0..k {
+                            values.push(codec::decode_value(&mut r)?);
+                        }
+                        bindings.push(EventBinding {
+                            relation,
+                            tuple_id,
+                            values,
+                        });
+                    }
+                }
+                Reply::Event(Event {
+                    seq,
+                    rule_id,
+                    rule,
+                    bindings,
+                })
             }
             OP_LAGGED => Reply::Lagged(r.u64()?),
             other => {
@@ -516,6 +583,24 @@ mod tests {
                 seq: 43,
                 rule_id: 2,
                 rule: "audit".into(),
+                bindings: Vec::new(),
+            }),
+            Reply::Event(Event {
+                seq: 44,
+                rule_id: 3,
+                rule: "same-dept".into(),
+                bindings: vec![
+                    EventBinding {
+                        relation: "emp".into(),
+                        tuple_id: 0,
+                        values: vec![Value::str("al"), Value::Int(4)],
+                    },
+                    EventBinding {
+                        relation: "dept".into(),
+                        tuple_id: 7,
+                        values: vec![Value::Int(4)],
+                    },
+                ],
             }),
             Reply::Lagged(17),
         ]
@@ -590,6 +675,58 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn plain_event_encoding_is_byte_identical_to_pre_join_format() {
+        // The exact frame a pre-join server would push: no trailing
+        // binding count, not a zero count.
+        let (op, payload) = Reply::Event(Event {
+            seq: 43,
+            rule_id: 2,
+            rule: "audit".into(),
+            bindings: Vec::new(),
+        })
+        .encode();
+        assert_eq!(op, OP_EVENT);
+        let mut legacy = Writer::new();
+        legacy.u64(43);
+        legacy.u32(2);
+        legacy.str("audit");
+        assert_eq!(payload, legacy.into_bytes());
+        // And a legacy frame decodes to an event with no bindings.
+        match Reply::decode(OP_EVENT, &payload).unwrap() {
+            Reply::Event(e) => assert!(e.bindings.is_empty()),
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_event_bindings_are_corrupt_not_panics() {
+        let (_, payload) = Reply::Event(Event {
+            seq: 1,
+            rule_id: 0,
+            rule: "j".into(),
+            bindings: vec![EventBinding {
+                relation: "emp".into(),
+                tuple_id: 3,
+                values: vec![Value::Int(9), Value::str("x")],
+            }],
+        })
+        .encode();
+        // Every strict prefix past the legacy portion must error
+        // cleanly (the legacy prefix itself decodes as a plain event).
+        let mut legacy_len = Writer::new();
+        legacy_len.u64(1);
+        legacy_len.u32(0);
+        legacy_len.str("j");
+        let legacy_len = legacy_len.len();
+        for cut in legacy_len + 1..payload.len() {
+            assert!(
+                Reply::decode(OP_EVENT, &payload[..cut]).is_err(),
+                "truncation at {cut} decoded"
+            );
         }
     }
 

@@ -37,7 +37,9 @@
 //!   the engine.
 
 use crate::metrics::ServerMetrics;
-use crate::proto::{op_name, read_frame, record_op_name, Event, FireSummary, Reply, Request};
+use crate::proto::{
+    op_name, read_frame, record_op_name, Event, EventBinding, FireSummary, Reply, Request,
+};
 use durable::{DurableRuleEngine, Record};
 use std::collections::HashMap;
 use std::io::{self, BufWriter, Read, Write};
@@ -534,7 +536,7 @@ fn handle_msg(
         } => {
             let op = record_op_name(&record);
             let seq = engine.next_seq();
-            let reply = apply_record(engine, record, seq);
+            let (reply, events) = apply_record(engine, record, seq);
             *applied += 1;
             if opts.crash_after == Some(*applied) {
                 // The recovery-test window: the WAL append (and under
@@ -542,17 +544,11 @@ fn handle_msg(
                 // reply has not. A real crash here must replay the op.
                 std::process::abort();
             }
-            if let Reply::Fire(summary) = &reply {
-                if !summary.fired.is_empty() && !subscribers.is_empty() {
-                    for (rule_id, rule) in &summary.fired {
-                        let event = Reply::Event(Event {
-                            seq,
-                            rule_id: *rule_id,
-                            rule: rule.clone(),
-                        });
-                        for sub in subscribers.values_mut() {
-                            sub.push(event.clone(), metrics);
-                        }
+            if !events.is_empty() && !subscribers.is_empty() {
+                for event in events {
+                    let frame = Reply::Event(event);
+                    for sub in subscribers.values_mut() {
+                        sub.push(frame.clone(), metrics);
                     }
                 }
             }
@@ -596,10 +592,30 @@ fn handle_msg(
     }
 }
 
-/// Executes one logged mutation and shapes its reply.
-fn apply_record(engine: &mut DurableRuleEngine, record: Record, seq: u64) -> Reply {
+/// Executes one logged mutation and shapes its reply, plus the
+/// subscription [`Event`]s its firings push (one per firing, carrying
+/// the bound tuples of join-rule firings).
+fn apply_record(engine: &mut DurableRuleEngine, record: Record, seq: u64) -> (Reply, Vec<Event>) {
     let fire = |report: rules::FireReport| {
-        Reply::Fire(FireSummary {
+        let events = report
+            .firings
+            .iter()
+            .map(|f| Event {
+                seq,
+                rule_id: f.rule.0,
+                rule: f.name.clone(),
+                bindings: f
+                    .bindings
+                    .iter()
+                    .map(|b| EventBinding {
+                        relation: b.relation.clone(),
+                        tuple_id: b.id.0,
+                        values: b.tuple.values().to_vec(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        let reply = Reply::Fire(FireSummary {
             seq,
             ops_applied: report.ops_applied as u64,
             fired: report
@@ -607,28 +623,36 @@ fn apply_record(engine: &mut DurableRuleEngine, record: Record, seq: u64) -> Rep
                 .into_iter()
                 .map(|(id, name)| (id.0, name))
                 .collect(),
-        })
+        });
+        (reply, events)
+    };
+    let unit = |r: Result<(), String>| match r {
+        Ok(()) => (Reply::Unit, Vec::new()),
+        Err(e) => (Reply::Err(e), Vec::new()),
     };
     match record {
-        Record::CreateRelation { schema } => match engine.create_relation(schema) {
-            Ok(()) => Reply::Unit,
-            Err(e) => Reply::Err(e.to_string()),
-        },
-        Record::DropRelation { name } => match engine.drop_relation(&name) {
-            Ok(_) => Reply::Unit,
-            Err(e) => Reply::Err(e.to_string()),
-        },
+        Record::CreateRelation { schema } => {
+            unit(engine.create_relation(schema).map_err(|e| e.to_string()))
+        }
+        Record::DropRelation { name } => unit(
+            engine
+                .drop_relation(&name)
+                .map(drop)
+                .map_err(|e| e.to_string()),
+        ),
         Record::AddRule { spec } => match engine.add_rule(spec) {
-            Ok(id) => Reply::RuleId(id.0),
-            Err(e) => Reply::Err(e.to_string()),
+            Ok(id) => (Reply::RuleId(id.0), Vec::new()),
+            Err(e) => (Reply::Err(e.to_string()), Vec::new()),
         },
-        Record::RemoveRule { id } => match engine.remove_rule(rules::RuleId(id)) {
-            Ok(_) => Reply::Unit,
-            Err(e) => Reply::Err(e.to_string()),
-        },
+        Record::RemoveRule { id } => unit(
+            engine
+                .remove_rule(rules::RuleId(id))
+                .map(drop)
+                .map_err(|e| e.to_string()),
+        ),
         Record::Insert { relation, values } => match engine.insert(&relation, values) {
             Ok(report) => fire(report),
-            Err(e) => Reply::Err(e.to_string()),
+            Err(e) => (Reply::Err(e.to_string()), Vec::new()),
         },
         Record::Update {
             relation,
@@ -636,15 +660,15 @@ fn apply_record(engine: &mut DurableRuleEngine, record: Record, seq: u64) -> Rep
             values,
         } => match engine.update(&relation, relation::TupleId(id), values) {
             Ok(report) => fire(report),
-            Err(e) => Reply::Err(e.to_string()),
+            Err(e) => (Reply::Err(e.to_string()), Vec::new()),
         },
         Record::Delete { relation, id } => match engine.delete(&relation, relation::TupleId(id)) {
             Ok(report) => fire(report),
-            Err(e) => Reply::Err(e.to_string()),
+            Err(e) => (Reply::Err(e.to_string()), Vec::new()),
         },
         Record::InsertBatch { relation, rows } => match engine.insert_batch(&relation, rows) {
             Ok(report) => fire(report),
-            Err(e) => Reply::Err(e.to_string()),
+            Err(e) => (Reply::Err(e.to_string()), Vec::new()),
         },
     }
 }

@@ -296,6 +296,86 @@ fn subscriptions_stream_rule_firings_to_other_connections() {
 }
 
 #[test]
+fn join_rules_fire_over_the_wire_with_bound_tuples() {
+    let (server, _) = start("joins", ServerOptions::default());
+    let mut writer = Client::connect(server.addr()).unwrap();
+    let mut watcher = Client::connect(server.addr()).unwrap();
+
+    writer
+        .create_relation(
+            Schema::builder("emp")
+                .attr("name", AttrType::Str)
+                .attr("dno", AttrType::Int)
+                .build(),
+        )
+        .unwrap();
+    writer
+        .create_relation(
+            Schema::builder("dept")
+                .attr("dno", AttrType::Int)
+                .attr("floor", AttrType::Int)
+                .build(),
+        )
+        .unwrap();
+    let rule = writer
+        .add_rule(RuleSpec {
+            name: "same-dept".into(),
+            condition: "emp.dno = dept.dno and dept.floor = 1".into(),
+            mask: EventMask::ALL,
+            priority: 0,
+            action: ActionSpec::Log("pair".into()),
+        })
+        .unwrap();
+    watcher.subscribe().unwrap();
+
+    // First premise alone: partial match, no firing, no event.
+    writer
+        .insert("dept", vec![Value::Int(4), Value::Int(1)])
+        .unwrap();
+    assert!(watcher
+        .wait_event(Duration::from_millis(300))
+        .unwrap()
+        .is_none());
+
+    // Completing the join fires, and the pushed event carries every
+    // bound tuple in premise order with ids and values.
+    let ack = writer
+        .insert("emp", vec![Value::Str("al".into()), Value::Int(4)])
+        .unwrap();
+    assert_eq!(ack.fired.len(), 1);
+    let event = watcher
+        .wait_event(Duration::from_secs(5))
+        .unwrap()
+        .expect("join firing must be pushed");
+    assert_eq!(event.rule_id, rule);
+    assert_eq!(event.rule, "same-dept");
+    assert_eq!(event.bindings.len(), 2, "bindings: {:?}", event.bindings);
+    let dept = &event.bindings[0];
+    assert_eq!(dept.relation, "dept");
+    assert_eq!(dept.tuple_id, 0);
+    assert_eq!(dept.values, vec![Value::Int(4), Value::Int(1)]);
+    let emp = &event.bindings[1];
+    assert_eq!(emp.relation, "emp");
+    assert_eq!(emp.tuple_id, 0);
+    assert_eq!(emp.values, vec![Value::Str("al".into()), Value::Int(4)]);
+
+    // Deleting a premise tuple retracts the match: re-inserting the
+    // same emp completes exactly one fresh match (no double-fire from
+    // a stale partial).
+    writer.delete("emp", TupleId(0)).unwrap();
+    let again = writer
+        .insert("emp", vec![Value::Str("al".into()), Value::Int(4)])
+        .unwrap();
+    assert_eq!(again.fired.len(), 1, "one firing after delete+reinsert");
+    let event = watcher
+        .wait_event(Duration::from_secs(5))
+        .unwrap()
+        .expect("re-completed join must be pushed");
+    assert_eq!(event.bindings.len(), 2);
+    server.shutdown().unwrap();
+}
+
+#[test]
 fn shutdown_returns_the_engine_with_state_intact() {
     let (server, _) = start("handback", ServerOptions::default());
     let mut client = Client::connect(server.addr()).unwrap();

@@ -16,7 +16,14 @@ use crate::lexer::TokenKind;
 const LINT: &str = "metric-name-registry";
 
 /// Crates that mint metric families.
-const METRIC_CRATES: &[&str] = &["telemetry", "predindex", "rules", "durable", "ruleserv"];
+const METRIC_CRATES: &[&str] = &[
+    "telemetry",
+    "predindex",
+    "rules",
+    "joinmemo",
+    "durable",
+    "ruleserv",
+];
 
 pub(super) fn check(ctx: &FileContext, meta: &WorkspaceMeta, diags: &mut Vec<Diagnostic>) {
     if ctx.section != Section::Src || !METRIC_CRATES.contains(&ctx.krate.as_str()) {

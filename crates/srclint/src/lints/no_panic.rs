@@ -27,6 +27,7 @@ const LIB_CRATES: &[&str] = &[
     "predindex",
     "relation",
     "rules",
+    "joinmemo",
     "durable",
     "telemetry",
     "ruleserv",

@@ -64,6 +64,10 @@ pub struct MatchTrace {
     pub non_indexable_scanned: usize,
     /// Residual tests in partial-match order.
     pub residual: Vec<ResidualTrace>,
+    /// Beta-layer (join memo) narration, one line per step — filled by
+    /// engines that route alpha matches into a join layer; empty when
+    /// no join conditions are involved.
+    pub join_steps: Vec<String>,
 }
 
 impl MatchTrace {
@@ -160,6 +164,12 @@ impl fmt::Display for MatchTrace {
                 if r.pass { "PASS" } else { "fail" },
                 r.source
             )?;
+        }
+        if !self.join_steps.is_empty() {
+            writeln!(f, "  5. join memo (beta layer)")?;
+            for step in &self.join_steps {
+                writeln!(f, "       {step}")?;
+            }
         }
         // The §5.2 accounting: one line per cost-model term, in units
         // of countable work instead of 1989 milliseconds.

@@ -201,6 +201,7 @@ z_total 3
                     source: "emp.age > 70".into(),
                 },
             ],
+            join_steps: Vec::new(),
         };
         assert_eq!(trace.partial_matches(), 2);
         assert_eq!(trace.matched(), vec![9]);

@@ -12,10 +12,12 @@
 //! ```text
 //! relation <name> <attr>:<type> ...     create a relation (types: int, float, str, bool)
 //! predicate <condition>                 register a predicate (disjunctions split)
-//! insert <relation> <value> ...         insert a tuple and show matches
+//! rule <name> <condition>               add a rule; multi-relation conditions become joins
+//! insert <relation> <value> ...         insert a tuple, show matches and rule firings
 //! drop <id>                             remove a predicate by id
 //! stats                                 show the index structure
 //! list                                  list registered predicates
+//! :memo                                 per-rule join-memo state (partial-match counts)
 //! :metrics                              Prometheus text exposition of the match counters
 //! :explain <relation> <value> ...       EXPLAIN the match path a tuple would take
 //! :trace <path>                         drain the span ring to <path> as Chrome JSON
@@ -26,12 +28,13 @@
 use predmatch::predicate::parse_predicates;
 use predmatch::predindex::Matcher;
 use predmatch::prelude::*;
+use predmatch::rules::{Action, Rule, RuleEngine};
 use predmatch::telemetry::Tracer;
 use std::io::{self, BufRead, Write};
 use std::sync::Arc;
 
 struct Shell {
-    db: Database,
+    engine: RuleEngine,
     index: PredicateIndex,
     sources: Vec<(PredicateIdWrap, String)>,
     registry: Arc<Registry>,
@@ -48,8 +51,10 @@ impl Shell {
         let tracer = Tracer::new(predmatch::telemetry::DEFAULT_TRACE_CAPACITY);
         let mut index = PredicateIndex::new();
         index.attach_telemetry(&registry, tracer.clone());
+        let mut engine = RuleEngine::new(Database::new());
+        engine.attach_telemetry(Arc::clone(&registry), tracer.clone());
         Shell {
-            db: Database::new(),
+            engine,
             index,
             sources: Vec::new(),
             registry,
@@ -66,6 +71,7 @@ impl Shell {
         match cmd {
             "relation" => self.cmd_relation(rest),
             "predicate" => self.cmd_predicate(rest),
+            "rule" => self.cmd_rule(rest),
             "insert" => self.cmd_insert(rest),
             "drop" => self.cmd_drop(rest),
             "stats" => Ok(self.index.stats().to_string()),
@@ -75,12 +81,15 @@ impl Shell {
                 .map(|(id, s)| format!("  {id}: {s}"))
                 .collect::<Vec<_>>()
                 .join("\n")),
+            ":memo" => Ok(self.cmd_memo()),
             ":metrics" => Ok(self.registry.render_text()),
             ":explain" => self.cmd_explain(rest),
             ":trace" => self.cmd_trace(rest),
-            "help" => Ok("commands: relation, predicate, insert, drop, stats, list, \
-                 :metrics, :explain, :trace, help, quit"
-                .to_string()),
+            "help" => Ok(
+                "commands: relation, predicate, rule, insert, drop, stats, list, \
+                 :memo, :metrics, :explain, :trace, help, quit"
+                    .to_string(),
+            ),
             other => Err(format!("unknown command {other:?} (try 'help')")),
         }
     }
@@ -109,10 +118,54 @@ impl Shell {
         if arity == 0 {
             return Err("a relation needs at least one attribute".into());
         }
-        self.db
+        self.engine
             .create_relation(b.build())
             .map_err(|e| e.to_string())?;
         Ok(format!("created relation {name} ({arity} attributes)"))
+    }
+
+    fn cmd_rule(&mut self, rest: &str) -> Result<String, String> {
+        let (name, condition) = rest
+            .split_once(' ')
+            .ok_or("usage: rule <name> <condition>")?;
+        let rule = Rule::builder(name)
+            .when(condition.trim())
+            .map_err(|e| e.to_string())?
+            .then(Action::log(format!("{name} fired")))
+            .build();
+        let singles = rule.conditions.len();
+        let joins = rule.joins.len();
+        let id = self.engine.add_rule(rule).map_err(|e| e.to_string())?;
+        let mut out = format!(
+            "added rule {id:?} {name:?} ({singles} single-relation, {joins} join condition(s))"
+        );
+        if joins > 0 {
+            out.push_str("; existing tuples pre-seeded the memo (see :memo)");
+        }
+        Ok(out)
+    }
+
+    fn cmd_memo(&self) -> String {
+        let stats = self.engine.join_stats();
+        if stats.is_empty() {
+            return "no join rules registered".into();
+        }
+        let mut out = Vec::new();
+        for (id, name, conds) in stats {
+            out.push(format!("rule {id:?} {name:?}:"));
+            for s in conds {
+                let complete = s.level_counts.last().copied().unwrap_or(0);
+                let partials: usize = s.level_counts.iter().take(s.level_counts.len() - 1).sum();
+                out.push(format!(
+                    "  {}: alpha {:?}, tokens per level {:?} ({partials} partial, {complete} complete), ~{} bytes",
+                    s.relations.join(" ⋈ "),
+                    s.alpha_counts,
+                    s.level_counts,
+                    s.approx_bytes,
+                ));
+            }
+        }
+        out.join("\n")
     }
 
     fn cmd_predicate(&mut self, rest: &str) -> Result<String, String> {
@@ -121,7 +174,7 @@ impl Shell {
         for p in preds {
             let id = self
                 .index
-                .insert(p.clone(), self.db.catalog())
+                .insert(p.clone(), self.engine.db().catalog())
                 .map_err(|e| e.to_string())?;
             let rendered = p.to_source().unwrap_or_else(|| p.to_string());
             out.push(format!("registered {id}: {rendered}"));
@@ -133,7 +186,8 @@ impl Shell {
     /// Parses whitespace-separated values against a relation's schema.
     fn parse_values(&self, rel_name: &str, raw: &[&str]) -> Result<Vec<Value>, String> {
         let schema = self
-            .db
+            .engine
+            .db()
             .catalog()
             .relation(rel_name)
             .ok_or_else(|| format!("no relation {rel_name:?}"))?
@@ -164,13 +218,14 @@ impl Shell {
         let rel_name = parts.next().ok_or("usage: insert <relation> <value> ...")?;
         let raw: Vec<&str> = parts.collect();
         let values = self.parse_values(rel_name, &raw)?;
-        let tuple = self
-            .db
+        let tuple = Tuple::new(values.clone());
+        let matches = self.index.match_tuple(rel_name, &tuple);
+        let report = self
+            .engine
             .insert(rel_name, values)
             .map_err(|e| e.to_string())?;
-        let matches = self.index.match_tuple(rel_name, &tuple);
-        if matches.is_empty() {
-            Ok(format!("inserted {tuple}; no predicates match"))
+        let mut out = if matches.is_empty() {
+            format!("inserted {tuple}; no predicates match")
         } else {
             let lines: Vec<String> = matches
                 .iter()
@@ -184,8 +239,25 @@ impl Shell {
                     format!("  {m}: {src}")
                 })
                 .collect();
-            Ok(format!("inserted {tuple}; matches:\n{}", lines.join("\n")))
+            format!("inserted {tuple}; matches:\n{}", lines.join("\n"))
+        };
+        for firing in &report.firings {
+            if firing.bindings.is_empty() {
+                out.push_str(&format!("\n  fired {:?}", firing.name));
+            } else {
+                let bound: Vec<String> = firing
+                    .bindings
+                    .iter()
+                    .map(|b| format!("{}#{}{}", b.relation, b.id.0, b.tuple))
+                    .collect();
+                out.push_str(&format!(
+                    "\n  fired {:?} on {}",
+                    firing.name,
+                    bound.join(" * ")
+                ));
+            }
         }
+        Ok(out)
     }
 
     fn cmd_explain(&mut self, rest: &str) -> Result<String, String> {
@@ -242,6 +314,11 @@ stats
 list
 drop 0
 insert emp di 70 5000 Toys
+relation dept name:str floor:int
+rule same-dept emp.dept = dept.name and dept.floor = 1
+insert dept Shoe 1
+insert emp fi 28 21000 Shoe
+:memo
 :explain emp ed 55 18000 Shoe
 :metrics
 "#;

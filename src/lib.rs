@@ -64,6 +64,7 @@ pub use altindex;
 pub use durable;
 pub use ibs;
 pub use interval;
+pub use joinmemo;
 pub use predicate;
 pub use predindex;
 pub use relation;

@@ -8,7 +8,10 @@
 //! * `sharded_match`: the same pair through the sharded front-end,
 //!   which additionally times lock waits when enabled;
 //! * `primitive`: the raw cost of one counter increment and one
-//!   histogram record, disabled and enabled.
+//!   histogram record, disabled and enabled;
+//! * `attribution`: the full rule-chain insert path with the cost
+//!   profiler detached (every hook one branch) versus attached
+//!   (per-rule accounts billed per event) — the ≤ +15% budget.
 //!
 //! The disabled rows are the regression guard: they must match the
 //! pre-telemetry baseline, since a disabled handle never touches an
@@ -17,9 +20,11 @@
 use bench::scheme::SchemeWorkload;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use predindex::{Matcher, PredicateIndex, ShardedPredicateIndex};
+use relation::{AttrType, Database, Schema, Value};
+use rules::{Action, Rule, RuleEngine};
 use std::hint::black_box;
 use std::sync::Arc;
-use telemetry::{Counter, Histogram, Registry};
+use telemetry::{Counter, Histogram, Profiler, Registry, Tracer};
 
 const MODES: [&str; 2] = ["disabled", "enabled"];
 
@@ -125,6 +130,54 @@ fn primitive_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+fn attribution_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_attribution");
+    group.throughput(Throughput::Elements(256));
+    for (mode, profiled) in [("baseline", false), ("profiled", true)] {
+        let registry = Arc::new(Registry::new());
+        let mut engine = RuleEngine::new(Database::new());
+        engine.attach_telemetry(Arc::clone(&registry), Tracer::disabled());
+        if profiled {
+            engine.attach_profiler(Profiler::new(&registry));
+        }
+        engine
+            .create_relation(
+                Schema::builder("emp")
+                    .attr("name", AttrType::Str)
+                    .attr("salary", AttrType::Int)
+                    .build(),
+            )
+            .expect("create emp");
+        for i in 0i64..16 {
+            let rule = Rule::builder(format!("band{i}"))
+                .when(&format!(
+                    "emp.salary >= {} and emp.salary < {}",
+                    i * 1000,
+                    (i + 1) * 1000
+                ))
+                .expect("valid band condition")
+                .then(Action::log("hit"))
+                .build();
+            engine.add_rule(rule).expect("add band rule");
+        }
+        let mut i = 0i64;
+        group.bench_function(BenchmarkId::new("rule_chain_insert", mode), |b| {
+            b.iter(|| {
+                let mut fired = 0usize;
+                for _ in 0..256 {
+                    let report = engine
+                        .insert("emp", vec![Value::str("e"), Value::Int((i * 37) % 16_000)])
+                        .expect("band insert");
+                    fired += report.firings.len();
+                    i += 1;
+                }
+                black_box(fired)
+            })
+        });
+    }
+    group.finish();
+}
+
 fn fast() -> Criterion {
     Criterion::default()
         .sample_size(20)
@@ -135,6 +188,6 @@ fn fast() -> Criterion {
 criterion_group! {
     name = benches;
     config = fast();
-    targets = match_overhead, primitive_overhead
+    targets = match_overhead, primitive_overhead, attribution_overhead
 }
 criterion_main!(benches);

@@ -1,9 +1,10 @@
 //! Machine-readable benchmark harness.
 //!
-//! Runs the §5.2 scheme-cost sweep and the telemetry-overhead
-//! comparison and writes one JSON document (see EXPERIMENTS.md for the
-//! format) so CI and regression scripts can diff numbers without
-//! scraping Criterion's human output:
+//! Runs the §5.2 scheme-cost sweep, the telemetry-overhead comparison,
+//! and the profiler attribution-overhead comparison, and writes one
+//! JSON document (see EXPERIMENTS.md for the format) so CI and
+//! regression scripts can diff numbers without scraping Criterion's
+//! human output:
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_json -- [--quick] [--out PATH]
@@ -20,8 +21,10 @@
 use bench::scheme::SchemeWorkload;
 use bench::timing::median_ns_per_op;
 use predindex::{Matcher, PredicateIndex};
+use relation::{AttrType, Database, Schema, Value};
+use rules::{Action, Rule, RuleEngine};
 use std::sync::Arc;
-use telemetry::{Registry, Tracer};
+use telemetry::{Profiler, Registry, Tracer};
 
 /// One benchmark row.
 struct BenchResult {
@@ -153,6 +156,74 @@ fn telemetry_overhead(cfg: &Config, results: &mut Vec<BenchResult>) {
     }
 }
 
+/// A rule engine loaded with salary-band rules: the attribution
+/// workload. `profiled` attaches live per-rule cost accounts.
+fn band_engine(profiled: bool, registry: &Arc<Registry>) -> RuleEngine {
+    let mut engine = RuleEngine::new(Database::new());
+    engine.attach_telemetry(Arc::clone(registry), Tracer::disabled());
+    if profiled {
+        engine.attach_profiler(Profiler::new(registry));
+    }
+    engine
+        .create_relation(
+            Schema::builder("emp")
+                .attr("name", AttrType::Str)
+                .attr("age", AttrType::Int)
+                .attr("salary", AttrType::Int)
+                .build(),
+        )
+        .expect("create emp");
+    for i in 0i64..16 {
+        let rule = Rule::builder(format!("band{i}"))
+            .when(&format!(
+                "emp.salary >= {} and emp.salary < {}",
+                i * 1000,
+                (i + 1) * 1000
+            ))
+            .expect("valid band condition")
+            .then(Action::log("hit"))
+            .build();
+        engine.add_rule(rule).expect("add band rule");
+    }
+    engine
+}
+
+/// The cost-attribution guard: the full rule-chain insert path with the
+/// profiler detached (`baseline` — every profiler hook is one branch)
+/// versus attached (`profiled` — per-rule accounts billed per event).
+/// The acceptance bound lives in CI: profiled/baseline ≤ +15% with
+/// slack against the committed BENCH_observability.json ratio.
+fn attribution_overhead(cfg: &Config, results: &mut Vec<BenchResult>) {
+    let runs = if cfg.quick { 5 } else { 9 };
+    let inserts = if cfg.quick { 128 } else { 512 };
+    for (mode, profiled) in [("baseline", false), ("profiled", true)] {
+        let registry = Arc::new(Registry::new());
+        let mut engine = band_engine(profiled, &registry);
+        let mut i = 0i64;
+        let ns = median_ns_per_op(runs, inserts, || {
+            for _ in 0..inserts {
+                engine
+                    .insert(
+                        "emp",
+                        vec![
+                            Value::str("e"),
+                            Value::Int(20 + (i % 50)),
+                            Value::Int((i * 37) % 16_000),
+                        ],
+                    )
+                    .expect("band insert");
+                i += 1;
+            }
+        });
+        eprintln!("attribution_overhead/{mode}: {ns:.1} ns/op");
+        results.push(BenchResult {
+            name: format!("attribution_overhead/{mode}"),
+            ns_per_op: ns,
+            counters: counter_totals(&registry),
+        });
+    }
+}
+
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -200,6 +271,7 @@ fn main() {
     let mut results = Vec::new();
     scheme_cost(&cfg, &mut results);
     telemetry_overhead(&cfg, &mut results);
+    attribution_overhead(&cfg, &mut results);
     let json = render_json(&cfg, &results);
     std::fs::write(&cfg.out, &json).unwrap_or_else(|e| {
         eprintln!("cannot write {}: {e}", cfg.out);

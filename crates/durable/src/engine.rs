@@ -22,7 +22,7 @@ use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use telemetry::{Counter, FlightRecorder, Histogram, Registry, Tracer};
+use telemetry::{Counter, FlightRecorder, Histogram, Profiler, Registry, Tracer};
 
 /// Subdirectory of a durable home where flight dumps land.
 pub const FLIGHT_DIR: &str = "flight";
@@ -482,6 +482,29 @@ impl DurableRuleEngine {
     /// through [`open_with_telemetry`](Self::open_with_telemetry).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Attaches a cost-attribution profiler: the wrapped engine starts
+    /// billing per-rule accounts into it (recovered rules are named
+    /// retroactively), and flight dumps gain the account and slow-op
+    /// sections. Attribution is not replayed — accounts restart empty
+    /// on reopen, like every other metric.
+    pub fn attach_profiler(&mut self, profiler: Profiler) {
+        self.engine.attach_profiler(profiler.clone());
+        self.recorder = Arc::new(
+            FlightRecorder::new(
+                self.tracer.clone(),
+                self.engine.metrics().clone(),
+                self.dir.join(FLIGHT_DIR),
+            )
+            .with_profiler(profiler),
+        );
+    }
+
+    /// The profiler the wrapped engine bills into — disabled unless
+    /// [`attach_profiler`](Self::attach_profiler) was called.
+    pub fn profiler(&self) -> &Profiler {
+        self.engine.profiler()
     }
 
     /// The flight recorder bound to this engine's trace ring and

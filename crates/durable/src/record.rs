@@ -233,6 +233,22 @@ impl Record {
     /// consumed (trailing garbage means a framing bug or corruption
     /// the checksum failed to catch).
     pub fn decode(buf: &[u8]) -> Result<Record, CodecError> {
+        let (rec, consumed) = Record::decode_prefix(buf)?;
+        if consumed != buf.len() {
+            return Err(CodecError::Invalid(format!(
+                "{} trailing bytes after record",
+                buf.len() - consumed
+            )));
+        }
+        Ok(rec)
+    }
+
+    /// Deserializes one record from the front of `buf`, returning it
+    /// with the number of bytes consumed — for frames that carry a
+    /// defined suffix after the record (the rule-server protocol's
+    /// optional trace id). Unlike [`decode`](Self::decode), trailing
+    /// bytes are the *caller's* to validate.
+    pub fn decode_prefix(buf: &[u8]) -> Result<(Record, usize), CodecError> {
         let mut r = Reader::new(buf);
         let rec = match r.u8()? {
             TAG_CREATE_RELATION => Record::CreateRelation {
@@ -278,13 +294,7 @@ impl Record {
                 })
             }
         };
-        if !r.is_empty() {
-            return Err(CodecError::Invalid(format!(
-                "{} trailing bytes after record",
-                r.remaining()
-            )));
-        }
-        Ok(rec)
+        Ok((rec, buf.len() - r.remaining()))
     }
 }
 
@@ -358,6 +368,18 @@ mod tests {
         let mut bytes = Record::RemoveRule { id: 1 }.encode();
         bytes.push(0);
         assert!(Record::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn decode_prefix_reports_exact_consumption() {
+        for rec in samples() {
+            let bytes = rec.encode();
+            let mut extended = bytes.clone();
+            extended.extend_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
+            let (got, consumed) = Record::decode_prefix(&extended).unwrap();
+            assert_eq!(got, rec);
+            assert_eq!(consumed, bytes.len());
+        }
     }
 
     #[test]

@@ -148,16 +148,37 @@ impl JoinEngine {
     /// Retracts tuple `tid` of `relation` from every memo with a
     /// premise over it. Returns the number of tokens retracted.
     pub fn retract(&mut self, relation: &str, tid: u32) -> u64 {
+        self.retract_counted(relation, tid)
+            .iter()
+            .map(|&(_, n)| n)
+            .sum()
+    }
+
+    /// [`retract`](Self::retract), reporting the per-condition split:
+    /// `(condition key, tokens retracted)` for every key that lost at
+    /// least one token (several premises of one condition over the
+    /// same relation merge into one entry). The cost-attribution layer
+    /// uses this to bill each retraction to the rule owning the
+    /// condition.
+    pub fn retract_counted(&mut self, relation: &str, tid: u32) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = Vec::new();
         let mut total = 0;
         for (key, premise) in self.premises_over(relation) {
             if let Some(memo) = self.memos.get_mut(&key) {
-                total += memo.retract(premise, tid);
+                let n = memo.retract(premise, tid);
+                total += n;
+                if n > 0 {
+                    match out.iter_mut().find(|(k, _)| *k == key) {
+                        Some((_, c)) => *c += n,
+                        None => out.push((key, n)),
+                    }
+                }
                 self.metrics.partials.record(memo.partial_count() as u64);
                 self.metrics.bytes.record(memo.approx_bytes());
             }
         }
         self.metrics.retractions.add(total);
-        total
+        out
     }
 
     /// Seeds condition `key` from every existing tuple of `catalog`

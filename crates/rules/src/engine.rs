@@ -21,9 +21,11 @@ use predicate::JoinCondition;
 use predindex::{IndexError, MatchTrace, Matcher, PredicateId, ShardStats, ShardedPredicateIndex};
 use relation::fx::FnvHashMap;
 use relation::{CatalogError, Database, Relation, Schema, Tuple, TupleEvent, TupleId, Value};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
-use telemetry::{Counter, Histogram, Registry, Tracer};
+use std::time::Instant;
+use telemetry::{Counter, Histogram, Profiler, Registry, Tracer};
 
 /// Errors from engine operations.
 #[derive(Debug)]
@@ -173,6 +175,8 @@ pub struct RuleEngine {
     registry: Arc<Registry>,
     metrics: EngineMetrics,
     tracer: Tracer,
+    /// Cost attribution (disabled by default; one branch per site).
+    profiler: Profiler,
 }
 
 impl RuleEngine {
@@ -195,6 +199,7 @@ impl RuleEngine {
             registry: Arc::new(Registry::disabled()),
             metrics: EngineMetrics::disabled(),
             tracer: Tracer::disabled(),
+            profiler: Profiler::disabled(),
         }
     }
 
@@ -234,6 +239,27 @@ impl RuleEngine {
     /// [`attach_telemetry`](Self::attach_telemetry) supplied one).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Attaches a cost-attribution [`Profiler`]. Build it over the
+    /// *same* registry as [`attach_telemetry`](Self::attach_telemetry)
+    /// — the profiler bills accounts by snapshotting the global cost
+    /// counters, so a different registry would bill zeros. Separate
+    /// from `attach_telemetry` on purpose: attribution regroups the
+    /// level batch by account, which plain telemetry must not do.
+    /// Already-registered rules get their display names immediately.
+    pub fn attach_profiler(&mut self, profiler: Profiler) {
+        if profiler.is_enabled() {
+            for (&rid, s) in &self.rules {
+                profiler.name_rule(rid, &s.rule.name);
+            }
+        }
+        self.profiler = profiler;
+    }
+
+    /// The attached profiler (disabled by default).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
     }
 
     /// Per-shard predicate-index structure (lock-occupancy and balance
@@ -363,6 +389,7 @@ impl RuleEngine {
                 for &pid in &predicate_ids {
                     self.pred_to_rule.insert(pid.0, id.0);
                 }
+                self.profiler.name_rule(id.0, &rule.name);
                 self.rules.insert(
                     id.0,
                     StoredRule {
@@ -708,6 +735,17 @@ impl RuleEngine {
         // Cheap handle copy so span guards don't hold a `self` borrow.
         let tracer = self.tracer.clone();
         let _cascade = tracer.span_with("cascade", || vec![("seeds", level.len().to_string())]);
+        // Attribution tags, parallel to `level`: the billing account of
+        // each event — `None` (external) for the client-injected level
+        // 0, the producing rule for cascaded events. Maintained only
+        // when the profiler records, so the disabled path pays exactly
+        // the `profiling` branch.
+        let profiling = self.profiler.is_enabled();
+        let mut tags: Vec<Option<u32>> = if profiling {
+            vec![None; level.len()]
+        } else {
+            Vec::new()
+        };
         while !level.is_empty() {
             depth += 1;
             let _level_span = tracer.span_with("cascade_level", || {
@@ -733,14 +771,21 @@ impl RuleEngine {
             let matches = {
                 let _match =
                     tracer.span_with("match_level", || vec![("tuples", batch.len().to_string())]);
-                self.index.match_batch(&batch)
+                if profiling {
+                    self.match_level_accounted(&batch, &tags)
+                } else {
+                    self.index.match_batch(&batch)
+                }
             };
             drop(batch);
 
             let mut next: Vec<TupleEvent> = Vec::new();
-            for (event, matched) in level.iter().zip(matches) {
+            let mut next_tags: Vec<Option<u32>> = Vec::new();
+            for (pos, (event, matched)) in level.iter().zip(matches).enumerate() {
+                let account = tags.get(pos).copied().flatten();
                 report.ops_applied += 1;
                 self.metrics.ops.inc();
+                self.profiler.credit_op(account);
 
                 // Beta-layer maintenance runs on *every* event,
                 // regardless of rule masks (masks gate firing, not
@@ -754,7 +799,17 @@ impl RuleEngine {
                     TupleEvent::Deleted { id, .. } => (id.0, None),
                 };
                 if !matches!(event, TupleEvent::Inserted { .. }) && !self.joins.is_empty() {
-                    self.joins.retract(event.relation(), tid);
+                    if profiling {
+                        // Bill each condition's retractions to the
+                        // rule owning it.
+                        for (key, n) in self.joins.retract_counted(event.relation(), tid) {
+                            if let Some(rid) = self.join_owner(key) {
+                                self.profiler.credit_join_retractions(rid, n);
+                            }
+                        }
+                    } else {
+                        self.joins.retract(event.relation(), tid);
+                    }
                 }
 
                 // Build the agenda: one instantiation per *rule* for
@@ -773,6 +828,7 @@ impl RuleEngine {
                             continue; // deletes only retract
                         };
                         let out = self.joins.insert(key, premise, tid, tuple);
+                        self.profiler.credit_join_probes(rid, out.probes);
                         let stored = &self.rules[&rid];
                         if !stored.rule.mask.accepts(event) {
                             continue;
@@ -812,13 +868,61 @@ impl RuleEngine {
                         });
                     }
                     let bindings = bound.as_deref().unwrap_or(&[]);
-                    next.extend(self.fire_one(rid, event, bindings, &mut report)?);
+                    let produced = self.fire_one(rid, event, bindings, &mut report)?;
+                    if profiling {
+                        // Cascaded events bill their producing rule.
+                        next_tags.extend(std::iter::repeat_n(Some(rid), produced.len()));
+                    }
+                    next.extend(produced);
                 }
             }
             level = next;
+            tags = next_tags;
         }
         self.metrics.cascade_depth.record(depth);
         Ok(report)
+    }
+
+    /// The profiled matching stage: the level's events are grouped by
+    /// billing account, each group batch-matched separately with the
+    /// global cost counters snapshotted around it (exact deltas — the
+    /// engine is serial), and the delta plus wall-clock credited to
+    /// the account. Matching is pure, so regrouping changes no result
+    /// and no global counter; only the per-call batch-size histogram
+    /// distribution shifts.
+    fn match_level_accounted(
+        &self,
+        batch: &[(&str, &Tuple)],
+        tags: &[Option<u32>],
+    ) -> Vec<Vec<PredicateId>> {
+        let mut groups: BTreeMap<Option<u32>, Vec<usize>> = BTreeMap::new();
+        for (i, &t) in tags.iter().enumerate() {
+            groups.entry(t).or_default().push(i);
+        }
+        let mut out: Vec<Vec<PredicateId>> = vec![Vec::new(); batch.len()];
+        for (account, positions) in groups {
+            let sub: Vec<(&str, &Tuple)> = positions.iter().map(|&i| batch[i]).collect();
+            let before = self.profiler.source_snapshot();
+            let started = Instant::now();
+            let results = self.index.match_batch(&sub);
+            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let mut delta = self.profiler.source_snapshot().delta_since(&before);
+            delta.stab_nanos = nanos;
+            self.profiler.credit_match(account, &delta);
+            for (i, r) in positions.into_iter().zip(results) {
+                out[i] = r;
+            }
+        }
+        out
+    }
+
+    /// The rule owning join-condition `key`, via the premise routing
+    /// table (retraction-attribution cold path).
+    fn join_owner(&self, key: u64) -> Option<u32> {
+        self.pred_to_premise
+            .values()
+            .find(|&&(_, k, _)| k == key)
+            .map(|&(rid, _, _)| rid)
     }
 
     /// Fires one rule on one event: runs the action, applies its queued
@@ -843,6 +947,7 @@ impl RuleEngine {
         stored.fired += 1;
         self.total_fired += 1;
         self.metrics.fired.inc();
+        self.profiler.credit_firing(rid);
         report.fired.push((RuleId(rid), rule_name.clone()));
         report.firings.push(Firing {
             rule: RuleId(rid),
@@ -1007,6 +1112,7 @@ impl RuleEngine {
             registry: Arc::new(Registry::disabled()),
             metrics: EngineMetrics::disabled(),
             tracer: Tracer::disabled(),
+            profiler: Profiler::disabled(),
         };
         // Re-register join conditions and reseed their memos from the
         // restored database (in rule-id order for determinism). The

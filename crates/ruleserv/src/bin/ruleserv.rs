@@ -19,7 +19,7 @@ use predicate::FunctionRegistry;
 use ruleserv::{serve, ServerOptions};
 use std::io::Read;
 use std::sync::Arc;
-use telemetry::{Registry, Tracer};
+use telemetry::{Profiler, Registry, Tracer};
 
 struct Config {
     dir: String,
@@ -31,13 +31,15 @@ struct Config {
     sync_every: Option<u32>,
     snapshot_every: Option<u64>,
     crash_after: Option<u64>,
+    profile: bool,
+    slow_ms: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: ruleserv [--dir PATH] [--bind ADDR] [--metrics ADDR] [--seconds N]\n\
          \x20               [--queue-cap N] [--pipeline-cap N] [--sync-every N]\n\
-         \x20               [--snapshot-every N] [--crash-after N]\n\
+         \x20               [--snapshot-every N] [--crash-after N] [--profile] [--slow-ms N]\n\
          \n\
          \x20 --dir PATH        durable home (default ./ruleserv-data)\n\
          \x20 --bind ADDR       wire-protocol listener (default 127.0.0.1:7878; port 0 = ephemeral)\n\
@@ -47,7 +49,9 @@ fn usage() -> ! {
          \x20 --pipeline-cap N  per-connection outstanding-reply bound (default 4096)\n\
          \x20 --sync-every N    group-commit: fsync every N appends (default: every append)\n\
          \x20 --snapshot-every N  snapshot cadence in logged ops (default 1024)\n\
-         \x20 --crash-after N   abort after op N's WAL append, before its reply (crash tests)"
+         \x20 --crash-after N   abort after op N's WAL append, before its reply (crash tests)\n\
+         \x20 --profile         attach the cost-attribution profiler (/profile, /top on --metrics)\n\
+         \x20 --slow-ms N       capture requests slower than N ms in the slow-op ring (implies --profile)"
     );
     std::process::exit(2)
 }
@@ -63,6 +67,8 @@ fn parse_args() -> Config {
         sync_every: None,
         snapshot_every: Some(1024),
         crash_after: None,
+        profile: false,
+        slow_ms: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -88,6 +94,11 @@ fn parse_args() -> Config {
             "--crash-after" => {
                 cfg.crash_after = Some(value(&mut args).parse().unwrap_or_else(|_| usage()))
             }
+            "--profile" => cfg.profile = true,
+            "--slow-ms" => {
+                cfg.slow_ms = Some(value(&mut args).parse().unwrap_or_else(|_| usage()));
+                cfg.profile = true;
+            }
             _ => usage(),
         }
     }
@@ -103,7 +114,7 @@ fn main() {
 
 fn run(cfg: Config) -> Result<(), Box<dyn std::error::Error>> {
     let registry = Arc::new(Registry::new());
-    let engine = DurableRuleEngine::open_with_metrics(
+    let mut engine = DurableRuleEngine::open_with_metrics(
         &cfg.dir,
         FunctionRegistry::default(),
         ActionRegistry::new(),
@@ -116,11 +127,18 @@ fn run(cfg: Config) -> Result<(), Box<dyn std::error::Error>> {
         },
         Arc::clone(&registry),
     )?;
+    if cfg.profile {
+        engine.attach_profiler(Profiler::new(&registry));
+    }
+    // A clone of the (possibly disabled) profiler for the exposition
+    // server; the engine itself moves into the serve thread.
+    let profiler = engine.profiler().clone();
 
     let opts = ServerOptions {
         queue_cap: cfg.queue_cap,
         pipeline_cap: cfg.pipeline_cap,
         crash_after: cfg.crash_after,
+        slow_op_threshold: cfg.slow_ms.map(std::time::Duration::from_millis),
         ..ServerOptions::default()
     };
     let server = serve(&cfg.bind, engine, opts)?;
@@ -132,7 +150,7 @@ fn run(cfg: Config) -> Result<(), Box<dyn std::error::Error>> {
             // The engine has moved into its thread; /health is served
             // from the registry-backed families instead.
             let health_registry = Arc::clone(&registry);
-            let handle = telemetry::serve(
+            let handle = telemetry::serve_with_profiler(
                 addr,
                 Arc::clone(&registry),
                 Tracer::disabled(),
@@ -143,6 +161,7 @@ fn run(cfg: Config) -> Result<(), Box<dyn std::error::Error>> {
                         health_registry.counter_family_total("server_connections_total"),
                     )
                 })),
+                profiler,
             )?;
             println!("METRICS {}", handle.addr());
             Some(handle)

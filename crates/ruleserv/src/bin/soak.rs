@@ -18,9 +18,12 @@
 //! engine-bound request (bounded-queue backpressure), counted
 //! separately.
 //!
-//! The report is hand-rolled JSON (`schema: bench/server-v1`) with
-//! total throughput and per-request latency percentiles, written to
-//! `--out` for the benchmark ledger.
+//! The report is hand-rolled JSON (`schema: bench/server-v2`) with
+//! total throughput, per-request latency percentiles, and a per-op
+//! latency breakdown (p50/p99 per opcode, estimated from shared
+//! power-of-two [`telemetry::Histogram`]s — the same estimator the
+//! server's `/metrics` quantile lines use), written to `--out` for
+//! the benchmark ledger.
 
 use durable::{ActionRegistry, ActionSpec, DurableRuleEngine, Options, RuleSpec, SyncPolicy};
 use predicate::FunctionRegistry;
@@ -29,10 +32,11 @@ use rand::{Rng, SeedableRng};
 use relation::{AttrType, Schema, Value};
 use rules::EventMask;
 use ruleserv::{serve, Client, Reply, Request, ServerOptions};
+use std::collections::HashMap;
 use std::io::Write;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use telemetry::Registry;
+use telemetry::{quantile, Histogram, Registry};
 
 struct Config {
     addr: Option<String>,
@@ -129,16 +133,32 @@ struct ConnStats {
     latencies: Vec<u64>,
 }
 
+/// The op labels soak traffic is generated under, fixed order for the
+/// report.
+const SOAK_OPS: &[&str] = &["insert", "update", "delete", "ping", "health", "sync"];
+
 fn drive_connection(
     id: usize,
     addr: std::net::SocketAddr,
     cfg_requests: usize,
     cfg_pipeline: usize,
     seed: u64,
+    registry: Arc<Registry>,
 ) -> Result<ConnStats, ruleserv::ClientError> {
     let mut rng = StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9e37_79b9));
     let mut client = Client::connect(addr)?;
     let relation = format!("soak_c{id}");
+    // Per-op latency histograms, shared (atomic buckets) across every
+    // connection through the soak registry.
+    let per_op: HashMap<&'static str, Histogram> = SOAK_OPS
+        .iter()
+        .map(|&op| {
+            (
+                op,
+                registry.histogram(&format!("soak_latency_nanos{{op=\"{op}\"}}")),
+            )
+        })
+        .collect();
 
     // Setup outside the measured window: a private relation plus a
     // rule over it so roughly half the inserts fire.
@@ -165,35 +185,40 @@ fn drive_connection(
         reordered: 0,
         latencies: Vec::with_capacity(cfg_requests),
     };
-    // FIFO of (expectation, send instant); the reply stream must
-    // settle these strictly in order.
-    let mut pending: std::collections::VecDeque<(Expect, Instant)> =
+    // FIFO of (expectation, op label, send instant); the reply stream
+    // must settle these strictly in order.
+    let mut pending: std::collections::VecDeque<(Expect, &'static str, Instant)> =
         std::collections::VecDeque::new();
     let mut inserted: u64 = 0;
 
-    let settle = |reply: &Reply, expect: Expect, sent: Instant, stats: &mut ConnStats| {
-        stats.replies += 1;
-        stats.latencies.push(sent.elapsed().as_nanos() as u64);
-        match reply {
-            Reply::Busy => stats.busy += 1,
-            Reply::Err(_) => stats.errors += 1,
-            Reply::Fire(s) => stats.fired += s.fired.len() as u64,
-            _ => {}
-        }
-        if !expect.matches(reply) {
-            stats.reordered += 1;
-        }
-    };
+    let settle =
+        |reply: &Reply, expect: Expect, op: &'static str, sent: Instant, stats: &mut ConnStats| {
+            let nanos = sent.elapsed().as_nanos() as u64;
+            stats.replies += 1;
+            stats.latencies.push(nanos);
+            if let Some(h) = per_op.get(op) {
+                h.record(nanos);
+            }
+            match reply {
+                Reply::Busy => stats.busy += 1,
+                Reply::Err(_) => stats.errors += 1,
+                Reply::Fire(s) => stats.fired += s.fired.len() as u64,
+                _ => {}
+            }
+            if !expect.matches(reply) {
+                stats.reordered += 1;
+            }
+        };
 
     for n in 0..cfg_requests {
         // Keep at most `pipeline` requests outstanding.
-        while let Some(&(expect, sent)) = pending.front() {
+        while let Some(&(expect, op, sent)) = pending.front() {
             if pending.len() < cfg_pipeline {
                 break;
             }
             pending.pop_front();
             match client.recv_reply() {
-                Ok(reply) => settle(&reply, expect, sent, &mut stats),
+                Ok(reply) => settle(&reply, expect, op, sent, &mut stats),
                 Err(e) => {
                     stats.lost += pending.len() as u64 + 1;
                     return fail_conn(stats, e);
@@ -202,31 +227,40 @@ fn drive_connection(
         }
 
         let roll: u32 = rng.gen_range(0..100);
-        let request = if roll < 60 || inserted == 0 {
+        let (request, op) = if roll < 60 || inserted == 0 {
             inserted += 1;
-            Request::Apply(durable::Record::Insert {
-                relation: relation.clone(),
-                values: vec![Value::Int((n as i64) % 100), Value::Int(n as i64)],
-            })
+            (
+                Request::Apply(durable::Record::Insert {
+                    relation: relation.clone(),
+                    values: vec![Value::Int((n as i64) % 100), Value::Int(n as i64)],
+                }),
+                "insert",
+            )
         } else if roll < 75 {
             // Update a random prior id; already-deleted ids yield a
             // clean `Err` reply, which is part of the point.
-            Request::Apply(durable::Record::Update {
-                relation: relation.clone(),
-                id: rng.gen_range(0..inserted) as u32,
-                values: vec![Value::Int(rng.gen_range(0..100)), Value::Int(-1)],
-            })
+            (
+                Request::Apply(durable::Record::Update {
+                    relation: relation.clone(),
+                    id: rng.gen_range(0..inserted) as u32,
+                    values: vec![Value::Int(rng.gen_range(0..100)), Value::Int(-1)],
+                }),
+                "update",
+            )
         } else if roll < 85 {
-            Request::Apply(durable::Record::Delete {
-                relation: relation.clone(),
-                id: rng.gen_range(0..inserted) as u32,
-            })
+            (
+                Request::Apply(durable::Record::Delete {
+                    relation: relation.clone(),
+                    id: rng.gen_range(0..inserted) as u32,
+                }),
+                "delete",
+            )
         } else if roll < 93 {
-            Request::Ping
+            (Request::Ping, "ping")
         } else if roll < 97 {
-            Request::Health
+            (Request::Health, "health")
         } else {
-            Request::Sync
+            (Request::Sync, "sync")
         };
         let expect = match &request {
             Request::Ping => Expect::Pong,
@@ -234,7 +268,7 @@ fn drive_connection(
             Request::Sync => Expect::Unit,
             _ => Expect::Fire,
         };
-        pending.push_back((expect, Instant::now()));
+        pending.push_back((expect, op, Instant::now()));
         if let Err(e) = client.send(&request) {
             stats.lost += pending.len() as u64;
             return fail_conn(stats, e);
@@ -242,9 +276,9 @@ fn drive_connection(
     }
 
     // Drain: every outstanding request must produce exactly one reply.
-    while let Some((expect, sent)) = pending.pop_front() {
+    while let Some((expect, op, sent)) = pending.pop_front() {
         match client.recv_reply() {
-            Ok(reply) => settle(&reply, expect, sent, &mut stats),
+            Ok(reply) => settle(&reply, expect, op, sent, &mut stats),
             Err(e) => {
                 stats.lost += pending.len() as u64 + 1;
                 return fail_conn(stats, e);
@@ -312,16 +346,21 @@ fn run(cfg: Config) -> Result<(), Box<dyn std::error::Error>> {
         cfg.connections, cfg.requests, cfg.pipeline
     );
 
+    // Client-side per-op latency histograms; every connection records
+    // into the same atomic buckets.
+    let soak_registry = Arc::new(Registry::new());
+
     let started = Instant::now();
     let mut handles = Vec::new();
     for id in 0..cfg.connections {
         let requests = cfg.requests;
         let pipeline = cfg.pipeline;
         let seed = cfg.seed;
+        let registry = Arc::clone(&soak_registry);
         handles.push(
             std::thread::Builder::new()
                 .name(format!("soak-{id}"))
-                .spawn(move || drive_connection(id, addr, requests, pipeline, seed))?,
+                .spawn(move || drive_connection(id, addr, requests, pipeline, seed, registry))?,
         );
     }
 
@@ -368,8 +407,10 @@ fn run(cfg: Config) -> Result<(), Box<dyn std::error::Error>> {
     latencies.sort_unstable();
     let total_sent = (cfg.connections * cfg.requests) as u64;
     let throughput = replies as f64 / elapsed.as_secs_f64().max(1e-9);
+    let per_op = per_op_rows(&soak_registry);
     let report = render_report(
         &cfg,
+        &per_op,
         ReportNumbers {
             elapsed,
             total_sent,
@@ -427,11 +468,51 @@ struct ReportNumbers {
     max: u64,
 }
 
+/// One per-op row of the report: op label, sample count, and
+/// histogram-estimated quantiles.
+struct OpRow {
+    op: String,
+    count: u64,
+    p50: u64,
+    p99: u64,
+}
+
+/// Pulls the shared per-op histograms out of the soak registry, in
+/// [`SOAK_OPS`] order (ops with no samples are skipped).
+fn per_op_rows(registry: &Registry) -> Vec<OpRow> {
+    let snapshots = registry.histogram_snapshots();
+    SOAK_OPS
+        .iter()
+        .filter_map(|&op| {
+            let name = format!("soak_latency_nanos{{op=\"{op}\"}}");
+            snapshots
+                .iter()
+                .find(|(n, count, _, _)| *n == name && *count > 0)
+                .map(|(_, count, _, buckets)| OpRow {
+                    op: op.to_string(),
+                    count: *count,
+                    p50: quantile(buckets, 0.50),
+                    p99: quantile(buckets, 0.99),
+                })
+        })
+        .collect()
+}
+
 /// Hand-rolled JSON: the workspace is std-only, and the shape is flat
 /// enough that a serializer would be overkill.
-fn render_report(cfg: &Config, n: ReportNumbers) -> String {
+fn render_report(cfg: &Config, per_op: &[OpRow], n: ReportNumbers) -> String {
+    let per_op_json = per_op
+        .iter()
+        .map(|r| {
+            format!(
+                "    \"{}\": {{ \"count\": {}, \"p50\": {}, \"p99\": {} }}",
+                r.op, r.count, r.p50, r.p99
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     format!(
-        "{{\n  \"schema\": \"bench/server-v1\",\n  \"connections\": {},\n  \"requests_per_connection\": {},\n  \"pipeline\": {},\n  \"seed\": {},\n  \"elapsed_secs\": {:.4},\n  \"requests_sent\": {},\n  \"replies\": {},\n  \"busy\": {},\n  \"errors\": {},\n  \"rule_firings\": {},\n  \"lost\": {},\n  \"reordered\": {},\n  \"failed_connections\": {},\n  \"throughput_req_per_sec\": {:.1},\n  \"latency_nanos\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {} }}\n}}",
+        "{{\n  \"schema\": \"bench/server-v2\",\n  \"connections\": {},\n  \"requests_per_connection\": {},\n  \"pipeline\": {},\n  \"seed\": {},\n  \"elapsed_secs\": {:.4},\n  \"requests_sent\": {},\n  \"replies\": {},\n  \"busy\": {},\n  \"errors\": {},\n  \"rule_firings\": {},\n  \"lost\": {},\n  \"reordered\": {},\n  \"failed_connections\": {},\n  \"throughput_req_per_sec\": {:.1},\n  \"latency_nanos\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {} }},\n  \"per_op_latency_nanos\": {{\n{}\n  }}\n}}",
         cfg.connections,
         cfg.requests,
         cfg.pipeline,
@@ -450,5 +531,6 @@ fn render_report(cfg: &Config, n: ReportNumbers) -> String {
         n.p95,
         n.p99,
         n.max,
+        per_op_json,
     )
 }

@@ -84,6 +84,11 @@ pub struct Client {
     lagged: u64,
     /// Requests sent minus replies received.
     in_flight: u64,
+    /// When set, the trace id the *next* request will carry (then
+    /// incremented); `None` = untraced, byte-identical wire format.
+    trace_next: Option<u64>,
+    /// The trace id the most recent request carried.
+    trace_last: Option<u64>,
 }
 
 impl Client {
@@ -98,6 +103,8 @@ impl Client {
             events: VecDeque::new(),
             lagged: 0,
             in_flight: 0,
+            trace_next: None,
+            trace_last: None,
         })
     }
 
@@ -106,11 +113,36 @@ impl Client {
         self.in_flight
     }
 
+    /// Starts stamping a trace id on every subsequent request: `seed`
+    /// on the next one, incrementing per request. The server echoes
+    /// the id into its `server_request` span and slow-op log, so a
+    /// client-side ordinal (or an upstream correlation id) links a
+    /// wire request to the engine-side evidence.
+    pub fn enable_trace_ids(&mut self, seed: u64) {
+        self.trace_next = Some(seed);
+    }
+
+    /// Stops stamping trace ids (requests revert to the pre-trace
+    /// byte format).
+    pub fn disable_trace_ids(&mut self) {
+        self.trace_next = None;
+    }
+
+    /// The trace id the most recently sent request carried, if any.
+    pub fn last_trace_id(&self) -> Option<u64> {
+        self.trace_last
+    }
+
     /// Queues one request without waiting for its reply (pipelining).
     /// Buffered; [`recv_reply`](Self::recv_reply) flushes before
     /// reading, or call [`flush`](Self::flush) explicitly.
     pub fn send(&mut self, request: &Request) -> Result<(), ClientError> {
-        request.write_to(&mut self.writer)?;
+        let trace = self.trace_next;
+        request.write_to_traced(&mut self.writer, trace)?;
+        if let Some(id) = trace {
+            self.trace_next = Some(id.wrapping_add(1));
+            self.trace_last = Some(id);
+        }
         self.in_flight += 1;
         Ok(())
     }

@@ -46,6 +46,20 @@
 //! | `0x89` | `LAGGED`  | `u64 n` — n events were dropped because this connection's reply queue was full |
 //!
 //! Strings use [`relation::codec`]'s length-prefixed UTF-8 encoding.
+//!
+//! ## Trace ids
+//!
+//! Any request frame may carry an optional 8-byte little-endian trace
+//! id as a payload *suffix* (after the empty payload of `PING`-class
+//! ops, after the record of `APPLY`). Like the `EVENT` bindings
+//! suffix, absence is encoded by omission — a request without a trace
+//! id is byte-identical to the pre-trace protocol, so old clients and
+//! new servers (and vice versa, untraced) interoperate frame-for-frame.
+//! [`Request::decode_traced`] accepts both forms;
+//! [`Request::decode`] stays strict and rejects the suffix. The id is
+//! request metadata, not data: the server stamps it on its
+//! `server_request` span and the slow-op log, and it never reaches
+//! the WAL.
 
 use durable::crc::Crc32;
 use durable::Record;
@@ -218,13 +232,58 @@ impl Request {
         }
     }
 
+    /// [`encode`](Self::encode) with an optional trace id appended as
+    /// an 8-byte little-endian payload suffix. `None` produces exactly
+    /// the bytes [`encode`](Self::encode) does.
+    pub fn encode_traced(&self, trace: Option<u64>) -> (u8, Vec<u8>) {
+        let (opcode, mut payload) = self.encode();
+        if let Some(id) = trace {
+            payload.extend_from_slice(&id.to_le_bytes());
+        }
+        (opcode, payload)
+    }
+
     /// Writes the request as one frame.
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
         let (opcode, payload) = self.encode();
         write_frame(w, opcode, &payload)
     }
 
-    /// Decodes a request frame.
+    /// Writes the request as one frame with an optional trace-id
+    /// suffix.
+    pub fn write_to_traced(&self, w: &mut impl Write, trace: Option<u64>) -> io::Result<()> {
+        let (opcode, payload) = self.encode_traced(trace);
+        write_frame(w, opcode, &payload)
+    }
+
+    /// Decodes a request frame that may carry the trace-id suffix.
+    /// The suffix is all-or-nothing: exactly 8 trailing bytes decode
+    /// to `Some(id)`, zero to `None`, anything else is corruption.
+    pub fn decode_traced(opcode: u8, payload: &[u8]) -> Result<(Request, Option<u64>), ProtoError> {
+        let split_trace = |rest: &[u8]| -> Result<Option<u64>, ProtoError> {
+            match rest.len() {
+                0 => Ok(None),
+                8 => {
+                    // srclint:allow(no-panic-in-lib): length checked — try_into to [u8; 8] cannot fail
+                    Ok(Some(u64::from_le_bytes(rest.try_into().unwrap())))
+                }
+                n => Err(ProtoError::Corrupt(format!(
+                    "trace suffix must be 0 or 8 bytes, got {n}"
+                ))),
+            }
+        };
+        if opcode == OP_APPLY {
+            let (record, consumed) = Record::decode_prefix(payload)?;
+            let trace = split_trace(&payload[consumed..])?;
+            return Ok((Request::Apply(record), trace));
+        }
+        let trace = split_trace(payload)?;
+        let req = Request::decode(opcode, &payload[..payload.len() - trace.map_or(0, |_| 8)])?;
+        Ok((req, trace))
+    }
+
+    /// Decodes a request frame (strict: a trace-id suffix is rejected;
+    /// use [`decode_traced`](Self::decode_traced) to accept it).
     pub fn decode(opcode: u8, payload: &[u8]) -> Result<Request, ProtoError> {
         let empty = |req: Request| {
             if payload.is_empty() {
@@ -727,6 +786,55 @@ mod tests {
                 Reply::decode(OP_EVENT, &payload[..cut]).is_err(),
                 "truncation at {cut} decoded"
             );
+        }
+    }
+
+    #[test]
+    fn traced_requests_round_trip_with_and_without_ids() {
+        for (i, req) in sample_requests().into_iter().enumerate() {
+            for trace in [None, Some(0xdead_beef_0000_0000 + i as u64)] {
+                let (op, payload) = req.encode_traced(trace);
+                let (got, got_trace) = Request::decode_traced(op, &payload).unwrap();
+                assert_eq!(got, req);
+                assert_eq!(got_trace, trace);
+            }
+        }
+    }
+
+    #[test]
+    fn untraced_encoding_is_byte_identical_to_pre_trace_format() {
+        for req in sample_requests() {
+            assert_eq!(req.encode_traced(None), req.encode());
+        }
+    }
+
+    #[test]
+    fn strict_decode_rejects_trace_suffixes() {
+        for req in sample_requests() {
+            let (op, traced) = req.encode_traced(Some(7));
+            assert!(
+                Request::decode(op, &traced).is_err(),
+                "strict decode accepted a traced {op:#04x}"
+            );
+        }
+    }
+
+    #[test]
+    fn torn_trace_suffixes_are_corrupt_not_panics() {
+        for req in sample_requests() {
+            let (op, full) = req.encode_traced(Some(0x0123_4567_89ab_cdef));
+            // Remainders of 1..=7 bytes are neither absent nor a full
+            // id — corruption, decoded as neither form.
+            for cut in full.len() - 7..full.len() {
+                assert!(
+                    Request::decode_traced(op, &full[..cut]).is_err(),
+                    "torn suffix at {cut} decoded for {op:#04x}"
+                );
+            }
+            // Cutting the whole suffix yields the untraced form.
+            let (got, trace) = Request::decode_traced(op, &full[..full.len() - 8]).unwrap();
+            assert_eq!(got, req);
+            assert_eq!(trace, None);
         }
     }
 

@@ -70,6 +70,12 @@ pub struct ServerOptions {
     /// aborts *after* the WAL append but *before* the reply is sent —
     /// the exact window recovery tests need. `None` in production.
     pub crash_after: Option<u64>,
+    /// Requests whose queue-to-reply latency meets this threshold are
+    /// captured in the profiler's slow-op ring (with their trace id
+    /// and cost breakdown). Ignored unless the engine carries an
+    /// enabled [`telemetry::Profiler`]; `None` leaves the profiler's
+    /// own threshold untouched.
+    pub slow_op_threshold: Option<Duration>,
 }
 
 impl Default for ServerOptions {
@@ -80,6 +86,7 @@ impl Default for ServerOptions {
             read_timeout: Duration::from_millis(500),
             write_timeout: Duration::from_secs(10),
             crash_after: None,
+            slow_op_threshold: None,
         }
     }
 }
@@ -91,35 +98,40 @@ type Slot = mpsc::Sender<Reply>;
 type SlotQueue = SyncSender<Receiver<Reply>>;
 
 /// A request crossing from a session reader into the engine thread.
+/// `trace` is the client's optional trace id, stamped onto the
+/// engine-side `server_request` span and the slow-op log.
 enum EngineMsg {
     Apply {
         record: Record,
+        trace: Option<u64>,
         slot: Slot,
         enqueued: Instant,
     },
     Subscribe {
         conn: u64,
         pipe: SlotQueue,
+        trace: Option<u64>,
         slot: Slot,
         enqueued: Instant,
     },
     Unsubscribe {
         conn: u64,
+        trace: Option<u64>,
         slot: Slot,
         enqueued: Instant,
     },
     Health {
+        trace: Option<u64>,
         slot: Slot,
         enqueued: Instant,
     },
     Sync {
+        trace: Option<u64>,
         slot: Slot,
         enqueued: Instant,
     },
     /// Session ended: forget its subscription.
-    Hangup {
-        conn: u64,
-    },
+    Hangup { conn: u64 },
 }
 
 /// A running rule server.
@@ -170,6 +182,11 @@ pub fn serve(
 ) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(bind)?;
     let addr = listener.local_addr()?;
+    if let Some(threshold) = opts.slow_op_threshold {
+        engine
+            .profiler()
+            .set_slow_threshold_nanos(threshold.as_nanos() as u64);
+    }
     let stop = Arc::new(AtomicBool::new(false));
     let metrics = Arc::new(ServerMetrics::from_registry(engine.metrics()));
     let depth = Arc::new(AtomicU64::new(0));
@@ -320,7 +337,7 @@ fn reader_loop(
             Ok(None) | Err(_) => return,
         };
         metrics.bytes_in.add(8 + 1 + payload.len() as u64);
-        let request = match Request::decode(opcode, &payload) {
+        let (request, trace) = match Request::decode_traced(opcode, &payload) {
             Ok(r) => r,
             Err(_) => return,
         };
@@ -345,22 +362,33 @@ fn reader_loop(
             }
             Request::Apply(record) => EngineMsg::Apply {
                 record,
+                trace,
                 slot,
                 enqueued,
             },
             Request::Subscribe => EngineMsg::Subscribe {
                 conn: conn_id,
                 pipe: pipe_tx.clone(),
+                trace,
                 slot,
                 enqueued,
             },
             Request::Unsubscribe => EngineMsg::Unsubscribe {
                 conn: conn_id,
+                trace,
                 slot,
                 enqueued,
             },
-            Request::Health => EngineMsg::Health { slot, enqueued },
-            Request::Sync => EngineMsg::Sync { slot, enqueued },
+            Request::Health => EngineMsg::Health {
+                trace,
+                slot,
+                enqueued,
+            },
+            Request::Sync => EngineMsg::Sync {
+                trace,
+                slot,
+                enqueued,
+            },
         };
         // Count the message before handing it over: the engine thread
         // decrements after processing, and may get there before a
@@ -525,16 +553,48 @@ fn handle_msg(
     applied: &mut u64,
     opts: &ServerOptions,
 ) {
-    if !matches!(msg, EngineMsg::Hangup { .. }) {
-        depth.fetch_sub(1, Ordering::Relaxed);
+    if let EngineMsg::Hangup { conn } = msg {
+        subscribers.remove(&conn);
+        return;
     }
+    depth.fetch_sub(1, Ordering::Relaxed);
+    let (op, trace) = match &msg {
+        EngineMsg::Apply { record, trace, .. } => (record_op_name(record), *trace),
+        EngineMsg::Subscribe { trace, .. } => ("subscribe", *trace),
+        EngineMsg::Unsubscribe { trace, .. } => ("unsubscribe", *trace),
+        EngineMsg::Health { trace, .. } => ("health", *trace),
+        EngineMsg::Sync { trace, .. } => ("sync", *trace),
+        // Handled above; kept for exhaustiveness.
+        EngineMsg::Hangup { .. } => ("hangup", None),
+    };
+    // The engine-side request span: every op the engine thread serves
+    // opens one, carrying the client's trace id when the frame had the
+    // suffix — the wire-to-span round trip.
+    let tracer = engine.tracer().clone();
+    let profiler = engine.profiler().clone();
+    let _span = tracer.span_with("server_request", || {
+        let mut args = vec![("op", op.to_string())];
+        if let Some(id) = trace {
+            args.push(("trace", format!("{id:#x}")));
+        }
+        args
+    });
+    let before = profiler.source_snapshot();
+    let finish = |enqueued: Instant| {
+        let elapsed = enqueued.elapsed();
+        metrics.record_op(op, elapsed);
+        if profiler.is_enabled() {
+            let cost = profiler.source_snapshot().delta_since(&before);
+            profiler.record_request(op, trace, elapsed.as_nanos() as u64, cost);
+        }
+    };
     match msg {
         EngineMsg::Apply {
             record,
             slot,
             enqueued,
+            ..
         } => {
-            let op = record_op_name(&record);
             let seq = engine.next_seq();
             let (reply, events) = apply_record(engine, record, seq);
             *applied += 1;
@@ -552,7 +612,7 @@ fn handle_msg(
                     }
                 }
             }
-            metrics.record_op(op, enqueued.elapsed());
+            finish(enqueued);
             let _ = slot.send(reply);
         }
         EngineMsg::Subscribe {
@@ -560,30 +620,32 @@ fn handle_msg(
             pipe,
             slot,
             enqueued,
+            ..
         } => {
             subscribers.insert(conn, Subscriber { pipe, lagged: 0 });
-            metrics.record_op("subscribe", enqueued.elapsed());
+            finish(enqueued);
             let _ = slot.send(Reply::Unit);
         }
         EngineMsg::Unsubscribe {
             conn,
             slot,
             enqueued,
+            ..
         } => {
             subscribers.remove(&conn);
-            metrics.record_op("unsubscribe", enqueued.elapsed());
+            finish(enqueued);
             let _ = slot.send(Reply::Unit);
         }
-        EngineMsg::Health { slot, enqueued } => {
-            metrics.record_op("health", enqueued.elapsed());
+        EngineMsg::Health { slot, enqueued, .. } => {
+            finish(enqueued);
             let _ = slot.send(Reply::Health(engine.health_text()));
         }
-        EngineMsg::Sync { slot, enqueued } => {
+        EngineMsg::Sync { slot, enqueued, .. } => {
             let reply = match engine.sync() {
                 Ok(()) => Reply::Unit,
                 Err(e) => Reply::Err(e.to_string()),
             };
-            metrics.record_op("sync", enqueued.elapsed());
+            finish(enqueued);
             let _ = slot.send(reply);
         }
         EngineMsg::Hangup { conn } => {

@@ -430,3 +430,87 @@ fn concurrent_clients_see_serial_wal_order() {
     assert_eq!(all.len(), 400, "every op got a distinct WAL sequence");
     server.shutdown().unwrap();
 }
+
+#[test]
+fn trace_ids_round_trip_into_server_side_spans_and_slow_ops() {
+    let registry = Arc::new(Registry::new());
+    let mut engine = DurableRuleEngine::open_with_telemetry(
+        tempdir("trace-ids"),
+        FunctionRegistry::default(),
+        ActionRegistry::new(),
+        Options {
+            sync: SyncPolicy::EveryN(64),
+            snapshot_every: None,
+        },
+        Arc::clone(&registry),
+        telemetry::Tracer::new(4096),
+    )
+    .unwrap();
+    engine.attach_profiler(telemetry::Profiler::new(&registry));
+    let server = serve(
+        "127.0.0.1:0",
+        engine,
+        ServerOptions {
+            // Zero threshold: every request lands in the slow-op ring.
+            slow_op_threshold: Some(Duration::ZERO),
+            ..ServerOptions::default()
+        },
+    )
+    .unwrap();
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.enable_trace_ids(0xabc0);
+    client.create_relation(emp_schema()).unwrap();
+    assert_eq!(client.last_trace_id(), Some(0xabc0));
+    client
+        .insert("emp", vec![Value::Str("ann".into()), Value::Int(2000)])
+        .unwrap();
+    assert_eq!(client.last_trace_id(), Some(0xabc1));
+    // The same connection can drop back to the untraced byte format.
+    client.disable_trace_ids();
+    client.health().unwrap();
+
+    let engine = server.shutdown().expect("engine handed back");
+    let events = engine.tracer().events();
+    let begins: Vec<_> = events
+        .iter()
+        .filter(|e| e.name == "server_request" && matches!(e.kind, telemetry::SpanEventKind::Begin))
+        .collect();
+    assert!(
+        begins.len() >= 3,
+        "each engine-served request opens a span, got {}",
+        begins.len()
+    );
+    let trace_args: Vec<&str> = begins
+        .iter()
+        .flat_map(|e| e.args.iter())
+        .filter(|(k, _)| *k == "trace")
+        .map(|(_, v)| v.as_str())
+        .collect();
+    assert!(
+        trace_args.contains(&"0xabc0"),
+        "create_relation trace id missing"
+    );
+    assert!(trace_args.contains(&"0xabc1"), "insert trace id missing");
+    assert!(
+        begins
+            .iter()
+            .any(|e| e.args.contains(&("op", "insert".to_string()))),
+        "spans carry the op label"
+    );
+    let untraced_health = begins.iter().any(|e| {
+        e.args.contains(&("op", "health".to_string())) && e.args.iter().all(|(k, _)| *k != "trace")
+    });
+    assert!(
+        untraced_health,
+        "untraced request must open a trace-less span"
+    );
+
+    // The slow-op ring captured the traced insert with its id.
+    let slow = engine.profiler().slow_ops();
+    assert!(
+        slow.iter()
+            .any(|s| s.trace_id == Some(0xabc1) && s.op == "insert"),
+        "slow-op ring must hold the traced insert, got {slow:?}"
+    );
+}

@@ -58,6 +58,43 @@ pub fn bucket_upper_bound(i: usize) -> u64 {
     }
 }
 
+/// Estimates the `q`-quantile (`0.0 < q <= 1.0`) of a bucket snapshot
+/// by locating the bucket holding the target rank and interpolating
+/// linearly inside it — within a factor of 2 of the true value by the
+/// bucket geometry, which is all a tail-latency report needs. Returns
+/// 0 for an empty histogram.
+pub fn quantile(buckets: &[u64; HISTOGRAM_BUCKETS], q: f64) -> u64 {
+    let count: u64 = buckets.iter().sum();
+    if count == 0 {
+        return 0;
+    }
+    // Smallest rank (1-based) whose cumulative count covers q.
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cumulative = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let below = cumulative;
+        cumulative += n;
+        if cumulative >= rank {
+            let lo = if i == 0 {
+                0
+            } else {
+                bucket_upper_bound(i - 1).saturating_add(1)
+            };
+            let hi = bucket_upper_bound(i);
+            // Position of the target rank inside this bucket (1..=n);
+            // u128 keeps bucket 64's span from overflowing.
+            let pos = rank - below;
+            let width = (hi - lo) as u128;
+            let est = lo as u128 + width * pos as u128 / n as u128;
+            return u64::try_from(est).unwrap_or(u64::MAX);
+        }
+    }
+    bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+}
+
 impl Histogram {
     /// A live histogram with empty buckets.
     pub(crate) fn live() -> Histogram {
@@ -126,5 +163,60 @@ impl Histogram {
 impl Default for Histogram {
     fn default() -> Self {
         Histogram::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_of_empty_is_zero() {
+        let buckets = [0u64; HISTOGRAM_BUCKETS];
+        assert_eq!(quantile(&buckets, 0.5), 0);
+        assert_eq!(quantile(&buckets, 0.99), 0);
+    }
+
+    #[test]
+    fn quantile_lands_in_the_right_bucket() {
+        let h = Histogram::live();
+        // 90 fast observations in [8,15], 10 slow in [1024,2047].
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(1500);
+        }
+        let buckets = h.buckets();
+        let p50 = quantile(&buckets, 0.50);
+        assert!((8..=15).contains(&p50), "p50={p50}");
+        let p99 = quantile(&buckets, 0.99);
+        assert!((1024..=2047).contains(&p99), "p99={p99}");
+        // q=1.0 is the top occupied bucket's upper region.
+        assert!(quantile(&buckets, 1.0) <= 2047);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_a_bucket() {
+        // All mass in one bucket: low quantiles sit near the bucket's
+        // lower bound, high quantiles near its upper bound.
+        let h = Histogram::live();
+        for _ in 0..100 {
+            h.record(1_000); // bucket [512,1023]
+        }
+        let buckets = h.buckets();
+        let p1 = quantile(&buckets, 0.01);
+        let p99 = quantile(&buckets, 0.99);
+        assert!((512..=1023).contains(&p1));
+        assert!((512..=1023).contains(&p99));
+        assert!(p1 < p99, "p1={p1} p99={p99}");
+    }
+
+    #[test]
+    fn quantile_survives_the_top_bucket() {
+        let h = Histogram::live();
+        h.record(u64::MAX);
+        let buckets = h.buckets();
+        assert!(quantile(&buckets, 0.5) >= 1u64 << 63);
     }
 }

@@ -56,6 +56,7 @@
 mod counter;
 mod explain;
 mod histogram;
+mod profile;
 mod recorder;
 mod registry;
 mod server;
@@ -63,10 +64,13 @@ mod trace;
 
 pub use counter::Counter;
 pub use explain::{MatchTrace, ResidualTrace, StabTrace};
-pub use histogram::{bucket_index, bucket_upper_bound, Histogram, HISTOGRAM_BUCKETS};
+pub use histogram::{bucket_index, bucket_upper_bound, quantile, Histogram, HISTOGRAM_BUCKETS};
+pub use profile::{
+    AccountSnapshot, CostSnapshot, Profiler, SlowOp, EXTERNAL_ACCOUNT, SLOW_OP_CAPACITY,
+};
 pub use recorder::{FlightRecorder, PanicHookGuard};
 pub use registry::Registry;
-pub use server::{serve, wake_addr, HealthFn, ServerHandle};
+pub use server::{serve, serve_with_profiler, wake_addr, HealthFn, ServerHandle};
 pub use trace::{
     chrome_trace_json, Span, SpanEventKind, TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY,
 };
@@ -161,6 +165,7 @@ m_nanos_bucket{le=\"1\"} 1
 m_nanos_bucket{le=\"+Inf\"} 1
 m_nanos_sum 1
 m_nanos_count 1
+# quantiles m_nanos p50=1 p95=1 p99=1
 # TYPE z_total counter
 z_total 3
 ";

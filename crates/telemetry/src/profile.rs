@@ -1,0 +1,871 @@
+//! Per-rule cost attribution: accounts, slow-op log, rankings.
+//!
+//! Section 5.2 of the paper prices one tuple's match as hash + stab +
+//! residual work; the global counters in the [`Registry`] total that
+//! price across the whole system. This module splits the bill: every
+//! unit of match/join/cascade work is *attributed* to the rule that
+//! caused it — level-0 (client-injected) events bill the reserved
+//! `external` account, cascaded events bill the rule whose firing
+//! queued them, join probes bill the rule owning the join condition,
+//! firings bill the fired rule. The invariant the root integration
+//! test pins: for every cost term, the accounts sum to the global
+//! counter.
+//!
+//! A [`Profiler`] is a cheap clonable handle with the same disabled
+//! contract as [`Counter`](crate::Counter): a disabled profiler costs
+//! one branch per call site and mints nothing. An enabled profiler
+//! keeps its accounts as labelled counter families
+//! (`profile_rule_*_total{rule="3"}`) in the registry it was built
+//! over, so `/metrics`, `/profile`, and flight dumps all read the same
+//! cells.
+//!
+//! The profiler also owns the **slow-op ring**: a bounded log of
+//! requests whose wall-clock exceeded a configurable threshold, each
+//! with its wire trace id (if the client stamped one) and the full
+//! [`CostSnapshot`] delta the request consumed. The ring keeps the
+//! newest [`SLOW_OP_CAPACITY`] entries; readers snapshot, they never
+//! drain.
+
+use crate::counter::Counter;
+use crate::histogram::{quantile, HISTOGRAM_BUCKETS};
+use crate::registry::Registry;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Label value of the account billed for client-injected work.
+pub const EXTERNAL_ACCOUNT: &str = "external";
+
+/// Entries the slow-op ring retains (newest win).
+pub const SLOW_OP_CAPACITY: usize = 64;
+
+/// One account's (or one request's) §5.2 cost terms, as plain numbers.
+///
+/// Each field mirrors a global metric family; see the DESIGN.md §11
+/// table. `stab_nanos` is wall-clock spent in the matching stage; the
+/// rest are work counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostSnapshot {
+    /// Wall-clock nanos spent matching (predicate-index stabs plus
+    /// residual tests, measured around the batch call).
+    pub stab_nanos: u64,
+    /// IBS-tree endpoint nodes visited.
+    pub ibs_nodes: u64,
+    /// Interval marks scanned.
+    pub ibs_marks: u64,
+    /// Residual (full-conjunction) tests run.
+    pub residual_tests: u64,
+    /// Residual tests that held.
+    pub residual_passes: u64,
+    /// Predicates swept from non-indexable lists.
+    pub non_indexable: u64,
+    /// Join-memo candidate tokens examined.
+    pub join_probes: u64,
+    /// Join-memo tokens retracted.
+    pub join_retractions: u64,
+    /// Rule firings.
+    pub firings: u64,
+    /// Database operations processed (external + cascaded).
+    pub ops: u64,
+}
+
+impl CostSnapshot {
+    /// Field-wise `self - earlier` (saturating; counters are monotone,
+    /// so a live delta never actually saturates).
+    pub fn delta_since(&self, earlier: &CostSnapshot) -> CostSnapshot {
+        CostSnapshot {
+            stab_nanos: self.stab_nanos.saturating_sub(earlier.stab_nanos),
+            ibs_nodes: self.ibs_nodes.saturating_sub(earlier.ibs_nodes),
+            ibs_marks: self.ibs_marks.saturating_sub(earlier.ibs_marks),
+            residual_tests: self.residual_tests.saturating_sub(earlier.residual_tests),
+            residual_passes: self.residual_passes.saturating_sub(earlier.residual_passes),
+            non_indexable: self.non_indexable.saturating_sub(earlier.non_indexable),
+            join_probes: self.join_probes.saturating_sub(earlier.join_probes),
+            join_retractions: self
+                .join_retractions
+                .saturating_sub(earlier.join_retractions),
+            firings: self.firings.saturating_sub(earlier.firings),
+            ops: self.ops.saturating_sub(earlier.ops),
+        }
+    }
+
+    /// Total *work units* (every term except the nanos) — the
+    /// tie-breaker the top-K ranking uses under equal stab time.
+    pub fn work(&self) -> u64 {
+        self.ibs_nodes
+            .saturating_add(self.ibs_marks)
+            .saturating_add(self.residual_tests)
+            .saturating_add(self.non_indexable)
+            .saturating_add(self.join_probes)
+            .saturating_add(self.join_retractions)
+            .saturating_add(self.firings)
+            .saturating_add(self.ops)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"stab_nanos\":{},\"ibs_nodes\":{},\"ibs_marks\":{},\"residual_tests\":{},\
+             \"residual_passes\":{},\"non_indexable\":{},\"join_probes\":{},\
+             \"join_retractions\":{},\"firings\":{},\"ops\":{}}}",
+            self.stab_nanos,
+            self.ibs_nodes,
+            self.ibs_marks,
+            self.residual_tests,
+            self.residual_passes,
+            self.non_indexable,
+            self.join_probes,
+            self.join_retractions,
+            self.firings,
+            self.ops
+        )
+    }
+}
+
+/// One account's current state, for rankings and rendering.
+#[derive(Debug, Clone)]
+pub struct AccountSnapshot {
+    /// `None` = the external account (client-injected work).
+    pub rule: Option<u32>,
+    /// The rule's name, when the engine registered one.
+    pub name: Option<String>,
+    /// The accumulated cost terms.
+    pub cost: CostSnapshot,
+}
+
+impl AccountSnapshot {
+    /// The account's label value (`"external"` or the rule id digits).
+    pub fn label(&self) -> String {
+        match self.rule {
+            Some(rid) => rid.to_string(),
+            None => EXTERNAL_ACCOUNT.to_string(),
+        }
+    }
+}
+
+/// One over-threshold request captured by the slow-op ring.
+#[derive(Debug, Clone)]
+pub struct SlowOp {
+    /// Profiler-assigned request ordinal (counts *all* observed
+    /// requests, so gaps show how many fast ones passed between slow
+    /// ones).
+    pub seq: u64,
+    /// Wire op name (`insert`, `sync`, ...).
+    pub op: String,
+    /// The client-stamped wire trace id, if the request carried one.
+    pub trace_id: Option<u64>,
+    /// Queue + processing wall-clock.
+    pub nanos: u64,
+    /// The cost delta the request consumed.
+    pub cost: CostSnapshot,
+}
+
+/// The per-account counter cells. All registry-backed, so the families
+/// render in `/metrics` alongside the globals they partition.
+#[derive(Debug, Clone)]
+struct Account {
+    stab_nanos: Counter,
+    ibs_nodes: Counter,
+    ibs_marks: Counter,
+    residual_tests: Counter,
+    residual_passes: Counter,
+    non_indexable: Counter,
+    join_probes: Counter,
+    join_retractions: Counter,
+    firings: Counter,
+    ops: Counter,
+}
+
+impl Account {
+    fn mint(registry: &Registry, label: &str) -> Account {
+        Account {
+            stab_nanos: registry.counter(&format!(
+                "profile_rule_stab_nanos_total{{rule=\"{label}\"}}"
+            )),
+            ibs_nodes: registry
+                .counter(&format!("profile_rule_ibs_nodes_total{{rule=\"{label}\"}}")),
+            ibs_marks: registry
+                .counter(&format!("profile_rule_ibs_marks_total{{rule=\"{label}\"}}")),
+            residual_tests: registry.counter(&format!(
+                "profile_rule_residual_tests_total{{rule=\"{label}\"}}"
+            )),
+            residual_passes: registry.counter(&format!(
+                "profile_rule_residual_passes_total{{rule=\"{label}\"}}"
+            )),
+            non_indexable: registry.counter(&format!(
+                "profile_rule_non_indexable_total{{rule=\"{label}\"}}"
+            )),
+            join_probes: registry.counter(&format!(
+                "profile_rule_join_probes_total{{rule=\"{label}\"}}"
+            )),
+            join_retractions: registry.counter(&format!(
+                "profile_rule_join_retractions_total{{rule=\"{label}\"}}"
+            )),
+            firings: registry.counter(&format!("profile_rule_firings_total{{rule=\"{label}\"}}")),
+            ops: registry.counter(&format!("profile_rule_ops_total{{rule=\"{label}\"}}")),
+        }
+    }
+
+    fn snapshot(&self) -> CostSnapshot {
+        CostSnapshot {
+            stab_nanos: self.stab_nanos.get(),
+            ibs_nodes: self.ibs_nodes.get(),
+            ibs_marks: self.ibs_marks.get(),
+            residual_tests: self.residual_tests.get(),
+            residual_passes: self.residual_passes.get(),
+            non_indexable: self.non_indexable.get(),
+            join_probes: self.join_probes.get(),
+            join_retractions: self.join_retractions.get(),
+            firings: self.firings.get(),
+            ops: self.ops.get(),
+        }
+    }
+}
+
+/// Handles on the *global* cost-term counters the accounts partition.
+/// Reading them before/after a bounded piece of work yields the exact
+/// delta to credit, because the engine processes events serially.
+#[derive(Debug, Clone)]
+struct Sources {
+    ibs_nodes: Counter,
+    ibs_marks: Counter,
+    residual_tests: Counter,
+    residual_passes: Counter,
+    non_indexable: Counter,
+    join_probes: Counter,
+    join_retractions: Counter,
+    firings: Counter,
+    ops: Counter,
+}
+
+impl Sources {
+    fn mint(registry: &Registry) -> Sources {
+        Sources {
+            ibs_nodes: registry.counter("predindex_ibs_nodes_visited_total"),
+            ibs_marks: registry.counter("predindex_ibs_marks_scanned_total"),
+            residual_tests: registry.counter("predindex_residual_tests_total"),
+            residual_passes: registry.counter("predindex_residual_passes_total"),
+            non_indexable: registry.counter("predindex_non_indexable_scanned_total"),
+            join_probes: registry.counter("join_probes_total"),
+            join_retractions: registry.counter("join_retractions_total"),
+            firings: registry.counter("rules_fired_total"),
+            ops: registry.counter("rules_ops_applied_total"),
+        }
+    }
+}
+
+struct Inner {
+    registry: Arc<Registry>,
+    sources: Sources,
+    accounts: Mutex<BTreeMap<Option<u32>, Account>>,
+    names: Mutex<BTreeMap<u32, String>>,
+    slow: Mutex<VecDeque<SlowOp>>,
+    /// Requests at or over this wall-clock (nanos) enter the slow-op
+    /// ring; `u64::MAX` disables capture.
+    slow_threshold: AtomicU64,
+    /// Ordinal of the next observed request.
+    next_seq: AtomicU64,
+}
+
+/// The attribution recorder: cheap clonable handle, one branch per
+/// call site when disabled.
+#[derive(Clone)]
+pub struct Profiler {
+    enabled: bool,
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Profiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Profiler")
+            .field("enabled", &self.enabled)
+            .finish()
+    }
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Profiler::disabled()
+    }
+}
+
+impl Profiler {
+    /// The permanently no-op profiler.
+    pub fn disabled() -> Profiler {
+        Profiler {
+            enabled: false,
+            inner: Arc::new(Inner {
+                registry: Arc::new(Registry::disabled()),
+                sources: Sources::mint(&Registry::disabled()),
+                accounts: Mutex::new(BTreeMap::new()),
+                names: Mutex::new(BTreeMap::new()),
+                slow: Mutex::new(VecDeque::new()),
+                slow_threshold: AtomicU64::new(u64::MAX),
+                next_seq: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A profiler accounting into `registry` — the same registry the
+    /// engine's telemetry is attached to, so the global counters the
+    /// accounts partition live next to the account families. A
+    /// disabled registry yields a disabled profiler.
+    pub fn new(registry: &Arc<Registry>) -> Profiler {
+        if !registry.is_enabled() {
+            return Profiler::disabled();
+        }
+        Profiler {
+            enabled: true,
+            inner: Arc::new(Inner {
+                registry: Arc::clone(registry),
+                sources: Sources::mint(registry),
+                accounts: Mutex::new(BTreeMap::new()),
+                names: Mutex::new(BTreeMap::new()),
+                slow: Mutex::new(VecDeque::new()),
+                slow_threshold: AtomicU64::new(u64::MAX),
+                next_seq: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Does this handle record anything?
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The registry the accounts live in.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.inner.registry
+    }
+
+    /// Current values of the global cost-term counters (the
+    /// `stab_nanos` field is always 0 — wall-clock has no global
+    /// counter; callers time it around the work themselves). Two
+    /// snapshots bracket a bounded piece of serial work; their
+    /// [`CostSnapshot::delta_since`] is the bill.
+    pub fn source_snapshot(&self) -> CostSnapshot {
+        if !self.enabled {
+            return CostSnapshot::default();
+        }
+        let s = &self.inner.sources;
+        CostSnapshot {
+            stab_nanos: 0,
+            ibs_nodes: s.ibs_nodes.get(),
+            ibs_marks: s.ibs_marks.get(),
+            residual_tests: s.residual_tests.get(),
+            residual_passes: s.residual_passes.get(),
+            non_indexable: s.non_indexable.get(),
+            join_probes: s.join_probes.get(),
+            join_retractions: s.join_retractions.get(),
+            firings: s.firings.get(),
+            ops: s.ops.get(),
+        }
+    }
+
+    /// Resolves (minting on first use) the account of `rule`
+    /// (`None` = external).
+    fn account(&self, rule: Option<u32>) -> Account {
+        let mut accounts = self
+            .inner
+            .accounts
+            .lock()
+            // srclint:allow(no-panic-in-lib): a poisoned account map means a holder panicked; propagating is by design
+            .expect("profiler accounts poisoned");
+        accounts
+            .entry(rule)
+            .or_insert_with(|| {
+                let label = match rule {
+                    Some(rid) => rid.to_string(),
+                    None => EXTERNAL_ACCOUNT.to_string(),
+                };
+                Account::mint(&self.inner.registry, &label)
+            })
+            .clone()
+    }
+
+    /// Credits a matching-stage delta (stab nanos + predindex terms)
+    /// to `rule`'s account.
+    pub fn credit_match(&self, rule: Option<u32>, delta: &CostSnapshot) {
+        if !self.enabled {
+            return;
+        }
+        let a = self.account(rule);
+        a.stab_nanos.add(delta.stab_nanos);
+        a.ibs_nodes.add(delta.ibs_nodes);
+        a.ibs_marks.add(delta.ibs_marks);
+        a.residual_tests.add(delta.residual_tests);
+        a.residual_passes.add(delta.residual_passes);
+        a.non_indexable.add(delta.non_indexable);
+    }
+
+    /// Credits `n` join-memo probes to the rule *owning* the join
+    /// condition.
+    pub fn credit_join_probes(&self, rule: u32, n: u64) {
+        if self.enabled && n > 0 {
+            self.account(Some(rule)).join_probes.add(n);
+        }
+    }
+
+    /// Credits `n` join-memo retractions to the owning rule.
+    pub fn credit_join_retractions(&self, rule: u32, n: u64) {
+        if self.enabled && n > 0 {
+            self.account(Some(rule)).join_retractions.add(n);
+        }
+    }
+
+    /// Credits one firing to the fired rule.
+    pub fn credit_firing(&self, rule: u32) {
+        if self.enabled {
+            self.account(Some(rule)).firings.inc();
+        }
+    }
+
+    /// Credits one processed database operation to the account that
+    /// caused the event (`None` = client-injected).
+    pub fn credit_op(&self, rule: Option<u32>) {
+        if self.enabled {
+            self.account(rule).ops.inc();
+        }
+    }
+
+    /// Registers a display name for rule `rule` (used by `/top` and
+    /// the shell ranking).
+    pub fn name_rule(&self, rule: u32, name: &str) {
+        if !self.enabled {
+            return;
+        }
+        // srclint:allow(no-panic-in-lib): a poisoned name map means a holder panicked; propagating is by design
+        let mut names = self.inner.names.lock().expect("profiler names poisoned");
+        names.insert(rule, name.to_string());
+    }
+
+    /// Snapshot of every account, external first then by rule id.
+    pub fn accounts(&self) -> Vec<AccountSnapshot> {
+        if !self.enabled {
+            return Vec::new();
+        }
+        let accounts = self
+            .inner
+            .accounts
+            .lock()
+            // srclint:allow(no-panic-in-lib): a poisoned account map means a holder panicked; propagating is by design
+            .expect("profiler accounts poisoned");
+        // srclint:allow(no-panic-in-lib): a poisoned name map means a holder panicked; propagating is by design
+        let names = self.inner.names.lock().expect("profiler names poisoned");
+        accounts
+            .iter()
+            .map(|(&rule, a)| AccountSnapshot {
+                rule,
+                name: rule.and_then(|rid| names.get(&rid).cloned()),
+                cost: a.snapshot(),
+            })
+            .collect()
+    }
+
+    /// The `k` most expensive accounts, ranked by stab nanos
+    /// descending, then total work units, then account key.
+    pub fn top(&self, k: usize) -> Vec<AccountSnapshot> {
+        let mut all = self.accounts();
+        all.sort_by(|a, b| {
+            b.cost
+                .stab_nanos
+                .cmp(&a.cost.stab_nanos)
+                .then(b.cost.work().cmp(&a.cost.work()))
+                .then(a.rule.cmp(&b.rule))
+        });
+        all.truncate(k);
+        all
+    }
+
+    /// Sets the slow-op capture threshold (`u64::MAX` = off).
+    pub fn set_slow_threshold_nanos(&self, nanos: u64) {
+        self.inner.slow_threshold.store(nanos, Ordering::Relaxed);
+    }
+
+    /// The current slow-op capture threshold.
+    pub fn slow_threshold_nanos(&self) -> u64 {
+        self.inner.slow_threshold.load(Ordering::Relaxed)
+    }
+
+    /// Observes one completed request: assigns it an ordinal and, if
+    /// `nanos` meets the threshold, captures it in the slow-op ring
+    /// (evicting the oldest entry at capacity). Returns the ordinal.
+    pub fn record_request(
+        &self,
+        op: &str,
+        trace_id: Option<u64>,
+        nanos: u64,
+        cost: CostSnapshot,
+    ) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        let seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed);
+        if nanos >= self.inner.slow_threshold.load(Ordering::Relaxed) {
+            // srclint:allow(no-panic-in-lib): a poisoned slow-op ring means a holder panicked; propagating is by design
+            let mut slow = self.inner.slow.lock().expect("slow-op ring poisoned");
+            if slow.len() >= SLOW_OP_CAPACITY {
+                slow.pop_front();
+            }
+            slow.push_back(SlowOp {
+                seq,
+                op: op.to_string(),
+                trace_id,
+                nanos,
+                cost,
+            });
+        }
+        seq
+    }
+
+    /// Snapshot of the slow-op ring, oldest first. Never drains.
+    pub fn slow_ops(&self) -> Vec<SlowOp> {
+        if !self.enabled {
+            return Vec::new();
+        }
+        // srclint:allow(no-panic-in-lib): a poisoned slow-op ring means a holder panicked; propagating is by design
+        let slow = self.inner.slow.lock().expect("slow-op ring poisoned");
+        slow.iter().cloned().collect()
+    }
+
+    /// The `/profile` endpoint body: accounts, tail-latency quantiles
+    /// of every registered histogram, and the slow-op ring, as one
+    /// JSON document (`schema: telemetry/profile-v1`).
+    pub fn profile_json(&self, registry: &Registry) -> String {
+        let mut out = String::from("{\"schema\":\"telemetry/profile-v1\"");
+        let threshold = self.slow_threshold_nanos();
+        if threshold == u64::MAX {
+            out.push_str(",\"slow_threshold_nanos\":null");
+        } else {
+            let _ = write!(out, ",\"slow_threshold_nanos\":{threshold}");
+        }
+        out.push_str(",\"accounts\":[");
+        for (i, a) in self.accounts().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"rule\":\"{}\",\"name\":", a.label());
+            match &a.name {
+                Some(n) => {
+                    let _ = write!(out, "\"{}\"", escape_json(n));
+                }
+                None => out.push_str("null"),
+            }
+            let _ = write!(out, ",\"cost\":{}}}", a.cost.json());
+        }
+        out.push_str("],\"quantiles\":[");
+        for (i, (name, count, sum, buckets)) in registry.histogram_snapshots().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"count\":{count},\"sum\":{sum},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                escape_json(name),
+                quantile(buckets, 0.50),
+                quantile(buckets, 0.95),
+                quantile(buckets, 0.99),
+            );
+        }
+        out.push_str("],\"slow_ops\":[");
+        for (i, s) in self.slow_ops().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"seq\":{},\"op\":\"{}\"", s.seq, escape_json(&s.op));
+            match s.trace_id {
+                Some(id) => {
+                    let _ = write!(out, ",\"trace_id\":{id}");
+                }
+                None => out.push_str(",\"trace_id\":null"),
+            }
+            let _ = write!(out, ",\"nanos\":{},\"cost\":{}}}", s.nanos, s.cost.json());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The `/top` endpoint body: the `k` most expensive accounts
+    /// (`schema: telemetry/top-v1`).
+    pub fn top_json(&self, k: usize) -> String {
+        let mut out = String::from("{\"schema\":\"telemetry/top-v1\",\"top\":[");
+        for (i, a) in self.top(k).iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"rule\":\"{}\",\"name\":", a.label());
+            match &a.name {
+                Some(n) => {
+                    let _ = write!(out, "\"{}\"", escape_json(n));
+                }
+                None => out.push_str("null"),
+            }
+            let _ = write!(
+                out,
+                ",\"work\":{},\"cost\":{}}}",
+                a.cost.work(),
+                a.cost.json()
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The shell's `:top` table: one row per account, ranked.
+    pub fn render_top_text(&self, k: usize) -> String {
+        let top = self.top(k);
+        if top.is_empty() {
+            return "no accounts (profiler disabled or no work yet)\n".to_string();
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<10} {:<20} {:>12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "rule",
+            "name",
+            "stab_us",
+            "nodes",
+            "marks",
+            "resid",
+            "nonidx",
+            "probes",
+            "fired",
+            "ops"
+        );
+        for a in &top {
+            let _ = writeln!(
+                out,
+                "{:<10} {:<20} {:>12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                a.label(),
+                a.name.as_deref().unwrap_or("-"),
+                a.cost.stab_nanos / 1_000,
+                a.cost.ibs_nodes,
+                a.cost.ibs_marks,
+                a.cost.residual_tests,
+                a.cost.non_indexable,
+                a.cost.join_probes,
+                a.cost.firings,
+                a.cost.ops,
+            );
+        }
+        out
+    }
+
+    /// The shell's `:slow` table: the slow-op ring, oldest first.
+    pub fn render_slow_text(&self) -> String {
+        let slow = self.slow_ops();
+        let threshold = self.slow_threshold_nanos();
+        let mut out = String::new();
+        if threshold == u64::MAX {
+            out.push_str("slow-op capture off (no threshold set)\n");
+        } else {
+            let _ = writeln!(out, "slow-op threshold: {} us", threshold / 1_000);
+        }
+        if slow.is_empty() {
+            out.push_str("no slow ops captured\n");
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "{:<8} {:<12} {:<18} {:>12} {:>8} {:>8} {:>8}",
+            "seq", "op", "trace", "us", "nodes", "resid", "fired"
+        );
+        for s in &slow {
+            let trace = s
+                .trace_id
+                .map(|id| format!("{id:#x}"))
+                .unwrap_or_else(|| "-".to_string());
+            let _ = writeln!(
+                out,
+                "{:<8} {:<12} {:<18} {:>12} {:>8} {:>8} {:>8}",
+                s.seq,
+                s.op,
+                trace,
+                s.nanos / 1_000,
+                s.cost.ibs_nodes,
+                s.cost.residual_tests,
+                s.cost.firings,
+            );
+        }
+        out
+    }
+
+    /// The flight-dump sections: accounts then slow ops, text form.
+    pub fn render_flight(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== profile (per-rule accounts) ==\n");
+        out.push_str(&self.render_top_text(usize::MAX));
+        out.push_str("\n== slow ops ==\n");
+        out.push_str(&self.render_slow_text());
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Quantile triple of one histogram's buckets — the `/metrics`
+/// exposition comment and `/profile` both use this.
+pub(crate) fn quantile_line(name: &str, buckets: &[u64; HISTOGRAM_BUCKETS]) -> String {
+    format!(
+        "# quantiles {name} p50={} p95={} p99={}",
+        quantile(buckets, 0.50),
+        quantile(buckets, 0.95),
+        quantile(buckets, 0.99)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_is_inert() {
+        let p = Profiler::disabled();
+        assert!(!p.is_enabled());
+        p.credit_firing(3);
+        p.credit_op(None);
+        p.credit_match(Some(1), &CostSnapshot::default());
+        p.record_request("insert", Some(7), 1_000_000, CostSnapshot::default());
+        assert!(p.accounts().is_empty());
+        assert!(p.slow_ops().is_empty());
+        assert_eq!(p.source_snapshot(), CostSnapshot::default());
+        // A disabled registry also yields a disabled profiler.
+        assert!(!Profiler::new(&Arc::new(Registry::disabled())).is_enabled());
+    }
+
+    #[test]
+    fn accounts_partition_into_labelled_families() {
+        let registry = Arc::new(Registry::new());
+        let p = Profiler::new(&registry);
+        p.credit_firing(2);
+        p.credit_firing(2);
+        p.credit_firing(5);
+        p.credit_op(None);
+        p.credit_join_probes(5, 7);
+        p.name_rule(2, "escalate");
+        assert_eq!(
+            registry.counter_value("profile_rule_firings_total{rule=\"2\"}"),
+            Some(2)
+        );
+        assert_eq!(
+            registry.counter_value("profile_rule_ops_total{rule=\"external\"}"),
+            Some(1)
+        );
+        assert_eq!(
+            registry.counter_family_total("profile_rule_firings_total"),
+            3
+        );
+        let accounts = p.accounts();
+        assert_eq!(accounts.len(), 3); // external, 2, 5
+        assert_eq!(accounts[0].rule, None);
+        assert_eq!(accounts[1].name.as_deref(), Some("escalate"));
+        assert_eq!(accounts[2].cost.join_probes, 7);
+    }
+
+    #[test]
+    fn top_ranks_by_stab_then_work() {
+        let registry = Arc::new(Registry::new());
+        let p = Profiler::new(&registry);
+        p.credit_match(
+            Some(1),
+            &CostSnapshot {
+                stab_nanos: 100,
+                ..Default::default()
+            },
+        );
+        p.credit_match(
+            Some(2),
+            &CostSnapshot {
+                stab_nanos: 900,
+                ..Default::default()
+            },
+        );
+        p.credit_join_probes(3, 50); // no stab time, some work
+        let top = p.top(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].rule, Some(2));
+        assert_eq!(top[1].rule, Some(1));
+        let all = p.top(10);
+        assert_eq!(all[2].rule, Some(3));
+    }
+
+    #[test]
+    fn slow_ring_is_bounded_and_thresholded() {
+        let registry = Arc::new(Registry::new());
+        let p = Profiler::new(&registry);
+        // Threshold off: nothing captures.
+        p.record_request("insert", None, u64::MAX - 1, CostSnapshot::default());
+        assert!(p.slow_ops().is_empty());
+        p.set_slow_threshold_nanos(1_000);
+        p.record_request("insert", None, 999, CostSnapshot::default());
+        assert!(p.slow_ops().is_empty());
+        for i in 0..(SLOW_OP_CAPACITY + 5) {
+            p.record_request("sync", Some(i as u64), 2_000, CostSnapshot::default());
+        }
+        let slow = p.slow_ops();
+        assert_eq!(slow.len(), SLOW_OP_CAPACITY);
+        // Oldest evicted: the first surviving capture is #5 of the loop.
+        assert_eq!(slow[0].trace_id, Some(5));
+        // Ordinals count every observed request (2 fast + the loop).
+        assert_eq!(
+            slow.last().unwrap().seq,
+            2 + (SLOW_OP_CAPACITY as u64 + 5) - 1
+        );
+    }
+
+    #[test]
+    fn profile_json_is_schema_stable() {
+        let registry = Arc::new(Registry::new());
+        registry.histogram("lat_nanos").record(7);
+        let p = Profiler::new(&registry);
+        p.credit_firing(1);
+        p.name_rule(1, "a \"quoted\" rule");
+        p.set_slow_threshold_nanos(10);
+        p.record_request("insert", Some(0xdead), 55, CostSnapshot::default());
+        let json = p.profile_json(&registry);
+        assert!(json.starts_with("{\"schema\":\"telemetry/profile-v1\""));
+        assert!(json.contains("\"slow_threshold_nanos\":10"));
+        assert!(json.contains("\"rule\":\"1\""));
+        assert!(json.contains("a \\\"quoted\\\" rule"));
+        assert!(json.contains("\"name\":\"lat_nanos\""));
+        assert!(json.contains("\"p50\":"));
+        assert!(json.contains("\"trace_id\":57005"));
+        let top = p.top_json(5);
+        assert!(top.starts_with("{\"schema\":\"telemetry/top-v1\""));
+        assert!(top.contains("\"work\":"));
+    }
+
+    #[test]
+    fn text_renderings_cover_empty_and_filled() {
+        let p = Profiler::disabled();
+        assert!(p.render_top_text(5).contains("no accounts"));
+        assert!(p.render_slow_text().contains("capture off"));
+        let registry = Arc::new(Registry::new());
+        let p = Profiler::new(&registry);
+        p.credit_firing(1);
+        p.set_slow_threshold_nanos(1);
+        p.record_request("delete", None, 5_000, CostSnapshot::default());
+        assert!(p.render_top_text(5).contains("rule"));
+        let slow = p.render_slow_text();
+        assert!(slow.contains("delete"));
+        assert!(p.render_flight().contains("== slow ops =="));
+    }
+}

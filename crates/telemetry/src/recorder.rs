@@ -37,6 +37,7 @@
 //! # std::fs::remove_dir_all(&dir).ok();
 //! ```
 
+use crate::profile::Profiler;
 use crate::registry::Registry;
 use crate::trace::Tracer;
 use std::fmt::Write as _;
@@ -52,6 +53,9 @@ use std::time::{SystemTime, UNIX_EPOCH};
 pub struct FlightRecorder {
     tracer: Tracer,
     registry: Arc<Registry>,
+    /// When enabled, dumps carry the per-rule cost accounts and the
+    /// slow-op ring after the metrics section.
+    profiler: Profiler,
     dir: PathBuf,
     /// Disambiguates dumps landing in the same wall-clock second.
     seq: AtomicU64,
@@ -72,9 +76,17 @@ impl FlightRecorder {
         FlightRecorder {
             tracer,
             registry,
+            profiler: Profiler::disabled(),
             dir: dir.into(),
             seq: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches a [`Profiler`] whose accounts and slow-op ring join
+    /// every dump (builder-style, for construction sites).
+    pub fn with_profiler(mut self, profiler: Profiler) -> FlightRecorder {
+        self.profiler = profiler;
+        self
     }
 
     /// The ring this recorder snapshots.
@@ -112,6 +124,10 @@ impl FlightRecorder {
             out.push_str("(registry disabled or empty)\n");
         } else {
             out.push_str(&metrics);
+        }
+        if self.profiler.is_enabled() {
+            out.push('\n');
+            out.push_str(&self.profiler.render_flight());
         }
         out.push_str("\n== trace (chrome JSON, last line) ==\n");
         out.push_str(&crate::trace::chrome_trace_json(&events));
@@ -205,6 +221,27 @@ mod tests {
         assert!(text.contains("\"name\":\"wal_append\""));
         // Dumping snapshots rather than drains: evidence survives.
         assert_eq!(recorder.tracer().events().len(), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dump_includes_profiler_sections_when_attached() {
+        let dir = temp_dir("profile");
+        let registry = Arc::new(Registry::new());
+        let profiler = crate::profile::Profiler::new(&registry);
+        profiler.credit_firing(4);
+        profiler.name_rule(4, "noisy");
+        profiler.set_slow_threshold_nanos(1);
+        profiler.record_request("insert", Some(0xbeef), 50, Default::default());
+        let recorder = FlightRecorder::new(Tracer::new(16), registry, &dir).with_profiler(profiler);
+        let text = recorder.render("why");
+        assert!(text.contains("== profile (per-rule accounts) =="));
+        assert!(text.contains("noisy"));
+        assert!(text.contains("== slow ops =="));
+        assert!(text.contains("0xbeef"));
+        // Without a profiler the sections stay out.
+        let plain = FlightRecorder::new(Tracer::new(16), Arc::new(Registry::new()), &dir);
+        assert!(!plain.render("x").contains("== profile"));
         fs::remove_dir_all(&dir).ok();
     }
 

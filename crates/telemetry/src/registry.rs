@@ -128,6 +128,21 @@ impl Registry {
             .sum()
     }
 
+    /// Snapshot of every registered histogram as
+    /// `(name, count, sum, buckets)`, name-sorted — the quantile
+    /// estimator's input (see [`crate::quantile`]).
+    pub fn histogram_snapshots(&self) -> Vec<(String, u64, u64, [u64; HISTOGRAM_BUCKETS])> {
+        // srclint:allow(no-panic-in-lib): a poisoned registry lock means a holder panicked; propagating is by design
+        let metrics = self.metrics.lock().expect("registry lock poisoned");
+        metrics
+            .iter()
+            .filter_map(|(name, m)| match m {
+                Metric::Histogram(h) => Some((name.clone(), h.count(), h.sum(), h.buckets())),
+                Metric::Counter(_) => None,
+            })
+            .collect()
+    }
+
     /// Registered metric names in sorted order.
     pub fn names(&self) -> Vec<String> {
         // srclint:allow(no-panic-in-lib): a poisoned registry lock means a holder panicked; propagating is by design
@@ -178,6 +193,12 @@ impl Registry {
                     let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
                     let _ = writeln!(out, "{name}_sum {}", h.sum());
                     let _ = writeln!(out, "{name}_count {}", h.count());
+                    // Tail-latency comment: estimated from the bucket
+                    // snapshot above, as a `#` line so strict
+                    // Prometheus parsers skip it.
+                    if h.count() > 0 {
+                        let _ = writeln!(out, "{}", crate::profile::quantile_line(name, &buckets));
+                    }
                 }
             }
         }

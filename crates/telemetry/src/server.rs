@@ -36,6 +36,7 @@
 //! server.shutdown();
 //! ```
 
+use crate::profile::Profiler;
 use crate::registry::Registry;
 use crate::trace::Tracer;
 use std::io::{self, BufRead, BufReader, Write};
@@ -112,13 +113,28 @@ pub fn wake_addr(addr: SocketAddr) -> SocketAddr {
 }
 
 /// Binds `bind` (e.g. `"127.0.0.1:9184"`, or port `0` for ephemeral)
-/// and serves `/metrics`, `/health`, and `/trace` until
-/// [`ServerHandle::shutdown`].
+/// and serves `/metrics`, `/health`, `/trace`, `/profile`, and `/top`
+/// until [`ServerHandle::shutdown`]. Without a profiler the last two
+/// still answer, with empty accounts but live histogram quantiles; use
+/// [`serve_with_profiler`] to wire real attribution in.
 pub fn serve(
     bind: &str,
     registry: Arc<Registry>,
     tracer: Tracer,
     health: Option<HealthFn>,
+) -> io::Result<ServerHandle> {
+    serve_with_profiler(bind, registry, tracer, health, Profiler::disabled())
+}
+
+/// [`serve`] plus a [`Profiler`]: `/profile` reports its per-rule
+/// accounts, slow-op ring, and the registry's histogram quantiles as
+/// one JSON document, and `/top` the cost ranking.
+pub fn serve_with_profiler(
+    bind: &str,
+    registry: Arc<Registry>,
+    tracer: Tracer,
+    health: Option<HealthFn>,
+    profiler: Profiler,
 ) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(bind)?;
     let addr = listener.local_addr()?;
@@ -145,10 +161,11 @@ pub fn serve(
                 let registry = Arc::clone(&registry);
                 let tracer = tracer.clone();
                 let health = Arc::clone(&health);
+                let profiler = profiler.clone();
                 let _ = std::thread::Builder::new()
                     .name("telemetry-conn".into())
                     .spawn(move || {
-                        let _ = handle(conn, &registry, &tracer, health.as_deref());
+                        let _ = handle(conn, &registry, &tracer, health.as_deref(), &profiler);
                     });
             }
         })?;
@@ -164,6 +181,7 @@ fn handle(
     registry: &Registry,
     tracer: &Tracer,
     health: Option<&(dyn Fn() -> String + Send + Sync)>,
+    profiler: &Profiler,
 ) -> io::Result<()> {
     let mut reader = BufReader::new(conn);
     let mut request_line = String::new();
@@ -194,10 +212,16 @@ fn handle(
             health.map_or_else(|| "up 1\n".to_string(), |h| h()),
         ),
         "/trace" => ("200 OK", "application/json", tracer.drain_chrome_json()),
+        "/profile" => (
+            "200 OK",
+            "application/json",
+            profiler.profile_json(registry),
+        ),
+        "/top" => ("200 OK", "application/json", profiler.top_json(10)),
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            format!("no route for {path:?}; try /metrics, /health, /trace\n"),
+            format!("no route for {path:?}; try /metrics, /health, /trace, /profile, /top\n"),
         ),
     };
     let mut conn = reader.into_inner();
@@ -271,6 +295,88 @@ mod tests {
                 c.read_to_string(&mut s).unwrap_or(0) == 0
             }
         );
+    }
+
+    #[test]
+    fn serves_profile_and_top() {
+        let registry = Arc::new(Registry::new());
+        registry.histogram("req_nanos").record(1_000);
+        let profiler = Profiler::new(&registry);
+        profiler.credit_firing(3);
+        profiler.name_rule(3, "reorder");
+        let server = serve_with_profiler(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            Tracer::disabled(),
+            None,
+            profiler,
+        )
+        .unwrap();
+
+        let (head, body) = get(server.addr(), "/profile");
+        assert!(head.contains("application/json"));
+        assert!(body.contains("\"schema\":\"telemetry/profile-v1\""));
+        assert!(body.contains("\"rule\":\"3\""));
+        assert!(body.contains("\"name\":\"req_nanos\""));
+
+        let (_, body) = get(server.addr(), "/top");
+        assert!(body.contains("\"schema\":\"telemetry/top-v1\""));
+        assert!(body.contains("\"reorder\""));
+
+        let (_, body) = get(server.addr(), "/nope");
+        assert!(body.contains("/profile"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn plain_serve_answers_profile_with_empty_accounts() {
+        let registry = Arc::new(Registry::new());
+        registry.histogram("h").record(4);
+        let server = serve(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            Tracer::disabled(),
+            None,
+        )
+        .unwrap();
+        let (head, body) = get(server.addr(), "/profile");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert!(body.contains("\"accounts\":[]"));
+        // Quantiles still come from the live registry.
+        assert!(body.contains("\"name\":\"h\""));
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_trace_drains_never_double_deliver() {
+        // Two clients racing GET /trace must split the ring: every
+        // event delivered exactly once across both bodies, no panics.
+        const EVENTS: usize = 500;
+        let tracer = Tracer::new(2048);
+        for _ in 0..EVENTS {
+            tracer.instant("race_evt");
+        }
+        let server = serve(
+            "127.0.0.1:0",
+            Arc::new(Registry::disabled()),
+            tracer.clone(),
+            None,
+        )
+        .unwrap();
+        let addr = server.addr();
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let (head, body) = get(addr, "/trace");
+                    assert!(head.starts_with("HTTP/1.1 200 OK"));
+                    body.matches("\"race_evt\"").count()
+                })
+            })
+            .collect();
+        let total: usize = threads.into_iter().map(|t| t.join().unwrap()).sum();
+        assert_eq!(total, EVENTS, "drain lost or duplicated events");
+        assert!(tracer.events().is_empty());
+        server.shutdown();
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! curl -s http://127.0.0.1:9898/metrics | head
 //! curl -s http://127.0.0.1:9898/health
 //! curl -s http://127.0.0.1:9898/trace > trace.json   # drains the span ring
+//! curl -s http://127.0.0.1:9898/profile              # cost accounts + quantiles + slow ops
+//! curl -s http://127.0.0.1:9898/top                  # the 10 most expensive rule accounts
 //! ```
 //!
 //! The workload is a two-level cascade (underpaid employees raise
@@ -24,7 +26,9 @@ use predmatch::durable::{ActionRegistry, ActionSpec, DurableRuleEngine, Options,
 use predmatch::predicate::FunctionRegistry;
 use predmatch::prelude::*;
 use predmatch::rules::{DbOp, EventMask};
-use predmatch::telemetry::{chrome_trace_json, serve, Tracer, DEFAULT_TRACE_CAPACITY};
+use predmatch::telemetry::{
+    chrome_trace_json, serve_with_profiler, Profiler, Tracer, DEFAULT_TRACE_CAPACITY,
+};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -141,22 +145,25 @@ fn main() {
     let tracer = Tracer::new(DEFAULT_TRACE_CAPACITY);
     let dir = std::env::temp_dir().join(format!("predmatch-monitor-{}", std::process::id()));
 
-    let engine = Arc::new(Mutex::new(build_engine(
-        &dir,
-        registry.clone(),
-        tracer.clone(),
-    )));
+    let mut built = build_engine(&dir, registry.clone(), tracer.clone());
+    // Cost attribution on: per-rule accounts feed /profile and /top,
+    // and inserts slower than 50ms land in the slow-op ring.
+    let profiler = Profiler::new(&registry);
+    profiler.set_slow_threshold_nanos(50_000_000);
+    built.attach_profiler(profiler.clone());
+    let engine = Arc::new(Mutex::new(built));
 
     // /health reports through the engine (WAL seq, rule count, shard
     // imbalance); the workload shares it behind a mutex.
     let health_engine = engine.clone();
-    let server = serve(
+    let server = serve_with_profiler(
         &format!("127.0.0.1:{}", cfg.port),
         registry.clone(),
         tracer.clone(),
         Some(Box::new(move || {
             health_engine.lock().expect("engine lock").health_text()
         })),
+        profiler,
     )
     .expect("exposition server binds");
     // Parsed by CI; keep the format stable.
@@ -164,6 +171,8 @@ fn main() {
     println!("  curl http://{}/metrics", server.addr());
     println!("  curl http://{}/health", server.addr());
     println!("  curl http://{}/trace", server.addr());
+    println!("  curl http://{}/profile", server.addr());
+    println!("  curl http://{}/top", server.addr());
 
     let deadline = Instant::now() + Duration::from_secs(cfg.seconds);
     let mut i: i64 = 0;

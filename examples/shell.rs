@@ -21,6 +21,8 @@
 //! :metrics                              Prometheus text exposition of the match counters
 //! :explain <relation> <value> ...       EXPLAIN the match path a tuple would take
 //! :trace <path>                         drain the span ring to <path> as Chrome JSON
+//! :top [k]                              the k most expensive rule cost accounts (default 10)
+//! :slow                                 recent per-insert cost captures (the slow-op ring)
 //! help                                  this text
 //! quit
 //! ```
@@ -29,9 +31,10 @@ use predmatch::predicate::parse_predicates;
 use predmatch::predindex::Matcher;
 use predmatch::prelude::*;
 use predmatch::rules::{Action, Rule, RuleEngine};
-use predmatch::telemetry::Tracer;
+use predmatch::telemetry::{Profiler, Tracer};
 use std::io::{self, BufRead, Write};
 use std::sync::Arc;
+use std::time::Instant;
 
 struct Shell {
     engine: RuleEngine,
@@ -39,6 +42,7 @@ struct Shell {
     sources: Vec<(PredicateIdWrap, String)>,
     registry: Arc<Registry>,
     tracer: Tracer,
+    profiler: Profiler,
 }
 
 type PredicateIdWrap = predmatch::predindex::PredicateId;
@@ -53,12 +57,18 @@ impl Shell {
         index.attach_telemetry(&registry, tracer.clone());
         let mut engine = RuleEngine::new(Database::new());
         engine.attach_telemetry(Arc::clone(&registry), tracer.clone());
+        // A zero threshold captures every insert in the slow-op ring,
+        // so :slow doubles as a recent-op cost log in the shell.
+        let profiler = Profiler::new(&registry);
+        profiler.set_slow_threshold_nanos(0);
+        engine.attach_profiler(profiler.clone());
         Shell {
             engine,
             index,
             sources: Vec::new(),
             registry,
             tracer,
+            profiler,
         }
     }
 
@@ -85,9 +95,11 @@ impl Shell {
             ":metrics" => Ok(self.registry.render_text()),
             ":explain" => self.cmd_explain(rest),
             ":trace" => self.cmd_trace(rest),
+            ":top" => self.cmd_top(rest),
+            ":slow" => Ok(self.profiler.render_slow_text()),
             "help" => Ok(
                 "commands: relation, predicate, rule, insert, drop, stats, list, \
-                 :memo, :metrics, :explain, :trace, help, quit"
+                 :memo, :metrics, :explain, :trace, :top, :slow, help, quit"
                     .to_string(),
             ),
             other => Err(format!("unknown command {other:?} (try 'help')")),
@@ -220,10 +232,15 @@ impl Shell {
         let values = self.parse_values(rel_name, &raw)?;
         let tuple = Tuple::new(values.clone());
         let matches = self.index.match_tuple(rel_name, &tuple);
+        let before = self.profiler.source_snapshot();
+        let started = Instant::now();
         let report = self
             .engine
             .insert(rel_name, values)
             .map_err(|e| e.to_string())?;
+        let cost = self.profiler.source_snapshot().delta_since(&before);
+        self.profiler
+            .record_request("insert", None, started.elapsed().as_nanos() as u64, cost);
         let mut out = if matches.is_empty() {
             format!("inserted {tuple}; no predicates match")
         } else {
@@ -285,6 +302,14 @@ impl Shell {
         ))
     }
 
+    fn cmd_top(&self, rest: &str) -> Result<String, String> {
+        let k = match rest.trim() {
+            "" => 10,
+            raw => raw.parse().map_err(|_| "usage: :top [k]".to_string())?,
+        };
+        Ok(self.profiler.render_top_text(k))
+    }
+
     fn cmd_drop(&mut self, rest: &str) -> Result<String, String> {
         let raw: u32 = rest
             .trim()
@@ -320,6 +345,8 @@ insert dept Shoe 1
 insert emp fi 28 21000 Shoe
 :memo
 :explain emp ed 55 18000 Shoe
+:top
+:slow
 :metrics
 "#;
 

@@ -8,6 +8,8 @@
 //! list and be swept on every match.
 
 use predmatch::prelude::*;
+use predmatch::rules::DbOp;
+use predmatch::telemetry::{Profiler, EXTERNAL_ACCOUNT};
 
 /// `emp(name, age, salary)` with three rules:
 /// * `underpaid`:  emp.salary < 20000   — salary tree, one interval
@@ -155,4 +157,178 @@ fn counters_agree_with_the_explain_trace() {
         delta("predindex_residual_passes_total", passes0),
         trace.matched().len() as u64
     );
+}
+
+/// The profiler's attribution invariant (DESIGN.md §16): the per-rule
+/// accounts *partition* the global §5.2 cost counters. For every cost
+/// term, summing the `profile_rule_*_total{rule=...}` cells across all
+/// accounts must reproduce the global counter exactly — no work is
+/// dropped, none is double-billed — under a workload that exercises
+/// every account kind: external inserts, a cascading rule (its queued
+/// ops bill *its* account, not external), and a two-relation join rule.
+#[test]
+fn per_rule_accounts_sum_to_the_global_counters() {
+    let mut db = Database::new();
+    for schema in [
+        Schema::builder("emp")
+            .attr("name", AttrType::Str)
+            .attr("salary", AttrType::Int)
+            .attr("dept", AttrType::Str)
+            .build(),
+        Schema::builder("dept")
+            .attr("name", AttrType::Str)
+            .attr("floor", AttrType::Int)
+            .build(),
+        Schema::builder("alerts")
+            .attr("kind", AttrType::Str)
+            .attr("level", AttrType::Int)
+            .build(),
+    ] {
+        db.create_relation(schema).unwrap();
+    }
+    let mut engine = RuleEngine::with_metrics(db);
+    let registry = engine.metrics().clone();
+    let profiler = Profiler::new(&registry);
+    engine.attach_profiler(profiler.clone());
+
+    engine
+        .add_rule(
+            Rule::builder("raise-alert")
+                .when("emp.salary < 1000")
+                .unwrap()
+                .then(Action::callback(|ctx| {
+                    ctx.queue(DbOp::Insert {
+                        relation: "alerts".into(),
+                        values: vec![Value::str("underpaid"), Value::Int(2)],
+                    });
+                }))
+                .build(),
+        )
+        .unwrap();
+    engine
+        .add_rule(
+            Rule::builder("escalate")
+                .when("alerts.level >= 2")
+                .unwrap()
+                .then(Action::log("escalated"))
+                .build(),
+        )
+        .unwrap();
+    engine
+        .add_rule(
+            Rule::builder("same-dept")
+                .when("emp.dept = dept.name and dept.floor = 1")
+                .unwrap()
+                .then(Action::log("colleagues"))
+                .build(),
+        )
+        .unwrap();
+
+    engine
+        .insert("dept", vec![Value::str("Shoe"), Value::Int(1)])
+        .unwrap();
+    for i in 0i64..32 {
+        // Every 4th employee is underpaid: raise-alert fires, its
+        // queued alert cascades into escalate.
+        let salary = if i % 4 == 0 { 500 } else { 5_000 + i };
+        engine
+            .insert(
+                "emp",
+                vec![
+                    Value::str(format!("e{i}")),
+                    Value::Int(salary),
+                    Value::str("Shoe"),
+                ],
+            )
+            .unwrap();
+    }
+
+    let accounts = profiler.accounts();
+    assert!(
+        accounts.len() >= 3,
+        "expected external + cascading + fired accounts, got {accounts:?}"
+    );
+
+    // Sum every account's cost terms and compare against the globals.
+    let global = |name: &str| registry.counter_value(name).unwrap_or(0);
+    let sum = |f: fn(&predmatch::telemetry::AccountSnapshot) -> u64| -> u64 {
+        accounts.iter().map(f).sum()
+    };
+    for (term, summed, counter) in [
+        (
+            "ibs_nodes",
+            sum(|a| a.cost.ibs_nodes),
+            "predindex_ibs_nodes_visited_total",
+        ),
+        (
+            "ibs_marks",
+            sum(|a| a.cost.ibs_marks),
+            "predindex_ibs_marks_scanned_total",
+        ),
+        (
+            "residual_tests",
+            sum(|a| a.cost.residual_tests),
+            "predindex_residual_tests_total",
+        ),
+        (
+            "residual_passes",
+            sum(|a| a.cost.residual_passes),
+            "predindex_residual_passes_total",
+        ),
+        (
+            "non_indexable",
+            sum(|a| a.cost.non_indexable),
+            "predindex_non_indexable_scanned_total",
+        ),
+        (
+            "join_probes",
+            sum(|a| a.cost.join_probes),
+            "join_probes_total",
+        ),
+        (
+            "join_retractions",
+            sum(|a| a.cost.join_retractions),
+            "join_retractions_total",
+        ),
+        ("firings", sum(|a| a.cost.firings), "rules_fired_total"),
+        ("ops", sum(|a| a.cost.ops), "rules_ops_applied_total"),
+    ] {
+        assert_eq!(
+            summed,
+            global(counter),
+            "accounts do not partition {counter} ({term})"
+        );
+    }
+
+    // The workload really exercised every attribution path.
+    let by_name = |wanted: &str| {
+        accounts
+            .iter()
+            .find(|a| a.name.as_deref() == Some(wanted))
+            .unwrap_or_else(|| panic!("no account named {wanted:?} in {accounts:?}"))
+    };
+    let external = accounts
+        .iter()
+        .find(|a| a.rule.is_none())
+        .expect("external account exists");
+    // 33 client-injected inserts bill the external account; the alerts
+    // the cascade queued bill raise-alert, the rule that caused them.
+    assert_eq!(external.cost.ops, 33);
+    assert_eq!(by_name("raise-alert").cost.ops, 8);
+    assert_eq!(by_name("raise-alert").cost.firings, 8);
+    assert_eq!(by_name("escalate").cost.firings, 8);
+    assert!(by_name("same-dept").cost.join_probes > 0);
+    assert!(external.cost.ibs_nodes > 0 && external.cost.stab_nanos > 0);
+
+    // /profile reads the same cells.
+    let json = profiler.profile_json(&registry);
+    assert!(
+        json.contains("\"schema\":\"telemetry/profile-v1\""),
+        "{json}"
+    );
+    assert!(
+        json.contains(&format!("\"rule\":\"{EXTERNAL_ACCOUNT}\"")),
+        "{json}"
+    );
+    assert!(json.contains("\"name\":\"raise-alert\""), "{json}");
 }

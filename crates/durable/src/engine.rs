@@ -22,7 +22,7 @@ use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use telemetry::{Counter, FlightRecorder, Histogram, Profiler, Registry, Tracer};
+use telemetry::{Counter, FlightRecorder, Histogram, Profiler, Registry, Tracer, WorkloadStats};
 
 /// Subdirectory of a durable home where flight dumps land.
 pub const FLIGHT_DIR: &str = "flight";
@@ -157,6 +157,9 @@ pub struct DurableRuleEngine {
     tracer: Tracer,
     /// Post-mortem dumps into `dir/flight/`.
     recorder: Arc<FlightRecorder>,
+    /// Kept so recorder rebuilds (profiler/advisor attach) compose
+    /// instead of clobbering each other.
+    advisor_fn: Option<Arc<dyn Fn() -> String + Send + Sync>>,
 }
 
 impl DurableRuleEngine {
@@ -263,6 +266,7 @@ impl DurableRuleEngine {
             metrics,
             tracer,
             recorder,
+            advisor_fn: None,
         })
     }
 
@@ -490,15 +494,47 @@ impl DurableRuleEngine {
     /// sections. Attribution is not replayed — accounts restart empty
     /// on reopen, like every other metric.
     pub fn attach_profiler(&mut self, profiler: Profiler) {
-        self.engine.attach_profiler(profiler.clone());
-        self.recorder = Arc::new(
-            FlightRecorder::new(
-                self.tracer.clone(),
-                self.engine.metrics().clone(),
-                self.dir.join(FLIGHT_DIR),
-            )
-            .with_profiler(profiler),
-        );
+        self.engine.attach_profiler(profiler);
+        self.rebuild_recorder();
+    }
+
+    /// Attaches workload accounts to the wrapped engine's predicate
+    /// index (per-attribute op mix, clause shapes, stab selectivity —
+    /// the index advisor's input). Like profiling, accounts are not
+    /// replayed: they restart empty on reopen.
+    pub fn attach_workload(&mut self, workload: WorkloadStats) {
+        self.engine.attach_workload(workload);
+    }
+
+    /// The workload accounts the wrapped engine records into —
+    /// disabled unless [`attach_workload`](Self::attach_workload) was
+    /// called.
+    pub fn workload(&self) -> &WorkloadStats {
+        self.engine.workload()
+    }
+
+    /// Attaches an index-advisor report producer to the flight
+    /// recorder: every post-mortem dump gains an
+    /// `== advisor (index recommendations) ==` section, so a crash
+    /// leaves behind what the workload wanted the index to look like.
+    pub fn attach_advisor(&mut self, advisor: impl Fn() -> String + Send + Sync + 'static) {
+        self.advisor_fn = Some(Arc::new(advisor));
+        self.rebuild_recorder();
+    }
+
+    /// Recreates the flight recorder with every currently attached
+    /// section producer (profiler, advisor).
+    fn rebuild_recorder(&mut self) {
+        let mut recorder = FlightRecorder::new(
+            self.tracer.clone(),
+            self.engine.metrics().clone(),
+            self.dir.join(FLIGHT_DIR),
+        )
+        .with_profiler(self.engine.profiler().clone());
+        if let Some(advisor) = self.advisor_fn.clone() {
+            recorder = recorder.with_advisor(move || advisor());
+        }
+        self.recorder = Arc::new(recorder);
     }
 
     /// The profiler the wrapped engine bills into — disabled unless

@@ -34,7 +34,10 @@ use predicate::{BoundClause, Predicate};
 use relation::fx::FnvHashMap;
 use relation::{Catalog, Tuple, Value};
 use std::sync::Arc;
-use telemetry::{MatchTrace, Registry, ResidualTrace, StabTrace, Tracer};
+use telemetry::{
+    AttrRecorder, ClauseShape, MatchTrace, Registry, RelationRecorder, ResidualTrace, StabTrace,
+    Tracer, WorkloadStats,
+};
 
 /// Where a registered predicate physically lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +59,35 @@ pub(crate) enum Placement {
     },
     NonIndexable,
     Unsatisfiable,
+}
+
+/// Classifies an indexed interval into the workload-account clause
+/// taxonomy: a point is `=`, a half-open interval is `<` or `>` by
+/// which side is unbounded, everything else (both sides bounded, or a
+/// universal clause) counts as an interval.
+pub(crate) fn clause_shape_of(interval: &Interval<Value>) -> ClauseShape {
+    if interval.is_point() {
+        return ClauseShape::Eq;
+    }
+    match (interval.lo().value(), interval.hi().value()) {
+        (None, Some(_)) => ClauseShape::Less,
+        (Some(_), None) => ClauseShape::Greater,
+        _ => ClauseShape::Interval,
+    }
+}
+
+/// The finite length of an indexed interval for the workload length
+/// histogram: 0 for a point, `|hi - lo|` for bounded numeric bounds,
+/// `None` when a side is unbounded or the endpoints are not numeric.
+pub(crate) fn interval_length_of(interval: &Interval<Value>) -> Option<u64> {
+    if interval.is_point() {
+        return Some(0);
+    }
+    match (interval.lo().value(), interval.hi().value()) {
+        (Some(Value::Int(a)), Some(Value::Int(b))) => Some(b.wrapping_sub(*a).unsigned_abs()),
+        (Some(Value::Float(a)), Some(Value::Float(b))) => Some((b - a).abs() as u64),
+        _ => None,
+    }
 }
 
 /// Decides where a bound predicate belongs: the most selective
@@ -106,6 +138,7 @@ pub(crate) fn match_into_metered(
     relations: &FnvHashMap<String, RelationIndex>,
     store: &PredicateStore,
     metrics: &IndexMetrics,
+    workload: &WorkloadStats,
     relation: &str,
     tuple: &Tuple,
     out: &mut Vec<PredicateId>,
@@ -115,7 +148,7 @@ pub(crate) fn match_into_metered(
     if let Some(ri) = relations.get(relation) {
         {
             let _stab = tracer.span("predindex_stab");
-            if metrics.is_enabled() {
+            if metrics.is_enabled() || workload.is_enabled() {
                 ri.collect_partial_metered(relation, tuple, out, metrics);
             } else {
                 ri.collect_partial(tuple, out);
@@ -166,27 +199,73 @@ pub(crate) fn explain_match(
     trace
 }
 
+/// One attribute's IBS-tree plus its pre-resolved workload account —
+/// the recorder is minted when the tree (or the workload attachment)
+/// is created, so the stab path records with atomic adds only.
+#[derive(Debug, Clone)]
+pub(crate) struct AttrTree {
+    tree: IbsTree<Value>,
+    workload: AttrRecorder,
+}
+
 /// Second-level index for one relation.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct RelationIndex {
     /// One IBS-tree per attribute that has at least one indexed clause.
-    attr_trees: FnvHashMap<usize, IbsTree<Value>>,
+    attr_trees: FnvHashMap<usize, AttrTree>,
     /// Predicates whose clauses are all opaque functions (or empty).
     non_indexable: Vec<PredicateId>,
+    /// Cached per-relation workload account (tuples matched).
+    tuple_recorder: RelationRecorder,
 }
 
 impl RelationIndex {
+    /// (Re-)mints every cached workload recorder from `workload` —
+    /// called when workload accounts are attached to an index that
+    /// already holds trees. The existing population is backfilled as
+    /// inserts so derived live counts are correct for predicates
+    /// registered before attachment; attach a fresh `WorkloadStats`
+    /// per index generation, or the backfill double-counts.
+    pub(crate) fn attach_workload(&mut self, relation: &str, workload: &WorkloadStats) {
+        self.tuple_recorder = workload.relation_recorder(relation);
+        for _ in &self.non_indexable {
+            self.tuple_recorder.record_non_indexable_insert();
+        }
+        for (&attr, at) in self.attr_trees.iter_mut() {
+            at.workload = workload.attr_recorder(relation, attr);
+            for (_, interval) in at.tree.iter() {
+                at.workload
+                    .record_insert(clause_shape_of(interval), interval_length_of(interval));
+            }
+        }
+    }
+
+    /// Mints the per-relation recorder on first use (insert paths call
+    /// this so relations created after attachment get accounts too).
+    pub(crate) fn ensure_tuple_recorder(&mut self, relation: &str, workload: &WorkloadStats) {
+        if workload.is_enabled() && !self.tuple_recorder.is_enabled() {
+            self.tuple_recorder = workload.relation_recorder(relation);
+        }
+    }
+
     /// Indexes `interval` under `attr`, creating the tree on first use.
     pub(crate) fn insert_tree(
         &mut self,
+        relation: &str,
         attr: usize,
         id: PredicateId,
         interval: Interval<Value>,
         mode: BalanceMode,
+        workload: &WorkloadStats,
     ) {
-        self.attr_trees
-            .entry(attr)
-            .or_insert_with(|| IbsTree::with_mode(mode))
+        let at = self.attr_trees.entry(attr).or_insert_with(|| AttrTree {
+            tree: IbsTree::with_mode(mode),
+            workload: workload.attr_recorder(relation, attr),
+        });
+        if workload.is_enabled() && !at.workload.is_enabled() {
+            at.workload = workload.attr_recorder(relation, attr);
+        }
+        at.tree
             .insert(id, interval)
             // srclint:allow(no-panic-in-lib): the store just minted this id; the tree cannot already hold it
             .expect("fresh predicate id");
@@ -198,14 +277,17 @@ impl RelationIndex {
     }
 
     /// Removes an indexed interval, dropping the tree when it empties.
-    pub(crate) fn remove_tree(&mut self, attr: usize, id: PredicateId) {
+    /// Returns the removed interval so callers can account for its
+    /// clause shape without a second lookup.
+    pub(crate) fn remove_tree(&mut self, attr: usize, id: PredicateId) -> Interval<Value> {
         // srclint:allow(no-panic-in-lib): the location map recorded a Tree placement for this attr
-        let tree = self.attr_trees.get_mut(&attr).expect("indexed tree exists");
+        let at = self.attr_trees.get_mut(&attr).expect("indexed tree exists");
         // srclint:allow(no-panic-in-lib): the tree held this id since the placement was recorded
-        tree.remove(id).expect("indexed interval exists");
-        if tree.is_empty() {
+        let interval = at.tree.remove(id).expect("indexed interval exists");
+        if at.tree.is_empty() {
             self.attr_trees.remove(&attr);
         }
+        interval
     }
 
     /// Removes from the non-indexable list.
@@ -220,17 +302,23 @@ impl RelationIndex {
     /// skipped — a clause on a missing attribute cannot hold, and the
     /// residual test agrees (see `BoundClause::test`).
     pub(crate) fn collect_partial(&self, tuple: &Tuple, out: &mut Vec<PredicateId>) {
-        for (&attr, tree) in &self.attr_trees {
+        for (&attr, at) in &self.attr_trees {
             if let Some(value) = tuple.values().get(attr) {
-                tree.stab_into(value, out);
+                at.tree.stab_into(value, out);
             }
         }
         out.extend_from_slice(&self.non_indexable);
     }
 
     /// [`collect_partial`](Self::collect_partial) with per-stab work
-    /// counting. Only runs when metrics are enabled; the disabled path
-    /// keeps calling the uninstrumented loop.
+    /// counting and per-attribute workload accounting. Only runs when
+    /// metrics or workload accounts are enabled; the disabled path
+    /// keeps calling the uninstrumented loop. Workload recording goes
+    /// through the cached per-tree recorders, so each stab pays atomic
+    /// adds only — no name lookups on the match path. (Tuples are
+    /// counted here, i.e. only for relations with at least one
+    /// registered predicate — unindexed relations do no stab work and
+    /// carry no account.)
     pub(crate) fn collect_partial_metered(
         &self,
         relation: &str,
@@ -238,11 +326,14 @@ impl RelationIndex {
         out: &mut Vec<PredicateId>,
         metrics: &IndexMetrics,
     ) {
-        for (&attr, tree) in &self.attr_trees {
+        self.tuple_recorder.record_tuple();
+        for (&attr, at) in &self.attr_trees {
             if let Some(value) = tuple.values().get(attr) {
+                let before = out.len();
                 let mut stats = StabStats::default();
-                tree.stab_into_observed(value, out, &mut stats);
+                at.tree.stab_into_observed(value, out, &mut stats);
                 metrics.record_attr_stab(relation, attr, stats.nodes_visited, stats.marks_scanned);
+                at.workload.record_stab((out.len() - before) as u64);
             }
         }
         out.extend_from_slice(&self.non_indexable);
@@ -258,10 +349,10 @@ impl RelationIndex {
         out: &mut Vec<PredicateId>,
         trace: &mut MatchTrace,
     ) {
-        for (&attr, tree) in &self.attr_trees {
+        for (&attr, at) in &self.attr_trees {
             if let Some(value) = tuple.values().get(attr) {
                 let mut stats = StabStats::default();
-                tree.stab_into_observed(value, out, &mut stats);
+                at.tree.stab_into_observed(value, out, &mut stats);
                 trace.stabs.push(StabTrace {
                     attr,
                     attr_name: format!("#{attr}"),
@@ -272,8 +363,8 @@ impl RelationIndex {
                     eq_hits: stats.eq_hits,
                     greater_hits: stats.greater_hits,
                     universal_hits: stats.universal_hits,
-                    tree_intervals: tree.len(),
-                    tree_height: tree.height(),
+                    tree_intervals: at.tree.len(),
+                    tree_height: at.tree.height(),
                 });
             }
         }
@@ -284,7 +375,7 @@ impl RelationIndex {
 
     /// Iterates `(attribute index, tree)` pairs (stats support).
     pub(crate) fn attr_trees_iter(&self) -> impl Iterator<Item = (usize, &IbsTree<Value>)> {
-        self.attr_trees.iter().map(|(&a, t)| (a, t))
+        self.attr_trees.iter().map(|(&a, t)| (a, &t.tree))
     }
 
     /// Number of attribute trees (stats support).
@@ -294,7 +385,10 @@ impl RelationIndex {
 
     /// Total markers across this relation's trees (§5.1 space metric).
     pub(crate) fn marker_count(&self) -> usize {
-        self.attr_trees.values().map(|t| t.marker_count()).sum()
+        self.attr_trees
+            .values()
+            .map(|t| t.tree.marker_count())
+            .sum()
     }
 
     /// Length of the non-indexable list (stats support).
@@ -338,6 +432,9 @@ pub struct PredicateIndex {
     ///
     /// [`attach_registry`]: PredicateIndex::attach_registry
     metrics: Arc<IndexMetrics>,
+    /// Per-relation+attribute workload accounts; disabled by default,
+    /// swapped by [`attach_workload`](PredicateIndex::attach_workload).
+    workload: WorkloadStats,
 }
 
 impl Default for PredicateIndex {
@@ -361,6 +458,7 @@ impl PredicateIndex {
             locations: FnvHashMap::default(),
             mode,
             metrics: IndexMetrics::disabled(),
+            workload: WorkloadStats::disabled(),
         }
     }
 
@@ -377,6 +475,22 @@ impl PredicateIndex {
     /// `predindex_residual` spans into `tracer`'s ring.
     pub fn attach_telemetry(&mut self, registry: &Arc<Registry>, tracer: Tracer) {
         self.metrics = IndexMetrics::from_parts(registry, 0, tracer);
+    }
+
+    /// Starts recording per-relation+attribute workload accounts (op
+    /// mix, clause shapes, stab selectivity) into `workload` — the
+    /// observation feed for [`crate::advisor`]. Until this is called
+    /// the index runs with the no-op handle: one branch per site.
+    pub fn attach_workload(&mut self, workload: WorkloadStats) {
+        for (relation, ri) in self.relations.iter_mut() {
+            ri.attach_workload(relation, &workload);
+        }
+        self.workload = workload;
+    }
+
+    /// The attached workload-account handle (disabled by default).
+    pub fn workload(&self) -> &WorkloadStats {
+        &self.workload
     }
 
     /// The Figure 1 EXPLAIN: the exact path `tuple` takes through the
@@ -398,6 +512,7 @@ impl PredicateIndex {
             &self.relations,
             &self.store,
             &self.metrics,
+            &self.workload,
             relation,
             tuple,
             out,
@@ -431,17 +546,26 @@ impl Matcher for PredicateIndex {
         let location = match placement {
             Placement::Unsatisfiable => Location::Unsatisfiable,
             Placement::Tree { attr, interval } => {
-                self.relations
-                    .entry(relation.clone())
-                    .or_default()
-                    .insert_tree(attr, id, interval, mode);
+                let workload = &self.workload;
+                if workload.is_enabled() {
+                    workload.record_insert(
+                        &relation,
+                        attr,
+                        clause_shape_of(&interval),
+                        interval_length_of(&interval),
+                    );
+                }
+                let ri = self.relations.entry(relation.clone()).or_default();
+                ri.ensure_tuple_recorder(&relation, workload);
+                ri.insert_tree(&relation, attr, id, interval, mode, workload);
                 Location::Tree { attr }
             }
             Placement::NonIndexable => {
-                self.relations
-                    .entry(relation.clone())
-                    .or_default()
-                    .push_non_indexable(id);
+                let workload = &self.workload;
+                workload.record_non_indexable_insert(&relation);
+                let ri = self.relations.entry(relation.clone()).or_default();
+                ri.ensure_tuple_recorder(&relation, workload);
+                ri.push_non_indexable(id);
                 Location::NonIndexable
             }
         };
@@ -458,11 +582,16 @@ impl Matcher for PredicateIndex {
             .expect("stored predicate must have a location");
         match location {
             Location::Tree { attr } => {
-                self.relations
+                let interval = self
+                    .relations
                     .get_mut(&relation)
                     // srclint:allow(no-panic-in-lib): a Tree location implies the relation entry exists
                     .expect("indexed relation exists")
                     .remove_tree(attr, id);
+                if self.workload.is_enabled() {
+                    self.workload
+                        .record_delete(&relation, attr, clause_shape_of(&interval));
+                }
             }
             Location::NonIndexable => {
                 self.relations
@@ -470,6 +599,7 @@ impl Matcher for PredicateIndex {
                     // srclint:allow(no-panic-in-lib): a NonIndexable location implies the relation entry exists
                     .expect("indexed relation exists")
                     .remove_non_indexable(id);
+                self.workload.record_non_indexable_delete(&relation);
             }
             Location::Unsatisfiable => {}
         }

@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 #![deny(unreachable_pub)]
 
+pub mod advisor;
 pub mod baselines;
 mod index;
 mod matcher;
@@ -23,6 +24,7 @@ mod metrics;
 mod sharded;
 mod stats;
 
+pub use advisor::{Advisor, AdvisorConstants, Backend, BackendProjection, Recommendation};
 pub use baselines::{
     HashSequentialMatcher, PhysicalLockingMatcher, RTreeMatcher, SequentialMatcher,
 };

@@ -24,7 +24,10 @@
 //! holds each shard's read lock across the whole run of tuples headed
 //! there — one lock acquisition per shard per worker, not per tuple.
 
-use crate::index::{explain_match, match_into_metered, place, Location, Placement, RelationIndex};
+use crate::index::{
+    clause_shape_of, explain_match, interval_length_of, match_into_metered, place, Location,
+    Placement, RelationIndex,
+};
 use crate::matcher::{IndexError, Matcher, PredicateId, PredicateStore, StoredPredicate};
 use crate::metrics::IndexMetrics;
 use ibs::BalanceMode;
@@ -33,7 +36,7 @@ use relation::fx::FnvHashMap;
 use relation::{Catalog, Tuple};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, RwLock};
-use telemetry::{MatchTrace, Registry, Tracer};
+use telemetry::{MatchTrace, Registry, Tracer, WorkloadStats};
 
 /// Default shard count; rounded up to a power of two internally.
 pub const DEFAULT_SHARDS: usize = 16;
@@ -55,8 +58,17 @@ impl Shard {
         tuple: &Tuple,
         out: &mut Vec<PredicateId>,
         metrics: &IndexMetrics,
+        workload: &WorkloadStats,
     ) {
-        match_into_metered(&self.relations, &self.store, metrics, relation, tuple, out);
+        match_into_metered(
+            &self.relations,
+            &self.store,
+            metrics,
+            workload,
+            relation,
+            tuple,
+            out,
+        );
     }
 
     fn insert_bound(
@@ -65,6 +77,7 @@ impl Shard {
         stored: StoredPredicate,
         catalog: &Catalog,
         mode: BalanceMode,
+        workload: &WorkloadStats,
     ) {
         let relation = stored.bound.relation().to_string();
         let placement = place(catalog, &stored);
@@ -72,24 +85,31 @@ impl Shard {
         let location = match placement {
             Placement::Unsatisfiable => Location::Unsatisfiable,
             Placement::Tree { attr, interval } => {
-                self.relations
-                    .entry(relation.clone())
-                    .or_default()
-                    .insert_tree(attr, id, interval, mode);
+                if workload.is_enabled() {
+                    workload.record_insert(
+                        &relation,
+                        attr,
+                        clause_shape_of(&interval),
+                        interval_length_of(&interval),
+                    );
+                }
+                let ri = self.relations.entry(relation.clone()).or_default();
+                ri.ensure_tuple_recorder(&relation, workload);
+                ri.insert_tree(&relation, attr, id, interval, mode, workload);
                 Location::Tree { attr }
             }
             Placement::NonIndexable => {
-                self.relations
-                    .entry(relation.clone())
-                    .or_default()
-                    .push_non_indexable(id);
+                workload.record_non_indexable_insert(&relation);
+                let ri = self.relations.entry(relation.clone()).or_default();
+                ri.ensure_tuple_recorder(&relation, workload);
+                ri.push_non_indexable(id);
                 Location::NonIndexable
             }
         };
         self.locations.insert(id.0, (relation, location));
     }
 
-    fn remove(&mut self, id: PredicateId) -> Option<Predicate> {
+    fn remove(&mut self, id: PredicateId, workload: &WorkloadStats) -> Option<Predicate> {
         let stored = self.store.unregister(id)?;
         let (relation, location) = self
             .locations
@@ -98,11 +118,15 @@ impl Shard {
             .expect("stored predicate must have a location");
         match location {
             Location::Tree { attr } => {
-                self.relations
+                let interval = self
+                    .relations
                     .get_mut(&relation)
                     // srclint:allow(no-panic-in-lib): a Tree location implies the relation entry exists; see insert_bound
                     .expect("indexed relation exists")
                     .remove_tree(attr, id);
+                if workload.is_enabled() {
+                    workload.record_delete(&relation, attr, clause_shape_of(&interval));
+                }
             }
             Location::NonIndexable => {
                 self.relations
@@ -110,6 +134,7 @@ impl Shard {
                     // srclint:allow(no-panic-in-lib): a NonIndexable location implies the relation entry exists; see insert_bound
                     .expect("indexed relation exists")
                     .remove_non_indexable(id);
+                workload.record_non_indexable_delete(&relation);
             }
             Location::Unsatisfiable => {}
         }
@@ -167,6 +192,9 @@ pub struct ShardedPredicateIndex {
     ///
     /// [`attach_registry`]: ShardedPredicateIndex::attach_registry
     metrics: Arc<IndexMetrics>,
+    /// Per-relation+attribute workload accounts; disabled by default,
+    /// swapped by [`attach_workload`](ShardedPredicateIndex::attach_workload).
+    workload: WorkloadStats,
 }
 
 impl Default for ShardedPredicateIndex {
@@ -200,6 +228,7 @@ impl ShardedPredicateIndex {
             next_id: AtomicU32::new(0),
             mode,
             metrics: IndexMetrics::disabled(),
+            workload: WorkloadStats::disabled(),
         }
     }
 
@@ -217,6 +246,26 @@ impl ShardedPredicateIndex {
     /// `tracer`'s ring.
     pub fn attach_telemetry(&mut self, registry: &Arc<Registry>, tracer: Tracer) {
         self.metrics = IndexMetrics::from_parts(registry, self.shards.len(), tracer);
+    }
+
+    /// Starts recording per-relation+attribute workload accounts (op
+    /// mix, clause shapes, stab selectivity) into `workload` — the
+    /// observation feed for [`crate::advisor`]. Until this is called
+    /// the index runs with the no-op handle: one branch per site.
+    pub fn attach_workload(&mut self, workload: WorkloadStats) {
+        for shard in self.shards.iter() {
+            // srclint:allow(no-panic-in-lib): a poisoned shard lock means a writer panicked mid-update; propagating is the designed behaviour
+            let mut guard = shard.write().expect("shard lock poisoned");
+            for (relation, ri) in guard.relations.iter_mut() {
+                ri.attach_workload(relation, &workload);
+            }
+        }
+        self.workload = workload;
+    }
+
+    /// The attached workload-account handle (disabled by default).
+    pub fn workload(&self) -> &WorkloadStats {
+        &self.workload
     }
 
     /// Span-wrapped shard-lock acquisition: times the wait for the
@@ -286,7 +335,7 @@ impl ShardedPredicateIndex {
         // Allocate under the shard lock so the single-threaded id
         // sequence is exactly PredicateIndex's (0, 1, 2, ...).
         let id = PredicateId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        shard.insert_bound(id, stored, catalog, self.mode);
+        shard.insert_bound(id, stored, catalog, self.mode, &self.workload);
         Ok(id)
     }
 
@@ -320,7 +369,7 @@ impl ShardedPredicateIndex {
             }
             let mut shard = self.lock_write(sid);
             for (id, stored) in group {
-                shard.insert_bound(id, stored, catalog, self.mode);
+                shard.insert_bound(id, stored, catalog, self.mode, &self.workload);
             }
         }
         Ok((0..n).map(|i| PredicateId(base + i)).collect())
@@ -336,7 +385,7 @@ impl ShardedPredicateIndex {
                 // Re-probe under the write lock: a concurrent remover
                 // may have won the race between the two acquisitions.
                 // srclint:allow(lock-discipline): guards are strictly sequential — the probe's read guard is dropped before the write lock is taken
-                if let Some(p) = self.lock_write(sid).remove(id) {
+                if let Some(p) = self.lock_write(sid).remove(id, &self.workload) {
                     return Some(p);
                 }
             }
@@ -349,7 +398,7 @@ impl ShardedPredicateIndex {
     pub fn match_tuple_into(&self, relation: &str, tuple: &Tuple, out: &mut Vec<PredicateId>) {
         let sid = self.shard_of(relation);
         let shard = self.lock_read(sid);
-        shard.match_into(relation, tuple, out, &self.metrics);
+        shard.match_into(relation, tuple, out, &self.metrics, &self.workload);
     }
 
     /// Matches every `(relation, tuple)` pair, fanning out across up to
@@ -402,7 +451,7 @@ impl ShardedPredicateIndex {
         if sids.iter().all(|&s| s == sids[0]) {
             let shard = self.lock_read(sids[0] as usize);
             for ((relation, tuple), slot) in items.iter().zip(out.iter_mut()) {
-                shard.match_into(relation, tuple, slot, &self.metrics);
+                shard.match_into(relation, tuple, slot, &self.metrics, &self.workload);
             }
             return;
         }
@@ -420,7 +469,7 @@ impl ShardedPredicateIndex {
                     break;
                 }
                 let (relation, tuple) = items[i];
-                shard.match_into(relation, tuple, &mut out[i], &self.metrics);
+                shard.match_into(relation, tuple, &mut out[i], &self.metrics, &self.workload);
                 at += 1;
             }
         }

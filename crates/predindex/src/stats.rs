@@ -97,7 +97,8 @@ pub struct ShardStats {
     /// This shard's predicate count relative to the per-shard mean:
     /// 1.0 everywhere is a perfectly balanced index, `shard_count` is
     /// the worst case (every predicate behind one lock), and 0.0 is an
-    /// idle shard (also the value when the whole index is empty).
+    /// idle shard. A completely empty index is trivially balanced, so
+    /// every shard reports 1.0 rather than a 0/0 skew ratio.
     pub imbalance: f64,
     /// Relations hashed to this shard, sorted by name.
     pub relations: Vec<RelationStats>,
@@ -156,6 +157,12 @@ impl ShardedPredicateIndex {
             let mean = total as f64 / stats.len() as f64;
             for s in &mut stats {
                 s.imbalance = s.predicates as f64 / mean;
+            }
+        } else {
+            // No predicates anywhere: the index is trivially balanced,
+            // not infinitely skewed — report the balanced value.
+            for s in &mut stats {
+                s.imbalance = 1.0;
             }
         }
         stats
@@ -330,10 +337,13 @@ mod tests {
     }
 
     #[test]
-    fn empty_index_has_zero_imbalance() {
+    fn empty_index_is_trivially_balanced() {
+        // 0 predicates over N shards is perfect balance, not skew:
+        // every shard must report the balanced value 1.0.
         let sharded = crate::ShardedPredicateIndex::with_shards(4);
         for s in sharded.shard_stats() {
-            assert_eq!(s.imbalance, 0.0);
+            assert_eq!(s.predicates, 0);
+            assert_eq!(s.imbalance, 1.0);
         }
     }
 

@@ -25,7 +25,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
-use telemetry::{Counter, Histogram, Profiler, Registry, Tracer};
+use telemetry::{Counter, Histogram, Profiler, Registry, Tracer, WorkloadStats};
 
 /// Errors from engine operations.
 #[derive(Debug)]
@@ -239,6 +239,21 @@ impl RuleEngine {
     /// [`attach_telemetry`](Self::attach_telemetry) supplied one).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Attaches workload accounts to the predicate index: per-attribute
+    /// op mix, clause shapes, and stab selectivity feeding the index
+    /// advisor. Build the handle over the *same* registry as
+    /// [`attach_metrics`](Self::attach_metrics) so the `workload_*`
+    /// families land beside the engine's own.
+    pub fn attach_workload(&mut self, workload: WorkloadStats) {
+        self.index.attach_workload(workload);
+    }
+
+    /// The workload accounts handle (disabled unless
+    /// [`attach_workload`](Self::attach_workload) supplied one).
+    pub fn workload(&self) -> &WorkloadStats {
+        self.index.workload()
     }
 
     /// Attaches a cost-attribution [`Profiler`]. Build it over the

@@ -16,10 +16,11 @@
 
 use durable::{ActionRegistry, DurableRuleEngine, Options, SyncPolicy};
 use predicate::FunctionRegistry;
+use predindex::Advisor;
 use ruleserv::{serve, ServerOptions};
 use std::io::Read;
 use std::sync::Arc;
-use telemetry::{Profiler, Registry, Tracer};
+use telemetry::{AdvisorHook, Profiler, Registry, Tracer, WorkloadStats};
 
 struct Config {
     dir: String,
@@ -33,6 +34,7 @@ struct Config {
     crash_after: Option<u64>,
     profile: bool,
     slow_ms: Option<u64>,
+    advise: bool,
 }
 
 fn usage() -> ! {
@@ -51,7 +53,8 @@ fn usage() -> ! {
          \x20 --snapshot-every N  snapshot cadence in logged ops (default 1024)\n\
          \x20 --crash-after N   abort after op N's WAL append, before its reply (crash tests)\n\
          \x20 --profile         attach the cost-attribution profiler (/profile, /top on --metrics)\n\
-         \x20 --slow-ms N       capture requests slower than N ms in the slow-op ring (implies --profile)"
+         \x20 --slow-ms N       capture requests slower than N ms in the slow-op ring (implies --profile)\n\
+         \x20 --advise          attach workload accounts + index advisor (/advisor on --metrics)"
     );
     std::process::exit(2)
 }
@@ -69,6 +72,7 @@ fn parse_args() -> Config {
         crash_after: None,
         profile: false,
         slow_ms: None,
+        advise: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -95,6 +99,7 @@ fn parse_args() -> Config {
                 cfg.crash_after = Some(value(&mut args).parse().unwrap_or_else(|_| usage()))
             }
             "--profile" => cfg.profile = true,
+            "--advise" => cfg.advise = true,
             "--slow-ms" => {
                 cfg.slow_ms = Some(value(&mut args).parse().unwrap_or_else(|_| usage()));
                 cfg.profile = true;
@@ -130,6 +135,16 @@ fn run(cfg: Config) -> Result<(), Box<dyn std::error::Error>> {
     if cfg.profile {
         engine.attach_profiler(Profiler::new(&registry));
     }
+    let advisor = if cfg.advise {
+        let workload = WorkloadStats::new(&registry);
+        engine.attach_workload(workload.clone());
+        let advisor = Advisor::new(workload);
+        let flight_advisor = advisor.clone();
+        engine.attach_advisor(move || flight_advisor.render_text());
+        Some(advisor)
+    } else {
+        None
+    };
     // A clone of the (possibly disabled) profiler for the exposition
     // server; the engine itself moves into the serve thread.
     let profiler = engine.profiler().clone();
@@ -150,7 +165,14 @@ fn run(cfg: Config) -> Result<(), Box<dyn std::error::Error>> {
             // The engine has moved into its thread; /health is served
             // from the registry-backed families instead.
             let health_registry = Arc::clone(&registry);
-            let handle = telemetry::serve_with_profiler(
+            let hook = advisor.map(|advisor| {
+                let json = advisor.clone();
+                AdvisorHook::new(
+                    move || json.report_json(),
+                    move || advisor.metrics_comment_lines(),
+                )
+            });
+            let handle = telemetry::serve_with_advisor(
                 addr,
                 Arc::clone(&registry),
                 Tracer::disabled(),
@@ -162,6 +184,7 @@ fn run(cfg: Config) -> Result<(), Box<dyn std::error::Error>> {
                     )
                 })),
                 profiler,
+                hook,
             )?;
             println!("METRICS {}", handle.addr());
             Some(handle)

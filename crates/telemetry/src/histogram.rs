@@ -88,7 +88,11 @@ pub fn quantile(buckets: &[u64; HISTOGRAM_BUCKETS], q: f64) -> u64 {
             // u128 keeps bucket 64's span from overflowing.
             let pos = rank - below;
             let width = (hi - lo) as u128;
-            let est = lo as u128 + width * pos as u128 / n as u128;
+            // Clamp into the bucket: bucket 0 is the single value 0 and
+            // the saturated top bucket caps at u64::MAX, so an estimate
+            // must never leave [lo, hi] however the interpolation
+            // rounds.
+            let est = (lo as u128 + width * pos as u128 / n as u128).clamp(lo as u128, hi as u128);
             return u64::try_from(est).unwrap_or(u64::MAX);
         }
     }
@@ -218,5 +222,53 @@ mod tests {
         h.record(u64::MAX);
         let buckets = h.buckets();
         assert!(quantile(&buckets, 0.5) >= 1u64 << 63);
+    }
+
+    #[test]
+    fn quantile_in_bucket_zero_is_exactly_zero() {
+        // Bucket 0 holds only the value 0: every quantile of an
+        // all-zero histogram must be 0, never interpolated past it.
+        let h = Histogram::live();
+        for _ in 0..7 {
+            h.record(0);
+        }
+        let buckets = h.buckets();
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(quantile(&buckets, q), 0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_never_leaves_the_saturated_top_bucket() {
+        // Many observations in bucket 64 ([2^63, u64::MAX]): every
+        // quantile must stay inside the bucket bounds even where the
+        // interpolation arithmetic rounds at the extremes.
+        let h = Histogram::live();
+        for _ in 0..100 {
+            h.record(u64::MAX);
+        }
+        let buckets = h.buckets();
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            let est = quantile(&buckets, q);
+            assert!(est >= 1u64 << 63, "q={q} est={est}");
+        }
+        assert_eq!(quantile(&buckets, 1.0), u64::MAX);
+    }
+
+    #[test]
+    fn quantile_stays_within_every_occupied_bucket() {
+        // Mixed-bucket histogram: each quantile estimate must land
+        // inside [lo, hi] of whichever bucket holds its rank.
+        let h = Histogram::live();
+        for v in [0u64, 0, 3, 3, 3, 200, 200, 5_000] {
+            h.record(v);
+        }
+        let buckets = h.buckets();
+        for i in 1..=100 {
+            let q = i as f64 / 100.0;
+            let est = quantile(&buckets, q);
+            let b = bucket_index(est);
+            assert!(buckets[b] > 0, "q={q} est={est} fell in empty bucket {b}");
+        }
     }
 }

@@ -61,6 +61,7 @@ mod recorder;
 mod registry;
 mod server;
 mod trace;
+mod workload;
 
 pub use counter::Counter;
 pub use explain::{MatchTrace, ResidualTrace, StabTrace};
@@ -70,9 +71,15 @@ pub use profile::{
 };
 pub use recorder::{FlightRecorder, PanicHookGuard};
 pub use registry::Registry;
-pub use server::{serve, serve_with_profiler, wake_addr, HealthFn, ServerHandle};
+pub use server::{
+    serve, serve_with_advisor, serve_with_profiler, wake_addr, AdvisorHook, HealthFn, ServerHandle,
+};
 pub use trace::{
     chrome_trace_json, Span, SpanEventKind, TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY,
+};
+pub use workload::{
+    AttrRecorder, AttrUsage, ClauseShape, RelationRecorder, RelationUsage, WorkloadStats,
+    WorkloadSummary, WorkloadWindow, WORKLOAD_WINDOW_CAPACITY,
 };
 
 #[cfg(test)]

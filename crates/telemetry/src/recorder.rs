@@ -56,6 +56,9 @@ pub struct FlightRecorder {
     /// When enabled, dumps carry the per-rule cost accounts and the
     /// slow-op ring after the metrics section.
     profiler: Profiler,
+    /// When set, dumps carry the index advisor's report (an opaque
+    /// text producer — the advisor lives above this crate).
+    advisor: Option<Arc<dyn Fn() -> String + Send + Sync>>,
     dir: PathBuf,
     /// Disambiguates dumps landing in the same wall-clock second.
     seq: AtomicU64,
@@ -77,6 +80,7 @@ impl FlightRecorder {
             tracer,
             registry,
             profiler: Profiler::disabled(),
+            advisor: None,
             dir: dir.into(),
             seq: AtomicU64::new(0),
         }
@@ -86,6 +90,17 @@ impl FlightRecorder {
     /// every dump (builder-style, for construction sites).
     pub fn with_profiler(mut self, profiler: Profiler) -> FlightRecorder {
         self.profiler = profiler;
+        self
+    }
+
+    /// Attaches an index-advisor report producer whose text joins
+    /// every dump — a crashed process leaves behind not just what it
+    /// was doing but what its workload wanted the index to look like.
+    pub fn with_advisor(
+        mut self,
+        advisor: impl Fn() -> String + Send + Sync + 'static,
+    ) -> FlightRecorder {
+        self.advisor = Some(Arc::new(advisor));
         self
     }
 
@@ -128,6 +143,10 @@ impl FlightRecorder {
         if self.profiler.is_enabled() {
             out.push('\n');
             out.push_str(&self.profiler.render_flight());
+        }
+        if let Some(advisor) = &self.advisor {
+            out.push_str("\n== advisor (index recommendations) ==\n");
+            out.push_str(&advisor());
         }
         out.push_str("\n== trace (chrome JSON, last line) ==\n");
         out.push_str(&crate::trace::chrome_trace_json(&events));
@@ -242,6 +261,20 @@ mod tests {
         // Without a profiler the sections stay out.
         let plain = FlightRecorder::new(Tracer::new(16), Arc::new(Registry::new()), &dir);
         assert!(!plain.render("x").contains("== profile"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dump_includes_advisor_section_when_attached() {
+        let dir = temp_dir("advisor");
+        let recorder = FlightRecorder::new(Tracer::new(16), Arc::new(Registry::new()), &dir)
+            .with_advisor(|| "emp.0: best=naive margin=2.10x\n".to_string());
+        let text = recorder.render("why");
+        assert!(text.contains("== advisor (index recommendations) =="));
+        assert!(text.contains("best=naive"));
+        // Without an advisor the section stays out.
+        let plain = FlightRecorder::new(Tracer::new(16), Arc::new(Registry::new()), &dir);
+        assert!(!plain.render("x").contains("== advisor"));
         fs::remove_dir_all(&dir).ok();
     }
 

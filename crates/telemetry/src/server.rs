@@ -55,6 +55,36 @@ const MAX_HEADER_LINES: usize = 256;
 /// balance) can report without this crate depending on them.
 pub type HealthFn = Box<dyn Fn() -> String + Send + Sync>;
 
+/// The `/advisor` producer pair, opaque for the same reason as
+/// [`HealthFn`]: the index advisor lives above this crate (it knows
+/// the §5.2 backend cost model), so the server only asks it for bodies.
+pub struct AdvisorHook {
+    json: Box<dyn Fn() -> String + Send + Sync>,
+    comment: Box<dyn Fn() -> String + Send + Sync>,
+}
+
+impl AdvisorHook {
+    /// `json` answers `GET /advisor` (a `telemetry/advisor-v1`
+    /// document); `comment` yields `# advisor ...` lines appended to
+    /// the `/metrics` exposition (each line must start with `#` so
+    /// scrapers parse past them).
+    pub fn new(
+        json: impl Fn() -> String + Send + Sync + 'static,
+        comment: impl Fn() -> String + Send + Sync + 'static,
+    ) -> AdvisorHook {
+        AdvisorHook {
+            json: Box::new(json),
+            comment: Box::new(comment),
+        }
+    }
+}
+
+impl std::fmt::Debug for AdvisorHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdvisorHook").finish_non_exhaustive()
+    }
+}
+
 /// A running exposition server; dropping it without
 /// [`shutdown`](ServerHandle::shutdown) detaches the accept thread
 /// (it exits with the process).
@@ -136,11 +166,28 @@ pub fn serve_with_profiler(
     health: Option<HealthFn>,
     profiler: Profiler,
 ) -> io::Result<ServerHandle> {
+    serve_with_advisor(bind, registry, tracer, health, profiler, None)
+}
+
+/// [`serve_with_profiler`] plus an [`AdvisorHook`]: `/advisor` reports
+/// the index advisor's ranked backend recommendations, and `/metrics`
+/// gains its `# advisor` comment lines. Without a hook `/advisor`
+/// answers 200 with an empty `telemetry/advisor-v1` document, so
+/// scripted consumers need no probe.
+pub fn serve_with_advisor(
+    bind: &str,
+    registry: Arc<Registry>,
+    tracer: Tracer,
+    health: Option<HealthFn>,
+    profiler: Profiler,
+    advisor: Option<AdvisorHook>,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(bind)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = Arc::clone(&stop);
     let health = Arc::new(health);
+    let advisor = Arc::new(advisor);
     let thread = std::thread::Builder::new()
         .name("telemetry-exposition".into())
         .spawn(move || {
@@ -162,10 +209,18 @@ pub fn serve_with_profiler(
                 let tracer = tracer.clone();
                 let health = Arc::clone(&health);
                 let profiler = profiler.clone();
+                let advisor = Arc::clone(&advisor);
                 let _ = std::thread::Builder::new()
                     .name("telemetry-conn".into())
                     .spawn(move || {
-                        let _ = handle(conn, &registry, &tracer, health.as_deref(), &profiler);
+                        let _ = handle(
+                            conn,
+                            &registry,
+                            &tracer,
+                            health.as_deref(),
+                            &profiler,
+                            advisor.as_ref().as_ref(),
+                        );
                     });
             }
         })?;
@@ -182,6 +237,7 @@ fn handle(
     tracer: &Tracer,
     health: Option<&(dyn Fn() -> String + Send + Sync)>,
     profiler: &Profiler,
+    advisor: Option<&AdvisorHook>,
 ) -> io::Result<()> {
     let mut reader = BufReader::new(conn);
     let mut request_line = String::new();
@@ -201,11 +257,13 @@ fn handle(
     // "GET /path HTTP/1.1" — only the path matters here.
     let path = request_line.split_whitespace().nth(1).unwrap_or("");
     let (status, content_type, body) = match path {
-        "/metrics" => (
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            registry.render_text(),
-        ),
+        "/metrics" => ("200 OK", "text/plain; version=0.0.4; charset=utf-8", {
+            let mut body = registry.render_text();
+            if let Some(hook) = advisor {
+                body.push_str(&(hook.comment)());
+            }
+            body
+        }),
         "/health" => (
             "200 OK",
             "text/plain; charset=utf-8",
@@ -218,10 +276,24 @@ fn handle(
             profiler.profile_json(registry),
         ),
         "/top" => ("200 OK", "application/json", profiler.top_json(10)),
+        "/advisor" => (
+            "200 OK",
+            "application/json",
+            advisor.map_or_else(
+                || {
+                    "{\"schema\":\"telemetry/advisor-v1\",\"windowed\":false,\
+                     \"recommendations\":[],\"relations\":[]}\n"
+                        .to_string()
+                },
+                |hook| (hook.json)(),
+            ),
+        ),
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            format!("no route for {path:?}; try /metrics, /health, /trace, /profile, /top\n"),
+            format!(
+                "no route for {path:?}; try /metrics, /health, /trace, /profile, /top, /advisor\n"
+            ),
         ),
     };
     let mut conn = reader.into_inner();
@@ -325,6 +397,53 @@ mod tests {
 
         let (_, body) = get(server.addr(), "/nope");
         assert!(body.contains("/profile"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn serves_advisor_json_and_metric_comments() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("rules_fired_total").add(1);
+        let hook = AdvisorHook::new(
+            || "{\"schema\":\"telemetry/advisor-v1\",\"recommendations\":[]}\n".to_string(),
+            || "# advisor emp.0 best=ibs margin=1.50x\n".to_string(),
+        );
+        let server = serve_with_advisor(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            Tracer::disabled(),
+            None,
+            Profiler::disabled(),
+            Some(hook),
+        )
+        .unwrap();
+
+        let (head, body) = get(server.addr(), "/advisor");
+        assert!(head.contains("application/json"));
+        assert!(body.contains("\"schema\":\"telemetry/advisor-v1\""));
+
+        // /metrics keeps the exposition and appends the comment lines.
+        let (_, body) = get(server.addr(), "/metrics");
+        assert!(body.contains("rules_fired_total 1"));
+        assert!(body.contains("# advisor emp.0 best=ibs margin=1.50x"));
+
+        let (_, body) = get(server.addr(), "/nope");
+        assert!(body.contains("/advisor"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn advisor_route_answers_empty_without_a_hook() {
+        let server = serve(
+            "127.0.0.1:0",
+            Arc::new(Registry::disabled()),
+            Tracer::disabled(),
+            None,
+        )
+        .unwrap();
+        let (head, body) = get(server.addr(), "/advisor");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert!(body.contains("\"recommendations\":[]"));
         server.shutdown();
     }
 

@@ -9,6 +9,7 @@
 //! curl -s http://127.0.0.1:9898/trace > trace.json   # drains the span ring
 //! curl -s http://127.0.0.1:9898/profile              # cost accounts + quantiles + slow ops
 //! curl -s http://127.0.0.1:9898/top                  # the 10 most expensive rule accounts
+//! curl -s http://127.0.0.1:9898/advisor              # workload-driven index recommendations
 //! ```
 //!
 //! The workload is a two-level cascade (underpaid employees raise
@@ -24,10 +25,12 @@
 
 use predmatch::durable::{ActionRegistry, ActionSpec, DurableRuleEngine, Options, RuleSpec};
 use predmatch::predicate::FunctionRegistry;
+use predmatch::predindex::Advisor;
 use predmatch::prelude::*;
 use predmatch::rules::{DbOp, EventMask};
 use predmatch::telemetry::{
-    chrome_trace_json, serve_with_profiler, Profiler, Tracer, DEFAULT_TRACE_CAPACITY,
+    chrome_trace_json, serve_with_advisor, AdvisorHook, Profiler, Tracer, WorkloadStats,
+    DEFAULT_TRACE_CAPACITY,
 };
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -151,12 +154,20 @@ fn main() {
     let profiler = Profiler::new(&registry);
     profiler.set_slow_threshold_nanos(50_000_000);
     built.attach_profiler(profiler.clone());
+    // Workload accounts + index advisor: /advisor serves the ranked
+    // §5.2 cost projection, and flight dumps carry the text report.
+    let workload = WorkloadStats::new(&registry);
+    built.attach_workload(workload.clone());
+    let advisor = Advisor::new(workload);
+    let flight_advisor = advisor.clone();
+    built.attach_advisor(move || flight_advisor.render_text());
     let engine = Arc::new(Mutex::new(built));
 
     // /health reports through the engine (WAL seq, rule count, shard
     // imbalance); the workload shares it behind a mutex.
     let health_engine = engine.clone();
-    let server = serve_with_profiler(
+    let json_advisor = advisor.clone();
+    let server = serve_with_advisor(
         &format!("127.0.0.1:{}", cfg.port),
         registry.clone(),
         tracer.clone(),
@@ -164,6 +175,10 @@ fn main() {
             health_engine.lock().expect("engine lock").health_text()
         })),
         profiler,
+        Some(AdvisorHook::new(
+            move || json_advisor.report_json(),
+            move || advisor.metrics_comment_lines(),
+        )),
     )
     .expect("exposition server binds");
     // Parsed by CI; keep the format stable.
@@ -173,6 +188,7 @@ fn main() {
     println!("  curl http://{}/trace", server.addr());
     println!("  curl http://{}/profile", server.addr());
     println!("  curl http://{}/top", server.addr());
+    println!("  curl http://{}/advisor", server.addr());
 
     let deadline = Instant::now() + Duration::from_secs(cfg.seconds);
     let mut i: i64 = 0;

@@ -23,15 +23,16 @@
 //! :trace <path>                         drain the span ring to <path> as Chrome JSON
 //! :top [k]                              the k most expensive rule cost accounts (default 10)
 //! :slow                                 recent per-insert cost captures (the slow-op ring)
+//! :advise                               workload-driven index recommendations (§5.2 costs)
 //! help                                  this text
 //! quit
 //! ```
 
 use predmatch::predicate::parse_predicates;
-use predmatch::predindex::Matcher;
+use predmatch::predindex::{Advisor, Matcher};
 use predmatch::prelude::*;
 use predmatch::rules::{Action, Rule, RuleEngine};
-use predmatch::telemetry::{Profiler, Tracer};
+use predmatch::telemetry::{Profiler, Tracer, WorkloadStats};
 use std::io::{self, BufRead, Write};
 use std::sync::Arc;
 use std::time::Instant;
@@ -43,6 +44,7 @@ struct Shell {
     registry: Arc<Registry>,
     tracer: Tracer,
     profiler: Profiler,
+    advisor: Advisor,
 }
 
 type PredicateIdWrap = predmatch::predindex::PredicateId;
@@ -62,6 +64,12 @@ impl Shell {
         let profiler = Profiler::new(&registry);
         profiler.set_slow_threshold_nanos(0);
         engine.attach_profiler(profiler.clone());
+        // One workload-accounts handle feeds both the shell's direct
+        // index and the engine's, so :advise sees every stab.
+        let workload = WorkloadStats::new(&registry);
+        index.attach_workload(workload.clone());
+        engine.attach_workload(workload.clone());
+        let advisor = Advisor::new(workload);
         Shell {
             engine,
             index,
@@ -69,6 +77,7 @@ impl Shell {
             registry,
             tracer,
             profiler,
+            advisor,
         }
     }
 
@@ -97,9 +106,10 @@ impl Shell {
             ":trace" => self.cmd_trace(rest),
             ":top" => self.cmd_top(rest),
             ":slow" => Ok(self.profiler.render_slow_text()),
+            ":advise" => Ok(self.advisor.render_text()),
             "help" => Ok(
                 "commands: relation, predicate, rule, insert, drop, stats, list, \
-                 :memo, :metrics, :explain, :trace, :top, :slow, help, quit"
+                 :memo, :metrics, :explain, :trace, :top, :slow, :advise, help, quit"
                     .to_string(),
             ),
             other => Err(format!("unknown command {other:?} (try 'help')")),
@@ -347,6 +357,7 @@ insert emp fi 28 21000 Shoe
 :explain emp ed 55 18000 Shoe
 :top
 :slow
+:advise
 :metrics
 "#;
 

@@ -177,6 +177,7 @@ impl IndexMetrics {
         work.nodes.add(nodes);
         work.marks.add(marks);
         self.per_attr
+            // srclint:allow(lock-order): strictly sequential — the probe's read guard is dropped at its block end before the mint takes the write lock
             .write()
             // srclint:allow(no-panic-in-lib): a poisoned metrics map means a holder panicked; propagating is by design
             .expect("metrics map poisoned")
@@ -229,6 +230,7 @@ impl IndexMetrics {
             "predindex_relation_matches_total{{relation=\"{relation}\"}}"
         ));
         self.per_relation
+            // srclint:allow(lock-order): strictly sequential — the probe's read guard is dropped at its block end before the mint takes the write lock
             .write()
             // srclint:allow(no-panic-in-lib): a poisoned metrics map means a holder panicked; propagating is by design
             .expect("metrics map poisoned")

@@ -93,7 +93,7 @@ impl Default for ServerOptions {
 
 /// One reply slot: the writer emits whatever arrives here, in the
 /// order the receiving ends were queued.
-type Slot = mpsc::Sender<Reply>;
+type Slot = mpsc::SyncSender<Reply>;
 /// The writer-side queue of slots to drain, in reply order.
 type SlotQueue = SyncSender<Receiver<Reply>>;
 
@@ -160,7 +160,7 @@ impl ServerHandle {
     /// the stop flag, drains the engine queue, and hands the durable
     /// engine back (`None` only if the engine thread panicked).
     pub fn shutdown(mut self) -> Option<DurableRuleEngine> {
-        self.stop.store(true, Ordering::SeqCst);
+        self.stop.store(true, Ordering::Relaxed);
         // Wake the blocking accept; wildcard binds dial loopback.
         let _ = TcpStream::connect(wake_addr(self.addr));
         if let Some(t) = self.accept.take() {
@@ -209,7 +209,7 @@ pub fn serve(
                 let mut sessions: Vec<JoinHandle<()>> = Vec::new();
                 let mut next_conn: u64 = 0;
                 for conn in listener.incoming() {
-                    if stop.load(Ordering::SeqCst) {
+                    if stop.load(Ordering::Relaxed) {
                         break;
                     }
                     let Ok(conn) = conn else { continue };
@@ -303,7 +303,7 @@ impl Read for PollRead<'_> {
                         io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                     ) =>
                 {
-                    if self.stop.load(Ordering::SeqCst) {
+                    if self.stop.load(Ordering::Relaxed) {
                         return Ok(0);
                     }
                 }
@@ -327,7 +327,7 @@ fn reader_loop(
     loop {
         // Checked per frame, not just on idle timeouts: a client that
         // never stops sending must not be able to hold off shutdown.
-        if stop.load(Ordering::SeqCst) {
+        if stop.load(Ordering::Relaxed) {
             return;
         }
         let (opcode, payload) = match read_frame(&mut stream) {
@@ -347,7 +347,9 @@ fn reader_loop(
         // Reply slot first, *then* the engine handoff: the slot queue
         // is what fixes reply order, so it must observe requests in
         // arrival order before anyone can fulfil them.
-        let (slot, slot_rx) = mpsc::channel::<Reply>();
+        // Oneshot: exactly one reply ever crosses a slot, so the
+        // bound of 1 means the fulfilling side never blocks.
+        let (slot, slot_rx) = mpsc::sync_channel::<Reply>(1);
         if pipe_tx.send(slot_rx).is_err() {
             return; // writer died (socket error)
         }
@@ -423,7 +425,7 @@ fn slot_of(msg: EngineMsg) -> Slot {
         | EngineMsg::Health { slot, .. }
         | EngineMsg::Sync { slot, .. } => slot,
         // Hangup is never try_sent with backpressure handling.
-        EngineMsg::Hangup { .. } => mpsc::channel().0,
+        EngineMsg::Hangup { .. } => mpsc::sync_channel(1).0,
     }
 }
 
@@ -492,7 +494,7 @@ impl Subscriber {
 /// Queues an already-fulfilled slot; `false` when the pipe is full or
 /// the connection is gone.
 fn try_push(pipe: &SlotQueue, reply: Reply) -> bool {
-    let (tx, rx) = mpsc::channel();
+    let (tx, rx) = mpsc::sync_channel(1);
     let _ = tx.send(reply);
     pipe.try_send(rx).is_ok()
 }
@@ -510,7 +512,7 @@ fn engine_loop(
     loop {
         // Checked every iteration (not only on idle timeouts) so a
         // saturating workload cannot postpone shutdown indefinitely.
-        if stop.load(Ordering::SeqCst) {
+        if stop.load(Ordering::Relaxed) {
             // Drain what the readers managed to enqueue before they
             // saw the flag, then retire.
             while let Ok(msg) = rx.try_recv() {

@@ -1,0 +1,297 @@
+//! Name-based call-graph over the [`WorkspaceModel`], with the
+//! transitive lock-acquisition closure the lock-order pass runs on.
+//!
+//! Resolution is deliberately conservative about *which* names it
+//! follows — a lexical tool that resolved every `.len()` to every
+//! `len` in the workspace would connect the whole graph through
+//! `ShardedPredicateIndex::len` and drown the analysis in phantom
+//! edges. The rules (documented in DESIGN.md §18):
+//!
+//! * Names on the [`STOPLIST`] — ubiquitous std-shaped method names —
+//!   are never resolved (under-approximation).
+//! * Other names resolve to every same-crate fn with that name; if
+//!   there is none, to a cross-crate fn only when the name is unique
+//!   across the whole linted set (over-approximation within a crate,
+//!   under-approximation across crates for ambiguous names).
+//! * Closures have no name and are never call targets.
+
+use crate::model::{Event, WorkspaceModel};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Method names too generic to resolve: following them would alias
+/// unrelated containers onto the few lock-acquiring fns that happen
+/// to share a name (`len`, `insert`, ...).
+pub const STOPLIST: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "len",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "get",
+    "get_mut",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "contains",
+    "contains_key",
+    "entry",
+    "drain",
+    "clear",
+    "fmt",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "from",
+    "into",
+    "as_ref",
+    "as_mut",
+    "as_str",
+    "as_bytes",
+    "to_string",
+    "to_vec",
+    "to_owned",
+    "write",
+    "read",
+    "flush",
+    "lock",
+    "send",
+    "recv",
+    "try_send",
+    "try_recv",
+    "unwrap",
+    "expect",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "map",
+    "map_err",
+    "and_then",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "err",
+    "min",
+    "max",
+    "drop",
+    "extend",
+    "join",
+    "find",
+    "position",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "retain",
+    "count",
+    "sum",
+    "any",
+    "all",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "collect",
+    "parse",
+    "split",
+    "trim",
+    "starts_with",
+    "ends_with",
+    "take",
+    "rev",
+    "zip",
+    "chain",
+    "fold",
+    "last",
+    "first",
+    "get_or_insert_with",
+    "with_capacity",
+    "capacity",
+    "contains_err",
+    "name",
+    "id",
+    "kind",
+    "value",
+    "path",
+    "spawn",
+    "enumerate",
+    "keys",
+    "values",
+    "values_mut",
+];
+
+/// The resolved graph: per fn node, the set of lock classes it may
+/// transitively acquire.
+pub struct CallGraph {
+    /// Parallel to `model.fns`.
+    transitive: Vec<BTreeSet<usize>>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph and runs the lock-set fixpoint.
+    pub fn build(model: &WorkspaceModel) -> CallGraph {
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in model.fns.iter().enumerate() {
+            if f.named {
+                by_name.entry(f.name.clone()).or_default().push(i);
+            }
+        }
+        let mut transitive: Vec<BTreeSet<usize>> = model
+            .fns
+            .iter()
+            .map(|f| {
+                f.events
+                    .iter()
+                    .filter_map(|e| match e {
+                        Event::Lock { class, .. } => Some(*class),
+                        Event::Call { .. } => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        // Fixpoint over call edges; bounded by the node count, and in
+        // practice converging in the depth of the real call tree.
+        for _ in 0..model.fns.len() {
+            let mut changed = false;
+            for i in 0..model.fns.len() {
+                let mut gained: Vec<usize> = Vec::new();
+                for e in &model.fns[i].events {
+                    if let Event::Call { callee, .. } = e {
+                        for c in Self::resolve_in(&by_name, model, i, callee) {
+                            gained.extend(transitive[c].iter().copied());
+                        }
+                    }
+                }
+                for g in gained {
+                    changed |= transitive[i].insert(g);
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        CallGraph {
+            transitive,
+            by_name,
+        }
+    }
+
+    fn resolve_in(
+        by_name: &BTreeMap<String, Vec<usize>>,
+        model: &WorkspaceModel,
+        caller: usize,
+        callee: &str,
+    ) -> Vec<usize> {
+        if STOPLIST.contains(&callee) {
+            return Vec::new();
+        }
+        let Some(cands) = by_name.get(callee) else {
+            return Vec::new();
+        };
+        let krate = &model.fns[caller].krate;
+        // Same-crate candidates win; cross-crate only when globally
+        // unambiguous.
+        let same: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&c| model.fns[c].krate == *krate)
+            .collect();
+        if !same.is_empty() {
+            return same;
+        }
+        if cands.len() == 1 {
+            return cands.clone();
+        }
+        Vec::new()
+    }
+
+    /// Fn indices a call to `callee` from `caller` may reach.
+    pub fn resolve(&self, model: &WorkspaceModel, caller: usize, callee: &str) -> Vec<usize> {
+        Self::resolve_in(&self.by_name, model, caller, callee)
+    }
+
+    /// Lock classes fn `i` may acquire, transitively.
+    pub fn locks_of(&self, i: usize) -> &BTreeSet<usize> {
+        &self.transitive[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+    use crate::model;
+    use std::path::Path;
+
+    fn graph(files: &[(&str, &str)]) -> (WorkspaceModel, CallGraph) {
+        let ctxs: Vec<FileContext> = files
+            .iter()
+            .map(|(path, src)| FileContext::new(Path::new(path), src.to_string()))
+            .collect();
+        let m = model::build(&ctxs);
+        let g = CallGraph::build(&m);
+        (m, g)
+    }
+
+    #[test]
+    fn transitive_locks_flow_through_calls() {
+        let (m, g) = graph(&[(
+            "crates/telemetry/src/a.rs",
+            "fn outer(&self) { self.inner_locks(); }\n\
+             fn inner_locks(&self) { let g = self.ring.lock(); }\n",
+        )]);
+        let outer = m.fns.iter().position(|f| f.name == "outer").expect("outer");
+        assert_eq!(g.locks_of(outer).len(), 1, "ring lock must flow to outer");
+    }
+
+    #[test]
+    fn cross_crate_resolution_requires_uniqueness() {
+        let (m, g) = graph(&[
+            (
+                "crates/ruleserv/src/a.rs",
+                "fn handler(&self) { self.record_span(); self.snapshot(); }\n",
+            ),
+            (
+                "crates/telemetry/src/b.rs",
+                "fn record_span(&self) { let g = self.ring.lock(); }\n",
+            ),
+            (
+                "crates/telemetry/src/c.rs",
+                "fn snapshot(&self) { let g = self.metrics.lock(); }\n\
+                 fn other(&self) {}\n",
+            ),
+            (
+                "crates/durable/src/d.rs",
+                "fn snapshot(&self) { let g = self.wal.lock(); }\n",
+            ),
+        ]);
+        let handler = m
+            .fns
+            .iter()
+            .position(|f| f.name == "handler")
+            .expect("handler");
+        // `record_span` is unique workspace-wide -> followed;
+        // `snapshot` exists in two crates -> ambiguous, not followed.
+        assert_eq!(g.locks_of(handler).len(), 1);
+    }
+
+    #[test]
+    fn stoplisted_names_are_never_followed() {
+        let (m, g) = graph(&[(
+            "crates/predindex/src/a.rs",
+            "fn len(&self) -> usize { let g = self.lock_read(0); 0 }\n\
+             fn uses_len(&self, v: &[u8]) { let n = v.len(); }\n",
+        )]);
+        let uses = m
+            .fns
+            .iter()
+            .position(|f| f.name == "uses_len")
+            .expect("uses_len");
+        assert!(g.locks_of(uses).is_empty());
+    }
+}

@@ -46,9 +46,25 @@ pub struct FileContext {
     test_ranges: Vec<(usize, usize)>,
     /// All fn spans, in source order.
     pub fns: Vec<FnSpan>,
+    /// Token-index ranges of closure bodies (`|..| { .. }` and
+    /// `|..| expr`), in source order. A closure is its own scope:
+    /// code inside one — a `thread::scope` spawn, say — runs on its
+    /// own schedule and must not be attributed to the enclosing fn.
+    pub closures: Vec<(usize, usize)>,
     /// line -> lints allowed on that line (an allow comment covers its
     /// own line and the next).
     allows: BTreeMap<u32, BTreeSet<String>>,
+}
+
+/// A scope a token belongs to: either a named `fn` body or an
+/// anonymous closure body. Lints that count per-scope facts (lock
+/// acquisitions, most prominently) key on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Scope {
+    /// Index into [`FileContext::fns`].
+    Fn(usize),
+    /// Index into [`FileContext::closures`].
+    Closure(usize),
 }
 
 impl FileContext {
@@ -65,6 +81,7 @@ impl FileContext {
         }
         let test_ranges = find_test_ranges(&src, &tokens);
         let fns = find_fns(&src, &tokens);
+        let closures = find_closures(&src, &tokens);
         let allows = find_allows(&src, &tokens);
         FileContext {
             path: path.to_path_buf(),
@@ -74,6 +91,7 @@ impl FileContext {
             section,
             test_ranges,
             fns,
+            closures,
             allows,
         }
     }
@@ -97,6 +115,68 @@ impl FileContext {
             .iter()
             .filter(|f| i >= f.body.0 && i < f.body.1)
             .min_by_key(|f| f.body.1 - f.body.0)
+    }
+
+    /// The innermost scope — fn body or closure body — containing
+    /// token `i`. A closure nested in a fn wins over the fn.
+    pub fn enclosing_scope(&self, i: usize) -> Option<Scope> {
+        let fn_ix = self
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| i >= f.body.0 && i < f.body.1)
+            .min_by_key(|(_, f)| f.body.1 - f.body.0);
+        let cl_ix = self
+            .closures
+            .iter()
+            .enumerate()
+            .filter(|(_, &(a, b))| i >= a && i < b)
+            .min_by_key(|(_, &(a, b))| b - a);
+        match (fn_ix, cl_ix) {
+            (Some((fi, f)), Some((ci, &(a, b)))) => {
+                if b - a < f.body.1 - f.body.0 {
+                    Some(Scope::Closure(ci))
+                } else {
+                    Some(Scope::Fn(fi))
+                }
+            }
+            (Some((fi, _)), None) => Some(Scope::Fn(fi)),
+            (None, Some((ci, _))) => Some(Scope::Closure(ci)),
+            (None, None) => None,
+        }
+    }
+
+    /// Token range of a scope's body.
+    pub fn scope_body(&self, s: Scope) -> (usize, usize) {
+        match s {
+            Scope::Fn(i) => self.fns[i].body,
+            Scope::Closure(i) => self.closures[i],
+        }
+    }
+
+    /// Human-readable name for a scope: the fn name, or
+    /// `{closure in <fn>}` for closures.
+    pub fn scope_name(&self, s: Scope) -> String {
+        match s {
+            Scope::Fn(i) => self.fns[i].name.clone(),
+            Scope::Closure(i) => {
+                let start = self.closures[i].0;
+                match self.enclosing_fn(start) {
+                    Some(f) => format!("{{closure in {}}}", f.name),
+                    None => "{closure}".to_string(),
+                }
+            }
+        }
+    }
+
+    /// How many `srclint:allow` suppression comments the file carries
+    /// (one per comment token mentioning the marker, however many
+    /// lints it names).
+    pub fn suppression_count(&self) -> usize {
+        self.tokens
+            .iter()
+            .filter(|t| t.is_comment() && t.text(&self.src).contains("srclint:allow("))
+            .count()
     }
 
     /// Iterator over code-token indices (comments skipped).
@@ -326,6 +406,117 @@ fn find_fns(src: &str, tokens: &[Token]) -> Vec<FnSpan> {
     out
 }
 
+/// Records closure bodies. A `|` opens a closure's parameter list
+/// when the previous code token is `move`, `(`, `,`, or `=` — the
+/// positions where an expression (and therefore a closure literal)
+/// begins and bitwise-or cannot. Params run to the matching `|` on
+/// the same statement; the body is the braced block after it, or,
+/// for expression-bodied closures (`move || self.work(x)`), the
+/// token run up to the `,`/`)`/`;` that ends the expression. Or-
+/// patterns inside closure params would fool the param scan; the
+/// workspace has none.
+fn find_closures(src: &str, tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_punct(src, '|') {
+            i += 1;
+            continue;
+        }
+        let prev = (0..i).rev().find(|&j| !tokens[j].is_comment());
+        let opens = match prev {
+            None => true,
+            Some(p) => {
+                let t = &tokens[p];
+                t.is_ident(src, "move")
+                    || t.is_punct(src, '(')
+                    || t.is_punct(src, ',')
+                    || t.is_punct(src, '=')
+            }
+        };
+        if !opens {
+            i += 1;
+            continue;
+        }
+        // Find the closing `|` of the parameter list; give up at
+        // statement boundaries (then it was a bitwise-or after all).
+        let mut close = None;
+        for (j, t) in tokens
+            .iter()
+            .enumerate()
+            .take(tokens.len().min(i + 40))
+            .skip(i + 1)
+        {
+            if t.is_punct(src, '|') {
+                close = Some(j);
+                break;
+            }
+            if t.is_punct(src, ';') || t.is_punct(src, '{') || t.is_punct(src, '}') {
+                break;
+            }
+        }
+        let Some(close) = close else {
+            i += 1;
+            continue;
+        };
+        // Body start: past an optional `-> Type` return annotation.
+        let mut b = close + 1;
+        while b < tokens.len() && tokens[b].is_comment() {
+            b += 1;
+        }
+        if b + 1 < tokens.len() && tokens[b].is_punct(src, '-') && tokens[b + 1].is_punct(src, '>')
+        {
+            while b < tokens.len() && !tokens[b].is_punct(src, '{') {
+                b += 1;
+            }
+        }
+        if b >= tokens.len() {
+            i = close + 1;
+            continue;
+        }
+        let end = if tokens[b].is_punct(src, '{') {
+            // Braced body: to the matching `}`.
+            let mut depth = 0i32;
+            let mut j = b;
+            while j < tokens.len() {
+                if tokens[j].is_punct(src, '{') {
+                    depth += 1;
+                } else if tokens[j].is_punct(src, '}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            (j + 1).min(tokens.len())
+        } else {
+            // Expression body: to the `,`, `;`, or unbalanced closer
+            // that ends the expression.
+            let mut depth = 0i32;
+            let mut j = b;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct(src, '(') || t.is_punct(src, '[') || t.is_punct(src, '{') {
+                    depth += 1;
+                } else if t.is_punct(src, ')') || t.is_punct(src, ']') || t.is_punct(src, '}') {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                } else if depth == 0 && (t.is_punct(src, ',') || t.is_punct(src, ';')) {
+                    break;
+                }
+                j += 1;
+            }
+            j.min(tokens.len())
+        };
+        out.push((b, end));
+        i = close + 1;
+    }
+    out
+}
+
 /// Collects `srclint:allow(a, b)` comments into a line -> lints map.
 /// An allow on line L covers L (trailing form) and L+1 (preceding
 /// form).
@@ -437,5 +628,52 @@ mod tests {
         assert_eq!(c.fns[0].body, (0, 0));
         assert_eq!(c.fns[1].name, "has_body");
         assert!(c.fns[1].body.1 > c.fns[1].body.0);
+    }
+
+    #[test]
+    fn spawn_closures_are_found_and_own_their_tokens() {
+        let c = ctx(
+            "fn outer(s: &S) { let a = go(); s.spawn(move || { let b = work(); }); let d = tail(); }",
+        );
+        assert_eq!(c.closures.len(), 1, "{:?}", c.closures);
+        let b_ix = c
+            .code_tokens()
+            .find(|&i| c.tokens[i].is_ident(&c.src, "b"))
+            .expect("b token");
+        let a_ix = c
+            .code_tokens()
+            .find(|&i| c.tokens[i].is_ident(&c.src, "a"))
+            .expect("a token");
+        // `b` belongs to the closure, `a` to the fn — and the closure
+        // scope wins over the enclosing fn for its own tokens.
+        assert_eq!(c.enclosing_scope(b_ix), Some(Scope::Closure(0)));
+        assert_eq!(c.enclosing_scope(a_ix), Some(Scope::Fn(0)));
+        assert_eq!(c.scope_name(Scope::Closure(0)), "{closure in outer}");
+    }
+
+    #[test]
+    fn or_operators_are_not_closures() {
+        let c =
+            ctx("fn f(a: bool, b: bool) -> bool { let x = a | b; if a || b { true } else { x } }");
+        assert!(c.closures.is_empty(), "{:?}", c.closures);
+    }
+
+    #[test]
+    fn expression_bodied_closure_ends_at_comma() {
+        let c = ctx("fn f(v: Vec<i32>) { v.iter().map(|x| x + 1, ); let y = after(); }");
+        assert_eq!(c.closures.len(), 1);
+        let y_ix = c
+            .code_tokens()
+            .find(|&i| c.tokens[i].is_ident(&c.src, "y"))
+            .expect("y token");
+        assert_eq!(c.enclosing_scope(y_ix), Some(Scope::Fn(0)));
+    }
+
+    #[test]
+    fn suppression_count_counts_allow_comments() {
+        let c = ctx(
+            "// srclint:allow(no-panic-in-lib): one\nfn f() {}\n// srclint:allow(lock-discipline, lock-order): two lints, one comment\nfn g() {}\n// plain comment\n",
+        );
+        assert_eq!(c.suppression_count(), 2);
     }
 }

@@ -73,10 +73,17 @@ fn json_escape(s: &str) -> String {
 
 /// The full report as a JSON document: a stable schema CI can upload
 /// as an artifact and scripts can consume without a JSON dependency
-/// on our side.
-pub fn render_json(diags: &[Diagnostic], files_scanned: usize) -> String {
-    let mut out = String::from("{\n  \"schema\": \"srclint/report-v1\",\n");
-    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+/// on our side. `report-v2` extends v1 with `files_linted` (differs
+/// from `files_scanned` under `--changed`), the workspace-wide
+/// `srclint:allow` suppression count, and wall-clock timing; every
+/// v1 field keeps its name and shape.
+pub fn render_json(report: &crate::Report) -> String {
+    let diags = &report.diagnostics;
+    let mut out = String::from("{\n  \"schema\": \"srclint/report-v2\",\n");
+    out.push_str(&format!(
+        "  \"files_scanned\": {},\n  \"files_linted\": {},\n  \"suppressions\": {},\n  \"elapsed_ms\": {},\n",
+        report.files_scanned, report.files_linted, report.suppressions, report.elapsed_ms
+    ));
     let errors = diags
         .iter()
         .filter(|d| d.severity == Severity::Deny)
@@ -128,6 +135,16 @@ mod tests {
         }
     }
 
+    fn report(diags: Vec<Diagnostic>) -> crate::Report {
+        crate::Report {
+            diagnostics: diags,
+            files_scanned: 7,
+            files_linted: 7,
+            suppressions: 2,
+            elapsed_ms: 12,
+        }
+    }
+
     #[test]
     fn human_line_is_clickable() {
         assert_eq!(
@@ -138,9 +155,12 @@ mod tests {
 
     #[test]
     fn json_is_well_formed_enough() {
-        let s = render_json(&[diag()], 7);
-        assert!(s.contains("\"schema\": \"srclint/report-v1\""));
+        let s = render_json(&report(vec![diag()]));
+        assert!(s.contains("\"schema\": \"srclint/report-v2\""));
         assert!(s.contains("\"files_scanned\": 7"));
+        assert!(s.contains("\"files_linted\": 7"));
+        assert!(s.contains("\"suppressions\": 2"));
+        assert!(s.contains("\"elapsed_ms\": 12"));
         assert!(s.contains("\"errors\": 1"));
         assert!(s.contains("crates/x/src/lib.rs"));
         // Balanced braces: a cheap structural sanity check.
@@ -155,7 +175,7 @@ mod tests {
     fn json_escapes_quotes_and_newlines() {
         let mut d = diag();
         d.message = "name \"x\"\nnext".into();
-        let s = render_json(&[d], 1);
+        let s = render_json(&report(vec![d]));
         assert!(s.contains("name \\\"x\\\"\\nnext"));
     }
 }

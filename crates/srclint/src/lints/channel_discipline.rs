@@ -1,0 +1,110 @@
+//! `channel-discipline`: no unbounded `mpsc::channel()` in library
+//! and server code paths. An unbounded sender never blocks, so a
+//! producer that outruns its consumer grows the queue without limit —
+//! the server learned this the honest way and its request/pipeline
+//! queues are `sync_channel` with explicit caps and a `Busy` reply.
+//! `sync_channel` forces the capacity decision to the construction
+//! site; even a oneshot reply slot is `sync_channel(1)` (exactly one
+//! send can ever happen, so the bound is free — and documented).
+//! Tests and benches may buffer however they like.
+
+use super::{emit, WorkspaceMeta};
+use crate::context::{FileContext, Section};
+use crate::diag::Diagnostic;
+
+const LINT: &str = "channel-discipline";
+
+/// Same long-lived library/server set as `no-panic-in-lib`.
+const LIB_CRATES: &[&str] = &[
+    "interval",
+    "ibs",
+    "predicate",
+    "predindex",
+    "relation",
+    "rules",
+    "joinmemo",
+    "durable",
+    "telemetry",
+    "ruleserv",
+    "srclint",
+];
+
+pub(super) fn check(ctx: &FileContext, _meta: &WorkspaceMeta, diags: &mut Vec<Diagnostic>) {
+    if ctx.section != Section::Src || !LIB_CRATES.contains(&ctx.krate.as_str()) {
+        return;
+    }
+    for i in ctx.code_tokens() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        // `mpsc :: channel (` — the unbounded constructor, path-called.
+        if !ctx.tokens[i].is_ident(&ctx.src, "channel") {
+            continue;
+        }
+        if !is_called(ctx, i) {
+            continue;
+        }
+        let via_mpsc = ctx.prev_code(i).is_some_and(|c1| {
+            ctx.tokens[c1].is_punct(&ctx.src, ':')
+                && ctx.prev_code(c1).is_some_and(|c2| {
+                    ctx.tokens[c2].is_punct(&ctx.src, ':')
+                        && ctx
+                            .prev_code(c2)
+                            .is_some_and(|m| ctx.tokens[m].is_ident(&ctx.src, "mpsc"))
+                })
+        });
+        if via_mpsc {
+            emit(
+                ctx,
+                diags,
+                LINT,
+                i,
+                format!(
+                    "unbounded `mpsc::channel()` in a library/server path — use \
+                     `sync_channel` with an explicit bound (1 for oneshot slots), or \
+                     justify with `srclint:allow({LINT})`"
+                ),
+            );
+        }
+    }
+}
+
+/// `channel(` or `channel::<T>(` — a call, turbofish included.
+fn is_called(ctx: &FileContext, i: usize) -> bool {
+    let Some(mut n) = ctx.next_code(i) else {
+        return false;
+    };
+    if ctx.tokens[n].is_punct(&ctx.src, ':') {
+        // `:: < .. > (`
+        let Some(c2) = ctx.next_code(n) else {
+            return false;
+        };
+        let Some(lt) = ctx.next_code(c2) else {
+            return false;
+        };
+        if !ctx.tokens[c2].is_punct(&ctx.src, ':') || !ctx.tokens[lt].is_punct(&ctx.src, '<') {
+            return false;
+        }
+        let mut depth = 0i32;
+        let mut j = lt;
+        loop {
+            if ctx.tokens[j].is_punct(&ctx.src, '<') {
+                depth += 1;
+            } else if ctx.tokens[j].is_punct(&ctx.src, '>') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            match ctx.next_code(j) {
+                Some(next) => j = next,
+                None => return false,
+            }
+        }
+        match ctx.next_code(j) {
+            Some(next) => n = next,
+            None => return false,
+        }
+    }
+    ctx.tokens[n].is_punct(&ctx.src, '(')
+}

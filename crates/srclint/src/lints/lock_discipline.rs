@@ -8,7 +8,7 @@
 //! `srclint:allow(lock-discipline): <why>`.
 
 use super::{emit, is_method_call, WorkspaceMeta};
-use crate::context::{FileContext, Section};
+use crate::context::{FileContext, Scope, Section};
 use crate::diag::Diagnostic;
 
 const LINT: &str = "lock-discipline";
@@ -21,8 +21,13 @@ pub(super) fn check(ctx: &FileContext, _meta: &WorkspaceMeta, diags: &mut Vec<Di
     if ctx.krate != "predindex" || ctx.section != Section::Src {
         return;
     }
-    // Acquisition sites per enclosing fn: (fn index in ctx.fns, token).
-    let mut sites: Vec<(usize, usize)> = Vec::new();
+    // Acquisition sites per enclosing scope. A closure — a
+    // `thread::scope` spawn body, most importantly — is its own
+    // scope: each spawned worker holds its own guard, so two sites
+    // split across a fn and its spawned closures never hold
+    // concurrently *within one scope* and must not be counted
+    // together.
+    let mut sites: Vec<(Scope, usize)> = Vec::new();
 
     for i in ctx.code_tokens() {
         if ctx.in_test(i) {
@@ -35,8 +40,9 @@ pub(super) fn check(ctx: &FileContext, _meta: &WorkspaceMeta, diags: &mut Vec<Di
         if !raw && !via_helper {
             continue;
         }
-        let encl = ctx.enclosing_fn(i);
-        let in_helper = encl.is_some_and(|f| HELPERS.contains(&f.name.as_str()));
+        let in_helper = ctx
+            .enclosing_fn(i)
+            .is_some_and(|f| HELPERS.contains(&f.name.as_str()));
         if raw && !in_helper {
             emit(
                 ctx,
@@ -51,22 +57,17 @@ pub(super) fn check(ctx: &FileContext, _meta: &WorkspaceMeta, diags: &mut Vec<Di
             );
         }
         if !in_helper {
-            if let Some(f) = encl {
-                let fi = ctx
-                    .fns
-                    .iter()
-                    .position(|g| std::ptr::eq(g, f))
-                    .unwrap_or(usize::MAX);
-                sites.push((fi, i));
+            if let Some(s) = ctx.enclosing_scope(i) {
+                sites.push((s, i));
             }
         }
     }
 
-    // Second and later acquisition sites within one fn body.
-    for (n, &(fi, tok)) in sites.iter().enumerate() {
-        let earlier = sites[..n].iter().filter(|(g, _)| *g == fi).count();
+    // Second and later acquisition sites within one scope.
+    for (n, &(scope, tok)) in sites.iter().enumerate() {
+        let earlier = sites[..n].iter().filter(|(g, _)| *g == scope).count();
         if earlier >= 1 {
-            let name = ctx.fns.get(fi).map(|f| f.name.clone()).unwrap_or_default();
+            let name = ctx.scope_name(scope);
             emit(
                 ctx,
                 diags,

@@ -4,16 +4,22 @@
 //! suppressed at the line level with
 //! `// srclint:allow(<lint>): <one-line justification>`.
 
+mod atomic_ordering;
+mod channel_discipline;
+mod codec_conformance;
 mod fsync_rename;
 mod lock_discipline;
+mod lock_order;
 mod metric_names;
 mod no_panic;
 mod safety_comment;
 
+pub use lock_order::canonical_order as lock_order_canonical_order;
 pub use metric_names::design_families as metric_names_design_families;
 
 use crate::context::FileContext;
 use crate::diag::Diagnostic;
+use crate::model::WorkspaceModel;
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 
@@ -21,6 +27,9 @@ use std::path::PathBuf;
 /// they are looking at).
 pub struct WorkspaceMeta {
     pub root: PathBuf,
+    /// The full DESIGN.md text, for lints that parse a canonical
+    /// table out of it (`None` when the document is absent).
+    pub design: Option<String>,
     /// Metric families declared in DESIGN.md's canonical table;
     /// `None` when DESIGN.md (or the table) is absent, which turns
     /// the registry cross-check off rather than failing every site.
@@ -32,6 +41,14 @@ pub struct Lint {
     pub name: &'static str,
     pub summary: &'static str,
     pub check: fn(&FileContext, &WorkspaceMeta, &mut Vec<Diagnostic>),
+}
+
+/// A cross-file lint: runs once over the whole linted set, after the
+/// per-file suite, with the workspace model in hand.
+pub struct WorkspaceLint {
+    pub name: &'static str,
+    pub summary: &'static str,
+    pub check: fn(&[FileContext], &WorkspaceModel, &WorkspaceMeta, &mut Vec<Diagnostic>),
 }
 
 /// The full suite, in reporting order.
@@ -61,6 +78,33 @@ pub fn all() -> Vec<Lint> {
             name: "metric-name-registry",
             summary: "metric families are snake_case literals listed in DESIGN.md",
             check: metric_names::check,
+        },
+        Lint {
+            name: "channel-discipline",
+            summary: "no unbounded mpsc::channel in library/server paths; sync_channel only",
+            check: channel_discipline::check,
+        },
+    ]
+}
+
+/// The cross-file suite, in reporting order. These run once per
+/// invocation, over the model of every linted file.
+pub fn workspace_all() -> Vec<WorkspaceLint> {
+    vec![
+        WorkspaceLint {
+            name: "lock-order",
+            summary: "nested lock acquisitions follow DESIGN.md's canonical lock order",
+            check: lock_order::check,
+        },
+        WorkspaceLint {
+            name: "atomic-ordering",
+            summary: "atomic orderings match usage class: counters/flags Relaxed, publication Release/Acquire",
+            check: atomic_ordering::check,
+        },
+        WorkspaceLint {
+            name: "codec-conformance",
+            summary: "Record variants and proto opcodes have encode+decode arms and DESIGN.md rows",
+            check: codec_conformance::check,
         },
     ]
 }

@@ -18,6 +18,10 @@ OPTIONS:
     --deny            treat warnings as errors (CI mode)
     --format <f>      human (default) | json
     --root <dir>      workspace root (default: walk up from cwd)
+    --changed[=REF]   report per-file findings only for files in
+                      `git diff --name-only REF` (default REF: HEAD);
+                      cross-file lints still see the whole workspace,
+                      and without git the run widens to everything
     --list-lints      print the lint catalog and exit
     -h, --help        this text
 ";
@@ -36,6 +40,7 @@ fn real_main() -> Result<ExitCode, String> {
     let mut deny = false;
     let mut format = "human".to_string();
     let mut root: Option<PathBuf> = None;
+    let mut changed_ref: Option<String> = None;
     let mut paths = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -49,11 +54,18 @@ fn real_main() -> Result<ExitCode, String> {
                 }
             }
             "--root" => root = Some(PathBuf::from(args.next().ok_or("--root needs a value")?)),
+            "--changed" => changed_ref = Some("HEAD".to_string()),
             "--list-lints" => {
                 for lint in srclint::lints::all() {
                     println!("{:24} {}", lint.name, lint.summary);
                 }
+                for lint in srclint::lints::workspace_all() {
+                    println!("{:24} {} (cross-file)", lint.name, lint.summary);
+                }
                 return Ok(ExitCode::SUCCESS);
+            }
+            flag if flag.starts_with("--changed=") => {
+                changed_ref = Some(flag["--changed=".len()..].to_string());
             }
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -75,10 +87,15 @@ fn real_main() -> Result<ExitCode, String> {
         }
     };
 
-    let report = srclint::run(&Config { root, paths }).map_err(|e| e.to_string())?;
+    let report = srclint::run(&Config {
+        root,
+        paths,
+        changed_ref,
+    })
+    .map_err(|e| e.to_string())?;
 
     if format == "json" {
-        print!("{}", render_json(&report.diagnostics, report.files_scanned));
+        print!("{}", render_json(&report));
     } else {
         for d in &report.diagnostics {
             println!("{}", d.render_human());
@@ -89,10 +106,14 @@ fn real_main() -> Result<ExitCode, String> {
             .filter(|d| d.severity == Severity::Deny)
             .count();
         println!(
-            "srclint: {} files scanned, {} finding(s) ({} error(s))",
+            "srclint: {} files scanned, {} linted, {} finding(s) ({} error(s)), \
+             {} suppression(s), {} ms",
             report.files_scanned,
+            report.files_linted,
             report.diagnostics.len(),
-            errors
+            errors,
+            report.suppressions,
+            report.elapsed_ms
         );
     }
 

@@ -1,0 +1,12 @@
+// srclint-fixture: crate=ruleserv section=src
+// A fixture, not compiled: unbounded channels in server paths.
+
+use std::sync::mpsc;
+
+fn plain_unbounded() {
+    let (_tx, _rx) = mpsc::channel::<u8>();
+}
+
+fn turbofish_free_unbounded() {
+    let (_tx, _rx): (mpsc::Sender<u8>, mpsc::Receiver<u8>) = mpsc::channel();
+}

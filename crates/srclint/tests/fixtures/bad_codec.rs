@@ -1,0 +1,31 @@
+// srclint-fixture: crate=durable section=src
+// A fixture, not compiled: codec-conformance gaps on a mini `Record`.
+// `Insert` is fully covered (and its tag agrees with DESIGN.md §14);
+// `Ghost` is a grown variant nobody wired up; `Update`'s tag
+// disagrees with the documented value.
+
+pub enum Record {
+    Insert(u8),
+    Update(u8),
+    Ghost(u8),
+}
+
+const TAG_INSERT: u8 = 4;
+const TAG_UPDATE: u8 = 9; // DESIGN.md documents 5
+
+fn encode(r: &Record) -> u8 {
+    // Not compiled, so the missing `Ghost` arm is fine here — that
+    // absence is exactly what the lint must catch.
+    match r {
+        Record::Insert(_) => TAG_INSERT,
+        Record::Update(_) => TAG_UPDATE,
+    }
+}
+
+fn decode_prefix(tag: u8) -> Option<Record> {
+    match tag {
+        TAG_INSERT => Some(Record::Insert(0)),
+        TAG_UPDATE => Some(Record::Update(0)),
+        _ => None,
+    }
+}

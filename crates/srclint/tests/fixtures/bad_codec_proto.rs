@@ -1,0 +1,15 @@
+// srclint-fixture: crate=ruleserv section=src
+// A fixture, not compiled: opcode-conformance gaps. `OP_PING` is
+// fully covered and agrees with DESIGN.md §14; `OP_WARP` has no
+// encode arm, no decode arm, and no doc row.
+
+const OP_PING: u8 = 0x01;
+const OP_WARP: u8 = 0x42;
+
+fn encode_frame(out: &mut Vec<u8>) {
+    out.push(OP_PING);
+}
+
+fn decode_frame(op: u8) -> bool {
+    op == OP_PING
+}

@@ -1,0 +1,29 @@
+// srclint-fixture: crate=ruleserv section=src
+// A fixture, not compiled: the blessed channel shapes — explicit
+// bounds, oneshot slots at capacity 1, tests exempt, and the
+// justified escape hatch.
+
+use std::sync::mpsc;
+
+fn bounded_queue() {
+    let (_tx, _rx) = mpsc::sync_channel::<u8>(1024);
+}
+
+fn oneshot_slot() {
+    let (_tx, _rx) = mpsc::sync_channel::<u8>(1);
+}
+
+fn justified() {
+    // srclint:allow(channel-discipline): fixture demonstrates the allow path
+    let (_tx, _rx) = mpsc::channel::<u8>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_buffer_freely() {
+        let (_tx, _rx) = std::sync::mpsc::channel::<u8>();
+    }
+}

@@ -1,0 +1,23 @@
+// srclint-fixture: crate=durable section=src
+// A fixture, not compiled: a fully-covered mini `Record` — encode
+// arm, decode arm, tag constant, and a DESIGN.md §14 row that agrees
+// (`Insert` is 4 in the real table).
+
+pub enum Record {
+    Insert(u8),
+}
+
+const TAG_INSERT: u8 = 4;
+
+fn encode(r: &Record) -> u8 {
+    match r {
+        Record::Insert(_) => TAG_INSERT,
+    }
+}
+
+fn decode_prefix(tag: u8) -> Option<Record> {
+    match tag {
+        TAG_INSERT => Some(Record::Insert(0)),
+        _ => None,
+    }
+}

@@ -25,3 +25,22 @@ fn r_is_a_normal_ident(r: i32) -> i32 {
     let r#match = r; // raw ident keyword
     r#match
 }
+
+fn raw_strings_hide_line_comments() -> &'static str {
+    // The `//` inside must NOT start a comment: if it did, the
+    // closing delimiter would be swallowed and `panic!` below would
+    // leak into code.
+    r#"scheme://host/path // still string text, panic!("never code")"#
+}
+
+#[doc = "A doc attribute whose string holds /* a block comment /* nested */ opener */ as text."]
+fn doc_attr_string_is_not_a_comment() -> i32 {
+    // If the lexer treated the attribute string's `/*` as a comment
+    // opener, everything to here would be comment text.
+    0
+}
+
+#[doc = r"raw doc strings too: /* unterminated-looking and // markers"]
+fn raw_doc_attr_edge() -> i32 {
+    0
+}

@@ -26,7 +26,7 @@ impl M {
         let mut total = 0;
         let first = self.lock_read(0);
         for &sid in sids {
-            // srclint:allow(lock-discipline): this is the ordered batch-acquisition path — sids are sorted ascending
+            // srclint:allow(lock-discipline, lock-order): this is the ordered batch-acquisition path — sids are sorted ascending
             total += *self.lock_write(sid);
         }
         total + *first
@@ -35,5 +35,21 @@ impl M {
     fn other_rwlocks_are_out_of_scope(cache: &std::sync::RwLock<i32>) -> i32 {
         // srclint:allow(no-panic-in-lib): fixture
         *cache.read().expect("not a shard lock")
+    }
+
+    // The `match_batch` shape: the enclosing fn takes one guard, and
+    // each scoped-thread closure takes its own. The closure bodies
+    // run on their own schedule, so their acquisitions must not be
+    // attributed to (or counted against) the enclosing fn.
+    fn match_batch_threads(&self, chunks: &[usize]) -> i32 {
+        let total = *self.lock_read(0);
+        std::thread::scope(|s| {
+            for &sid in chunks {
+                s.spawn(move || {
+                    let _guard = self.lock_read(sid);
+                });
+            }
+        });
+        total
     }
 }

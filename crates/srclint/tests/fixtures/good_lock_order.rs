@@ -1,0 +1,38 @@
+// srclint-fixture: crate=telemetry section=src
+// A fixture, not compiled: nested acquisitions that follow DESIGN.md
+// §18's canonical order (accounts=3 < names=4 < metrics=6), plus the
+// blessed sequential-guard escape hatch.
+
+struct S {
+    accounts: std::sync::Mutex<i32>,
+    names: std::sync::Mutex<i32>,
+    metrics: std::sync::Mutex<i32>,
+}
+
+impl S {
+    fn descending_ranks(&self) {
+        let _a = self.accounts.lock();
+        let _n = self.names.lock();
+        let _m = self.metrics.lock();
+    }
+
+    fn mint(&self) {
+        let _n = self.names.lock();
+        let _m = self.metrics.lock();
+    }
+
+    fn transitive_in_order(&self) {
+        let _a = self.accounts.lock();
+        self.mint(); // names then metrics, both above accounts
+    }
+
+    fn sequential_probe_then_mint(&self) {
+        {
+            let _probe = self.metrics.lock();
+        }
+        // The probe guard above is already dropped; the analysis
+        // cannot see that, so the site declares it.
+        // srclint:allow(lock-order): strictly sequential — the probe guard is dropped at its block end
+        let _again = self.metrics.lock();
+    }
+}

@@ -4,7 +4,6 @@
 //! workspace files via the `// srclint-fixture:` header.
 
 use srclint::{run, Config};
-use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
@@ -24,6 +23,7 @@ fn findings(name: &str) -> Vec<(String, u32)> {
     let report = run(&Config {
         root: workspace_root(),
         paths: vec![fixture(name)],
+        changed_ref: None,
     })
     .expect("fixture lints");
     report
@@ -31,10 +31,6 @@ fn findings(name: &str) -> Vec<(String, u32)> {
         .iter()
         .map(|d| (d.lint.to_string(), d.line))
         .collect()
-}
-
-fn lints_of(name: &str) -> BTreeSet<String> {
-    findings(name).into_iter().map(|(l, _)| l).collect()
 }
 
 // ---------------------------------------------------------------- good
@@ -48,6 +44,10 @@ fn good_fixtures_are_clean() {
         "good_fsync_rename.rs",
         "good_metric_names.rs",
         "good_lexer_edges.rs",
+        "good_lock_order.rs",
+        "good_atomic_ordering.rs",
+        "good_channel_discipline.rs",
+        "good_codec.rs",
     ] {
         let found = findings(name);
         assert!(found.is_empty(), "{name} should be clean, got {found:?}");
@@ -80,10 +80,18 @@ fn bad_no_panic_flags_methods_macros_and_misplaced_allow() {
 #[test]
 fn bad_lock_discipline_flags_raw_and_double_acquisition() {
     let found = findings("bad_lock_discipline.rs");
-    assert_eq!(lints_of("bad_lock_discipline.rs").len(), 1);
-    assert!(found.iter().all(|(l, _)| l == "lock-discipline"));
+    // The double-guard fn also trips the cross-file lock-order pass
+    // (a shard-while-shard edge) — assert both lints see it.
+    let discipline: Vec<_> = found
+        .iter()
+        .filter(|(l, _)| l == "lock-discipline")
+        .collect();
     // One raw `.read()` outside the helpers, one second-guard site.
-    assert_eq!(found.len(), 2, "{found:?}");
+    assert_eq!(discipline.len(), 2, "{found:?}");
+    assert!(
+        found.iter().any(|(l, _)| l == "lock-order"),
+        "nested shard guards should also be a lock-order finding: {found:?}"
+    );
 }
 
 #[test]
@@ -100,6 +108,103 @@ fn bad_metric_names_flags_every_shape() {
     // missing _total, bad grammar, interpolated family, non-literal,
     // and a conforming name absent from DESIGN.md's table.
     assert_eq!(found.len(), 5, "{found:?}");
+}
+
+#[test]
+fn bad_lock_order_flags_backward_self_unranked_and_transitive() {
+    let found = findings("bad_lock_order.rs");
+    assert!(found.iter().all(|(l, _)| l == "lock-order"), "{found:?}");
+    // Backward direct edge, re-acquisition, an unranked class, and a
+    // backward edge reached through a call.
+    assert_eq!(found.len(), 4, "{found:?}");
+}
+
+#[test]
+fn bad_atomic_ordering_flags_every_class() {
+    let found = findings("bad_atomic_ordering.rs");
+    assert!(
+        found.iter().all(|(l, _)| l == "atomic-ordering"),
+        "{found:?}"
+    );
+    // SeqCst counter RMW, SeqCst flag store + load, Relaxed
+    // publication store.
+    assert_eq!(found.len(), 4, "{found:?}");
+}
+
+#[test]
+fn bad_channel_discipline_flags_unbounded_channels() {
+    let found = findings("bad_channel_discipline.rs");
+    assert!(
+        found.iter().all(|(l, _)| l == "channel-discipline"),
+        "{found:?}"
+    );
+    assert_eq!(found.len(), 2, "{found:?}");
+}
+
+#[test]
+fn bad_codec_flags_record_gaps() {
+    let found = findings("bad_codec.rs");
+    assert!(
+        found.iter().all(|(l, _)| l == "codec-conformance"),
+        "{found:?}"
+    );
+    // Ghost: no encode arm, no decode arm, no tag constant.
+    // Update: tag value disagrees with DESIGN.md.
+    assert_eq!(found.len(), 4, "{found:?}");
+}
+
+#[test]
+fn bad_codec_proto_flags_opcode_gaps() {
+    let found = findings("bad_codec_proto.rs");
+    assert!(
+        found.iter().all(|(l, _)| l == "codec-conformance"),
+        "{found:?}"
+    );
+    // OP_WARP: no encode, no decode, no DESIGN.md row. OP_PING clean.
+    assert_eq!(found.len(), 3, "{found:?}");
+}
+
+#[test]
+fn scoped_thread_closures_own_their_acquisitions() {
+    // The match_batch shape in good_lock_discipline.rs: one guard in
+    // the fn plus one per spawned closure must NOT count as multiple
+    // acquisition sites in one scope.
+    let found = findings("good_lock_discipline.rs");
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
+fn design_md_lock_order_table_is_present_and_parsed() {
+    // The deadlock guard must be armed: if DESIGN.md loses the
+    // canonical-order table, every edge check silently vanishes
+    // (well — loudly, but via a different finding; this pins the
+    // parse itself).
+    let design = std::fs::read_to_string(workspace_root().join("DESIGN.md")).expect("DESIGN.md");
+    let meta = srclint::lints::WorkspaceMeta {
+        root: workspace_root(),
+        design: Some(design),
+        metric_families: None,
+    };
+    let order = srclint::lints::lock_order_canonical_order(&meta)
+        .expect("DESIGN.md has a parseable canonical lock-order table");
+    for (krate, ident) in [
+        ("predindex", "shards"),
+        ("predindex", "per_attr"),
+        ("telemetry", "accounts"),
+        ("telemetry", "names"),
+        ("telemetry", "metrics"),
+        ("telemetry", "ring"),
+    ] {
+        assert!(
+            order.contains_key(&(krate.to_string(), ident.to_string())),
+            "table lost `{krate}.{ident}`"
+        );
+    }
+    // Ranks must actually order the hierarchy the workspace uses.
+    let rank = |k: &str, i: &str| order[&(k.to_string(), i.to_string())];
+    assert!(rank("predindex", "shards") < rank("predindex", "per_attr"));
+    assert!(rank("telemetry", "accounts") < rank("telemetry", "names"));
+    assert!(rank("telemetry", "names") < rank("telemetry", "metrics"));
 }
 
 #[test]
@@ -141,14 +246,39 @@ fn deny_exits_nonzero_on_each_bad_fixture_and_zero_on_good() {
         "bad_lock_discipline.rs",
         "bad_fsync_rename.rs",
         "bad_metric_names.rs",
+        "bad_lock_order.rs",
+        "bad_atomic_ordering.rs",
+        "bad_channel_discipline.rs",
+        "bad_codec.rs",
+        "bad_codec_proto.rs",
     ] {
         let (code, _) = run_bin(&["--deny", fixture(name).to_str().expect("utf8 path")]);
         assert_eq!(code, 1, "{name} should fail --deny");
     }
-    for name in ["good_no_panic.rs", "good_metric_names.rs"] {
+    for name in [
+        "good_no_panic.rs",
+        "good_metric_names.rs",
+        "good_lock_order.rs",
+        "good_atomic_ordering.rs",
+        "good_channel_discipline.rs",
+        "good_codec.rs",
+    ] {
         let (code, out) = run_bin(&["--deny", fixture(name).to_str().expect("utf8 path")]);
         assert_eq!(code, 0, "{name} should pass --deny: {out}");
     }
+}
+
+#[test]
+fn changed_mode_restricts_per_file_stage_but_stays_clean() {
+    // --changed narrows the per-file stage to the git diff; the
+    // cross-file stage still sees the whole workspace. Either way the
+    // tree must be clean. When git is unavailable the run widens to a
+    // full walk, so this asserts the same invariant in both worlds.
+    let (code, out) = run_bin(&["--deny", "--changed"]);
+    assert_eq!(code, 0, "--changed run should be clean: {out}");
+    let (code_json, json) = run_bin(&["--changed", "--format", "json"]);
+    assert_eq!(code_json, 0);
+    assert!(json.contains("\"files_linted\""), "{json}");
 }
 
 #[test]
@@ -159,8 +289,12 @@ fn json_report_is_well_formed() {
         fixture("bad_no_panic.rs").to_str().expect("utf8 path"),
     ]);
     assert_eq!(code, 1);
-    assert!(out.contains("\"schema\": \"srclint/report-v1\""), "{out}");
+    assert!(out.contains("\"schema\": \"srclint/report-v2\""), "{out}");
     assert!(out.contains("\"lint\": \"no-panic-in-lib\""));
+    assert!(out.contains("\"severity\": \"error\""));
+    assert!(out.contains("\"files_linted\""), "{out}");
+    assert!(out.contains("\"suppressions\""), "{out}");
+    assert!(out.contains("\"elapsed_ms\""), "{out}");
     // Paths in the report are workspace-relative.
     assert!(out.contains("crates/srclint/tests/fixtures/bad_no_panic.rs"));
 }

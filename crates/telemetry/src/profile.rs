@@ -480,11 +480,13 @@ impl Profiler {
 
     /// Sets the slow-op capture threshold (`u64::MAX` = off).
     pub fn set_slow_threshold_nanos(&self, nanos: u64) {
+        // srclint:allow(atomic-ordering): an independent config word — the threshold guards no other data, so readers need no happens-before edge
         self.inner.slow_threshold.store(nanos, Ordering::Relaxed);
     }
 
     /// The current slow-op capture threshold.
     pub fn slow_threshold_nanos(&self) -> u64 {
+        // srclint:allow(atomic-ordering): an independent config word — see set_slow_threshold_nanos
         self.inner.slow_threshold.load(Ordering::Relaxed)
     }
 
@@ -502,6 +504,7 @@ impl Profiler {
             return 0;
         }
         let seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed);
+        // srclint:allow(atomic-ordering): an independent config word — see set_slow_threshold_nanos
         if nanos >= self.inner.slow_threshold.load(Ordering::Relaxed) {
             // srclint:allow(no-panic-in-lib): a poisoned slow-op ring means a holder panicked; propagating is by design
             let mut slow = self.inner.slow.lock().expect("slow-op ring poisoned");

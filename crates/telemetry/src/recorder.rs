@@ -188,7 +188,7 @@ impl FlightRecorder {
         let flag = Arc::clone(&active);
         let previous = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            if flag.load(Ordering::SeqCst) {
+            if flag.load(Ordering::Relaxed) {
                 let _ = recorder.dump("panic");
             }
             previous(info);
@@ -205,7 +205,7 @@ pub struct PanicHookGuard {
 
 impl Drop for PanicHookGuard {
     fn drop(&mut self) {
-        self.active.store(false, Ordering::SeqCst);
+        self.active.store(false, Ordering::Relaxed);
     }
 }
 

@@ -115,7 +115,7 @@ impl ServerHandle {
 
     /// Stops accepting, wakes the accept thread, and joins it.
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.stop.store(true, Ordering::Relaxed);
         // The accept call blocks; a throwaway connection unblocks it
         // so it can observe the flag. A wildcard bind (`0.0.0.0:p`)
         // is not itself a connectable destination everywhere, so dial
@@ -192,7 +192,7 @@ pub fn serve_with_advisor(
         .name("telemetry-exposition".into())
         .spawn(move || {
             for conn in listener.incoming() {
-                if stop_flag.load(Ordering::SeqCst) {
+                if stop_flag.load(Ordering::Relaxed) {
                     break;
                 }
                 let Ok(conn) = conn else { continue };

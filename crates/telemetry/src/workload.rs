@@ -687,6 +687,7 @@ impl Inner {
             )),
         });
         self.attrs
+            // srclint:allow(lock-order): strictly sequential — the probe's read guard is dropped at its block end before the mint takes the write lock
             .write()
             // srclint:allow(no-panic-in-lib): a poisoned account map means a holder panicked; propagating is by design
             .expect("workload map poisoned")
@@ -716,6 +717,7 @@ impl Inner {
             )),
         });
         self.relations
+            // srclint:allow(lock-order): strictly sequential — the probe's read guard is dropped at its block end before the mint takes the write lock
             .write()
             // srclint:allow(no-panic-in-lib): a poisoned account map means a holder panicked; propagating is by design
             .expect("workload map poisoned")
